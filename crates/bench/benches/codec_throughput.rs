@@ -1,0 +1,27 @@
+//! Criterion bench: encode/decode throughput of every scheme in the paper's
+//! comparison (Figure 8 set), on biased data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wlcrc::schemes::standard_schemes;
+use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::line::MemoryLine;
+
+fn codec_throughput(c: &mut Criterion) {
+    let energy = EnergyModel::paper_default();
+    let data = MemoryLine::from_words([0x0000_0000_1234_5678; 8]);
+    let mut group = c.benchmark_group("codec_throughput");
+    for (id, codec) in standard_schemes() {
+        let old = codec.initial_line();
+        group.bench_with_input(BenchmarkId::new("encode", id.label()), &data, |b, data| {
+            b.iter(|| codec.encode(std::hint::black_box(data), &old, &energy));
+        });
+        let encoded = codec.encode(&data, &old, &energy);
+        group.bench_with_input(BenchmarkId::new("decode", id.label()), &encoded, |b, enc| {
+            b.iter(|| codec.decode(std::hint::black_box(enc)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_throughput);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figure 1: 6cosets energy vs granularity on
+//! random and biased data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure1;
+
+fn fig01(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_granularity");
+    group.sample_size(10);
+    group.bench_function("random", |b| b.iter(|| figure1(std::hint::black_box(60), 1, false)));
+    group.bench_function("biased", |b| b.iter(|| figure1(std::hint::black_box(60), 1, true)));
+    group.finish();
+}
+
+criterion_group!(benches, fig01);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Figures 2 and 3: 6cosets vs 4cosets on random
+//! and biased data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure2_3;
+
+fn fig02_03(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_fig03_cosets");
+    group.sample_size(10);
+    group.bench_function("fig02_random", |b| {
+        b.iter(|| figure2_3(std::hint::black_box(60), 1, false))
+    });
+    group.bench_function("fig03_biased", |b| {
+        b.iter(|| figure2_3(std::hint::black_box(60), 1, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig02_03);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench regenerating Figure 4: compression coverage of WLC, COC
+//! and FPC+BDI across the benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure4;
+
+fn fig04(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_compression");
+    group.sample_size(10);
+    group.bench_function("coverage", |b| b.iter(|| figure4(std::hint::black_box(80), 1)));
+    group.finish();
+}
+
+criterion_group!(benches, fig04);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Figure 5: 4cosets vs 3cosets vs restricted
+//! coset coding on biased workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure5;
+
+fn fig05(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_restricted");
+    group.sample_size(10);
+    group.bench_function("restricted_vs_unrestricted", |b| {
+        b.iter(|| figure5(std::hint::black_box(60), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig05);
+criterion_main!(benches);

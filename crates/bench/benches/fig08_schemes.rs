@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Figures 8-10: the full scheme comparison
+//! (write energy, updated cells, disturbance errors) over all benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure8_9_10;
+
+fn fig08(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_schemes");
+    group.sample_size(10);
+    group.bench_function("all_schemes_all_workloads", |b| {
+        b.iter(|| figure8_9_10(std::hint::black_box(40), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

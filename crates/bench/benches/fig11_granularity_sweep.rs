@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Figures 11-13: the WLC-integrated schemes
+//! across 8/16/32/64-bit granularities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure11_12_13;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_granularity_sweep");
+    group.sample_size(10);
+    group.bench_function("wlc_schemes_sweep", |b| {
+        b.iter(|| figure11_12_13(std::hint::black_box(60), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

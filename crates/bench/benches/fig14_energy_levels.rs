@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Figure 14: sensitivity of WLCRC-16 to the
+//! intermediate-state programming energies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlcrc_bench::figures::figure14;
+
+fn fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_energy_levels");
+    group.sample_size(10);
+    group.bench_function("energy_sensitivity", |b| {
+        b.iter(|| figure14(std::hint::black_box(40), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Minimal command-line handling for the experiment binaries.
+
+/// Arguments accepted by every figure-regeneration binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Number of line writes per workload (before intensity scaling).
+    pub lines: usize,
+    /// Seed for trace generation and disturbance sampling.
+    pub seed: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> RunArgs {
+        RunArgs { lines: 2000, seed: 42 }
+    }
+}
+
+impl RunArgs {
+    /// Parses `--lines N` and `--seed S` from an iterator of arguments,
+    /// ignoring anything it does not recognise.
+    pub fn parse<I, S>(args: I) -> RunArgs
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = RunArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_ref() {
+                "--lines" => {
+                    if let Some(v) = iter.next() {
+                        if let Ok(n) = v.as_ref().parse() {
+                            out.lines = n;
+                        }
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next() {
+                        if let Ok(n) = v.as_ref().parse() {
+                            out.seed = n;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> RunArgs {
+        RunArgs::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_empty() {
+        let args = RunArgs::parse(Vec::<String>::new());
+        assert_eq!(args, RunArgs::default());
+    }
+
+    #[test]
+    fn parses_lines_and_seed() {
+        let args = RunArgs::parse(["--lines", "500", "--seed", "7"]);
+        assert_eq!(args.lines, 500);
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn ignores_unknown_flags_and_bad_values() {
+        let args = RunArgs::parse(["--verbose", "--lines", "abc", "--seed", "9"]);
+        assert_eq!(args.lines, RunArgs::default().lines);
+        assert_eq!(args.seed, 9);
+    }
+}

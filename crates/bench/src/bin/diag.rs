@@ -1,0 +1,34 @@
+//! Internal diagnostic: per-scheme breakdown on one workload.
+
+use wlcrc::schemes::standard_schemes;
+use wlcrc_bench::args::RunArgs;
+use wlcrc_memsim::{SimulationOptions, Simulator};
+use wlcrc_pcm::config::PcmConfig;
+use wlcrc_trace::{Benchmark, TraceGenerator};
+
+fn main() {
+    let args = RunArgs::from_env();
+    for bench in [Benchmark::Gcc, Benchmark::Lbm, Benchmark::Astar] {
+        println!("--- {} ---", bench.short_name());
+        let mut generator = TraceGenerator::new(bench.profile(), args.seed);
+        let trace = generator.generate(args.lines);
+        for (id, codec) in standard_schemes() {
+            let sim = Simulator::with_config(PcmConfig::table_ii()).with_options(
+                SimulationOptions { seed: args.seed, verify_integrity: false },
+            );
+            let s = sim.run(codec.as_ref(), &trace);
+            println!(
+                "{:14} energy={:8.0} (data {:8.0} aux {:6.0})  cells={:6.1} (d {:6.1} a {:5.1})  dist={:4.2} enc%={:.2}",
+                id.label(),
+                s.mean_energy_pj(),
+                s.mean_data_energy_pj(),
+                s.mean_aux_energy_pj(),
+                s.mean_updated_cells(),
+                s.mean_updated_data_cells(),
+                s.mean_updated_aux_cells(),
+                s.mean_disturb_errors(),
+                s.encoded_fraction(),
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 5: 4cosets vs 3cosets vs restricted coset coding
+//! (3-r-cosets) write-energy breakdown on the biased workloads.
+
+use wlcrc_bench::args::RunArgs;
+use wlcrc_bench::figures::figure5;
+use wlcrc_bench::table::Table;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let rows = figure5(args.lines, args.seed);
+    let mut table = Table::new(
+        "Figure 5: restricted vs unrestricted coset coding, biased workloads",
+        &["granularity", "scheme", "aux (pJ)", "blk (pJ)", "total (pJ)"],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.granularity.to_string(),
+            row.scheme.clone(),
+            format!("{:.1}", row.aux_energy_pj),
+            format!("{:.1}", row.block_energy_pj),
+            format!("{:.1}", row.total_energy_pj()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 11: write energy of WLC+4cosets, WLC+3cosets and WLCRC
+//! at 8/16/32/64-bit block granularities (data-block and auxiliary parts).
+
+use wlcrc_bench::args::RunArgs;
+use wlcrc_bench::figures::figure11_12_13;
+use wlcrc_bench::table::Table;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let rows = figure11_12_13(args.lines, args.seed);
+    let mut table = Table::new(
+        "Figure 11: WLC-integrated schemes, write energy vs granularity",
+        &["granularity", "scheme", "blk (pJ)", "aux (pJ)", "total (pJ)"],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.granularity.to_string(),
+            row.scheme.clone(),
+            format!("{:.1}", row.block_energy_pj),
+            format!("{:.1}", row.aux_energy_pj),
+            format!("{:.1}", row.total_energy_pj()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 12: average updated cells per line for the
+//! WLC-integrated schemes across 8/16/32/64-bit granularities.
+
+use wlcrc_bench::args::RunArgs;
+use wlcrc_bench::figures::figure11_12_13;
+use wlcrc_bench::table::Table;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let rows = figure11_12_13(args.lines, args.seed);
+    let mut table = Table::new(
+        "Figure 12: WLC-integrated schemes, updated cells vs granularity",
+        &["granularity", "scheme", "blk cells", "aux cells", "total cells"],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.granularity.to_string(),
+            row.scheme.clone(),
+            format!("{:.1}", row.updated_data_cells),
+            format!("{:.1}", row.updated_aux_cells),
+            format!("{:.1}", row.updated_cells),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 13: average write-disturbance errors per line for the
+//! WLC-integrated schemes across 8/16/32/64-bit granularities.
+
+use wlcrc_bench::args::RunArgs;
+use wlcrc_bench::figures::figure11_12_13;
+use wlcrc_bench::table::Table;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let rows = figure11_12_13(args.lines, args.seed);
+    let mut table = Table::new(
+        "Figure 13: WLC-integrated schemes, disturbance errors vs granularity",
+        &["granularity", "scheme", "blk errors", "aux errors", "total errors"],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.granularity.to_string(),
+            row.scheme.clone(),
+            format!("{:.2}", row.disturb_data_errors),
+            format!("{:.2}", row.disturb_aux_errors),
+            format!("{:.2}", row.disturb_errors),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,54 @@
+//! Trace construction helpers shared by the experiments.
+
+use wlcrc_trace::{Benchmark, RandomTraceGenerator, Trace, TraceGenerator, WorkloadProfile};
+
+/// Generates one synthetic trace per benchmark, `lines` writes each
+/// (unscaled), using deterministic per-benchmark seeds derived from `seed`.
+pub fn biased_traces(lines: usize, seed: u64) -> Vec<Trace> {
+    Benchmark::ALL
+        .iter()
+        .map(|b| {
+            let profile = b.profile();
+            let mut generator = TraceGenerator::new(profile, seed ^ hash(b.short_name()));
+            generator.generate(lines)
+        })
+        .collect()
+}
+
+/// Generates a single trace of uniformly random `(old, new)` line pairs.
+pub fn random_trace(lines: usize, seed: u64) -> Trace {
+    RandomTraceGenerator::new(seed).generate(lines)
+}
+
+/// The workload profiles of the paper's twelve benchmarks.
+pub fn benchmark_profiles() -> Vec<WorkloadProfile> {
+    WorkloadProfile::all_benchmarks()
+}
+
+fn hash(name: &str) -> u64 {
+    name.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_trace_per_benchmark() {
+        let traces = biased_traces(10, 1);
+        assert_eq!(traces.len(), 12);
+        assert!(traces.iter().all(|t| t.len() == 10));
+    }
+
+    #[test]
+    fn random_trace_has_requested_length() {
+        assert_eq!(random_trace(25, 3).len(), 25);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(biased_traces(5, 7)[0], biased_traces(5, 7)[0]);
+    }
+}

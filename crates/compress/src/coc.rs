@@ -1,0 +1,227 @@
+//! A coverage-oriented compressor (COC) modelled after Frugal-ECC.
+//!
+//! COC's defining property for this study is *coverage*: by trying many
+//! light-weight variable-length compressors it manages to shave a few bits
+//! off most lines, at the cost of repacking the line so that bit positions no
+//! longer align with the original data — which hurts differential writes.
+//!
+//! We model COC as the best of a family of sub-compressors (FPC and BDI at
+//! 32/64-bit element sizes plus per-byte and per-halfword significance
+//! truncation variants), and expose [`Coc::repack`], which produces the
+//! bit-packed layout a COC-compressed line would occupy, so that the
+//! `COC+4cosets` scheme can evaluate differential-write costs on the packed
+//! representation just like the hardware would.
+
+use crate::{Bdi, Compressor, Fpc};
+use wlcrc_pcm::line::MemoryLine;
+use wlcrc_pcm::LINE_BITS;
+
+/// The coverage-oriented compressor.
+#[derive(Debug, Clone, Default)]
+pub struct Coc {
+    fpc: Fpc,
+    bdi: Bdi,
+}
+
+impl Coc {
+    /// Creates a COC compressor.
+    pub fn new() -> Coc {
+        Coc { fpc: Fpc::new(), bdi: Bdi::new() }
+    }
+
+    /// Compressed size of the best byte-significance truncation variant:
+    /// each 64-bit word keeps only its significant low-order bytes (the
+    /// dropped high-order bytes must all be 0x00 or 0xFF), at the cost of a
+    /// 4-bit length tag per word.
+    fn byte_truncation_bits(line: &MemoryLine) -> usize {
+        let mut total = 0usize;
+        for &w in line.words() {
+            let bytes = w.to_le_bytes();
+            let mut keep = 8usize;
+            while keep > 1 {
+                let top = bytes[keep - 1];
+                let sign_ok = top == 0x00 || top == 0xFF;
+                if !sign_ok {
+                    break;
+                }
+                // The dropped byte must be pure sign extension of the byte below.
+                let below_msb = bytes[keep - 2] & 0x80 != 0;
+                if (top == 0xFF) != below_msb {
+                    break;
+                }
+                keep -= 1;
+            }
+            total += 4 + keep * 8;
+        }
+        total
+    }
+
+    /// Compressed size of the best halfword-dictionary variant: words whose
+    /// upper 48 bits match one of the two most frequent upper-48 patterns in
+    /// the line are stored as a 2-bit dictionary reference plus the low 16 bits.
+    fn dictionary_bits(line: &MemoryLine) -> usize {
+        use std::collections::HashMap;
+        let mut freq: HashMap<u64, usize> = HashMap::new();
+        for &w in line.words() {
+            *freq.entry(w >> 16).or_insert(0) += 1;
+        }
+        let mut tops: Vec<(u64, usize)> = freq.into_iter().collect();
+        tops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let dict: Vec<u64> = tops.iter().take(2).map(|(v, _)| *v).collect();
+        let mut total = dict.len() * 48;
+        for &w in line.words() {
+            if dict.contains(&(w >> 16)) {
+                total += 2 + 16;
+            } else {
+                total += 2 + 64;
+            }
+        }
+        total
+    }
+
+    /// The compressed bit layout COC would store for this line. The packing
+    /// simply concatenates the significant bytes of every word (using the
+    /// byte-truncation variant), which is enough to model how compression
+    /// destroys bit-position alignment for differential writes.
+    pub fn repack(line: &MemoryLine) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(LINE_BITS);
+        for &w in line.words() {
+            let bytes = w.to_le_bytes();
+            let mut keep = 8usize;
+            while keep > 1 {
+                let top = bytes[keep - 1];
+                if !(top == 0x00 || top == 0xFF) {
+                    break;
+                }
+                let below_msb = bytes[keep - 2] & 0x80 != 0;
+                if (top == 0xFF) != below_msb {
+                    break;
+                }
+                keep -= 1;
+            }
+            // 4-bit length tag followed by the kept bytes.
+            for b in 0..4 {
+                bits.push((keep >> b) & 1 == 1);
+            }
+            for byte in bytes.iter().take(keep) {
+                for b in 0..8 {
+                    bits.push((byte >> b) & 1 == 1);
+                }
+            }
+        }
+        bits
+    }
+}
+
+impl Compressor for Coc {
+    fn name(&self) -> &str {
+        "COC"
+    }
+
+    fn compressed_bits(&self, line: &MemoryLine) -> Option<usize> {
+        let candidates = [
+            self.fpc.compressed_bits(line),
+            self.bdi.compressed_bits(line),
+            Some(Coc::byte_truncation_bits(line)),
+            Some(Coc::dictionary_bits(line)),
+        ];
+        let best = candidates.into_iter().flatten().min()?;
+        if best < LINE_BITS {
+            Some(best)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn coc_is_at_least_as_good_as_fpc_and_bdi() {
+        let coc = Coc::new();
+        let fpc = Fpc::new();
+        let bdi = Bdi::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let mut line = MemoryLine::ZERO;
+            for i in 0..8 {
+                // A mix of small values and pointers, the common case.
+                if rng.gen::<bool>() {
+                    line.set_word(i, rng.gen::<u16>() as u64);
+                } else {
+                    line.set_word(i, 0x0000_7F00_0000_0000 | rng.gen::<u32>() as u64);
+                }
+            }
+            let c = coc.compressed_bits(&line).unwrap_or(LINE_BITS);
+            if let Some(f) = fpc.compressed_bits(&line) {
+                assert!(c <= f);
+            }
+            if let Some(b) = bdi.compressed_bits(&line) {
+                assert!(c <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn coc_covers_lines_fpc_bdi_misses() {
+        // Words sharing a common upper part but with random low halves:
+        // FPC/BDI struggle, the dictionary variant compresses it.
+        let mut rng = StdRng::seed_from_u64(3);
+        let upper = 0x1234_5678_9ABCu64 << 16;
+        let mut line = MemoryLine::ZERO;
+        for i in 0..8 {
+            line.set_word(i, upper | rng.gen::<u16>() as u64);
+        }
+        let coc = Coc::new().compressed_bits(&line);
+        assert!(coc.is_some());
+        assert!(coc.unwrap() <= 48 * 2 + 8 * 18);
+    }
+
+    #[test]
+    fn truly_random_lines_do_not_compress() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut uncovered = 0;
+        for _ in 0..100 {
+            let mut line = MemoryLine::ZERO;
+            for i in 0..8 {
+                line.set_word(i, rng.gen());
+            }
+            if Coc::new().compresses_to(&line, 448) {
+                continue;
+            }
+            uncovered += 1;
+        }
+        assert!(uncovered > 80, "random lines should rarely compress to 448 bits");
+    }
+
+    #[test]
+    fn repack_length_matches_byte_truncation_size() {
+        let mut line = MemoryLine::ZERO;
+        for i in 0..8 {
+            line.set_word(i, (i as u64 + 1) * 255);
+        }
+        let bits = Coc::repack(&line);
+        assert_eq!(bits.len(), Coc::byte_truncation_bits(&line));
+        assert!(bits.len() < LINE_BITS);
+    }
+
+    #[test]
+    fn repack_of_similar_lines_differs_when_lengths_shift() {
+        // Changing one word's significance shifts all following bits,
+        // the property that hurts differential writes.
+        let mut a = MemoryLine::ZERO;
+        let mut b = MemoryLine::ZERO;
+        for i in 0..8 {
+            a.set_word(i, 100 + i as u64);
+            b.set_word(i, 100 + i as u64);
+        }
+        b.set_word(0, 0x12_3456); // now word 0 needs more bytes
+        let pa = Coc::repack(&a);
+        let pb = Coc::repack(&b);
+        assert_ne!(pa.len(), pb.len());
+    }
+}

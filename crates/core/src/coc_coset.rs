@@ -1,0 +1,356 @@
+//! The COC+4cosets comparison scheme.
+//!
+//! Instead of Word-Level Compression, this scheme uses a coverage-oriented
+//! compressor (COC) to make room for the auxiliary bits. COC covers most
+//! lines, but its variable-length repacking moves bits away from their
+//! original positions, so consecutive writes of similar data no longer align
+//! and differential write loses much of its benefit — which is exactly the
+//! behaviour the paper observes for this scheme.
+//!
+//! Layout of a 512-bit line (plus one auxiliary flag cell):
+//!
+//! * flag `S1` — the COC payload fits in 448 bits: the packed payload occupies
+//!   cells 0..223 and is 4cosets-encoded at 16-bit granularity, with the
+//!   2-bit candidate selectors of the 28 blocks stored in cells 224..255.
+//! * flag `S3` — the payload fits in 480 bits only: cells 0..239 are encoded
+//!   at 32-bit granularity, selectors for the 15 blocks live in cells 240..255.
+//! * flag `S2` — the line is stored unencoded.
+
+use wlcrc_compress::Coc;
+use wlcrc_coset::candidate::{CandidateSet, CosetCandidate};
+use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::line::MemoryLine;
+use wlcrc_pcm::mapping::SymbolMapping;
+use wlcrc_pcm::physical::{CellClass, PhysicalLine};
+use wlcrc_pcm::state::{CellState, Symbol};
+use wlcrc_pcm::LINE_CELLS;
+
+/// The two encoded formats (besides the raw fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// 448-bit payload region, 16-bit blocks.
+    Fine16,
+    /// 480-bit payload region, 32-bit blocks.
+    Coarse32,
+    /// Uncompressed.
+    Raw,
+}
+
+impl Format {
+    fn payload_cells(self) -> usize {
+        match self {
+            Format::Fine16 => 224,
+            Format::Coarse32 => 240,
+            Format::Raw => LINE_CELLS,
+        }
+    }
+
+    fn block_cells(self) -> usize {
+        match self {
+            Format::Fine16 => 8,
+            Format::Coarse32 => 16,
+            Format::Raw => LINE_CELLS,
+        }
+    }
+
+    fn blocks(self) -> usize {
+        self.payload_cells() / self.block_cells()
+    }
+
+    fn flag_state(self) -> CellState {
+        match self {
+            Format::Fine16 => CellState::S1,
+            Format::Coarse32 => CellState::S3,
+            Format::Raw => CellState::S2,
+        }
+    }
+}
+
+/// The COC+4cosets codec.
+#[derive(Debug, Clone)]
+pub struct CocCosetCodec {
+    candidates: Vec<CosetCandidate>,
+    mapping: SymbolMapping,
+}
+
+impl CocCosetCodec {
+    /// Creates the codec with the Table I 4cosets candidates.
+    pub fn new() -> CocCosetCodec {
+        CocCosetCodec {
+            candidates: CandidateSet::four_cosets().candidates().to_vec(),
+            mapping: SymbolMapping::default_mapping(),
+        }
+    }
+
+    fn choose_format(&self, line: &MemoryLine) -> Format {
+        let packed = Coc::repack(line);
+        if packed.len() <= 448 {
+            Format::Fine16
+        } else if packed.len() <= 480 {
+            Format::Coarse32
+        } else {
+            Format::Raw
+        }
+    }
+
+    fn flag_cell(&self) -> usize {
+        LINE_CELLS
+    }
+
+    /// Builds the symbol content of the payload region: the packed COC bits,
+    /// zero-padded to the region size.
+    fn payload_symbols(&self, line: &MemoryLine, format: Format) -> Vec<Symbol> {
+        let packed = Coc::repack(line);
+        let cells = format.payload_cells();
+        let mut symbols = Vec::with_capacity(cells);
+        for cell in 0..cells {
+            let lo = packed.get(2 * cell).copied().unwrap_or(false);
+            let hi = packed.get(2 * cell + 1).copied().unwrap_or(false);
+            symbols.push(Symbol::from_bits(hi, lo));
+        }
+        symbols
+    }
+}
+
+impl Default for CocCosetCodec {
+    fn default() -> CocCosetCodec {
+        CocCosetCodec::new()
+    }
+}
+
+impl LineCodec for CocCosetCodec {
+    fn name(&self) -> &str {
+        "COC+4cosets"
+    }
+
+    fn encoded_cells(&self) -> usize {
+        LINE_CELLS + 1
+    }
+
+    fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let format = self.choose_format(data);
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        out.set_class(self.flag_cell(), CellClass::Aux);
+        out.set_state(self.flag_cell(), format.flag_state());
+
+        if format == Format::Raw {
+            for cell in 0..LINE_CELLS {
+                out.set_state(cell, self.mapping.state_of(data.symbol(cell)));
+            }
+            return out;
+        }
+
+        let symbols = self.payload_symbols(data, format);
+        let blocks = format.blocks();
+        let block_cells = format.block_cells();
+        let mut selectors = vec![0usize; blocks];
+        for (block, selector) in selectors.iter_mut().enumerate() {
+            let range = block * block_cells..(block + 1) * block_cells;
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (idx, candidate) in self.candidates.iter().enumerate() {
+                let mut cost = 0.0;
+                for cell in range.clone() {
+                    let target = candidate.state_of(symbols[cell]);
+                    cost += energy.transition_energy_pj(old.state(cell), target);
+                }
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = idx;
+                }
+            }
+            *selector = best;
+            for cell in range {
+                out.set_state(cell, self.candidates[best].state_of(symbols[cell]));
+            }
+        }
+        // Selector cells occupy the freed space after the payload region.
+        for (block, &selector) in selectors.iter().enumerate() {
+            let cell = format.payload_cells() + block;
+            out.set_state(cell, CellState::from_index(selector));
+            out.set_class(cell, CellClass::Aux);
+        }
+        // Any remaining freed cells stay in the RESET state and count as aux.
+        for cell in (format.payload_cells() + blocks)..LINE_CELLS {
+            out.set_class(cell, CellClass::Aux);
+        }
+        out
+    }
+
+    fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
+        assert_eq!(stored.len(), self.encoded_cells());
+        let format = match stored.state(self.flag_cell()) {
+            CellState::S1 => Format::Fine16,
+            CellState::S3 => Format::Coarse32,
+            _ => Format::Raw,
+        };
+        if format == Format::Raw {
+            let mut line = MemoryLine::ZERO;
+            for cell in 0..LINE_CELLS {
+                line.set_symbol(cell, self.mapping.symbol_of(stored.state(cell)));
+            }
+            return line;
+        }
+        let blocks = format.blocks();
+        let block_cells = format.block_cells();
+        let mut packed = vec![false; format.payload_cells() * 2];
+        for block in 0..blocks {
+            let selector_cell = format.payload_cells() + block;
+            let selector = stored.state(selector_cell).index().min(self.candidates.len() - 1);
+            let candidate = &self.candidates[selector];
+            for cell in block * block_cells..(block + 1) * block_cells {
+                let symbol = candidate.symbol_of(stored.state(cell));
+                packed[2 * cell] = symbol.lsb();
+                packed[2 * cell + 1] = symbol.msb();
+            }
+        }
+        unpack_coc(&packed)
+    }
+}
+
+/// Parses the byte-truncation packing produced by [`Coc::repack`] back into a
+/// memory line. The format is self-describing: a 4-bit kept-byte count per
+/// word followed by the kept bytes, with the dropped bytes rebuilt by sign
+/// extension.
+fn unpack_coc(bits: &[bool]) -> MemoryLine {
+    let mut line = MemoryLine::ZERO;
+    let mut pos = 0usize;
+    for word in 0..8 {
+        let mut keep = 0usize;
+        for b in 0..4 {
+            if bits.get(pos + b).copied().unwrap_or(false) {
+                keep |= 1 << b;
+            }
+        }
+        pos += 4;
+        let keep = keep.clamp(1, 8);
+        let mut bytes = [0u8; 8];
+        for (i, byte) in bytes.iter_mut().enumerate().take(keep) {
+            let mut v = 0u8;
+            for b in 0..8 {
+                if bits.get(pos + b).copied().unwrap_or(false) {
+                    v |= 1 << b;
+                }
+            }
+            pos += 8;
+            *byte = v;
+            let _ = i;
+        }
+        // Sign-extend the dropped high-order bytes.
+        let fill = if bytes[keep - 1] & 0x80 != 0 { 0xFF } else { 0x00 };
+        for byte in bytes.iter_mut().skip(keep) {
+            *byte = fill;
+        }
+        line.set_word(word, u64::from_le_bytes(bytes));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlcrc_pcm::write::differential_write;
+
+    fn structured_line(rng: &mut StdRng) -> MemoryLine {
+        let mut line = MemoryLine::ZERO;
+        for i in 0..8 {
+            let w: u64 = match rng.gen_range(0..4) {
+                0 => 0,
+                1 => u64::from(rng.gen::<u16>()),
+                2 => (-(i64::from(rng.gen::<u16>()))) as u64,
+                _ => u64::from(rng.gen::<u32>()),
+            };
+            line.set_word(i, w);
+        }
+        line
+    }
+
+    #[test]
+    fn compressible_lines_round_trip() {
+        let codec = CocCosetCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut old = codec.initial_line();
+        for _ in 0..100 {
+            let data = structured_line(&mut rng);
+            let enc = codec.encode(&data, &old, &energy);
+            assert_eq!(codec.decode(&enc), data);
+            old = enc;
+        }
+    }
+
+    #[test]
+    fn incompressible_lines_round_trip_raw() {
+        let codec = CocCosetCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut words = [0u64; 8];
+            for w in &mut words {
+                *w = rng.gen::<u64>() | 0x8000_0000_0000_0000;
+            }
+            // Ensure at least some words are truly incompressible by the
+            // byte-truncation packer.
+            let data = MemoryLine::from_words(words);
+            let enc = codec.encode(&data, &codec.initial_line(), &energy);
+            assert_eq!(codec.decode(&enc), data);
+        }
+    }
+
+    #[test]
+    fn structured_lines_use_the_fine_format() {
+        let codec = CocCosetCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut line = MemoryLine::ZERO;
+        for i in 0..8 {
+            line.set_word(i, i as u64 + 1);
+        }
+        let enc = codec.encode(&line, &codec.initial_line(), &energy);
+        assert_eq!(enc.state(256), CellState::S1, "small data should use 16-bit blocks");
+    }
+
+    #[test]
+    fn repacking_hurts_differential_locality_vs_wlcrc() {
+        // Two similar consecutive writes where one value grows enough to
+        // change its packed length: COC shifts every later bit, WLCRC keeps
+        // bit positions stable, so WLCRC should update fewer cells.
+        let coc = CocCosetCodec::new();
+        let wlcrc = crate::WlcCosetCodec::wlcrc16();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut coc_updates = 0usize;
+        let mut wlcrc_updates = 0usize;
+        for _ in 0..100 {
+            let old_data = structured_line(&mut rng);
+            let mut new_data = old_data;
+            // The updated value grows by a few bytes, changing its packed
+            // length and shifting the COC layout of all following words.
+            let idx = rng.gen_range(0..4);
+            new_data.set_word(idx, old_data.word(idx).wrapping_add(0x0012_3456));
+            let old_c = coc.encode(&old_data, &coc.initial_line(), &energy);
+            let new_c = coc.encode(&new_data, &old_c, &energy);
+            let old_w = wlcrc.encode(&old_data, &wlcrc.initial_line(), &energy);
+            let new_w = wlcrc.encode(&new_data, &old_w, &energy);
+            coc_updates += differential_write(&old_c, &new_c, &energy).total_cells_updated();
+            wlcrc_updates += differential_write(&old_w, &new_w, &energy).total_cells_updated();
+        }
+        assert!(
+            wlcrc_updates < coc_updates,
+            "WLCRC should preserve locality better than COC ({wlcrc_updates} vs {coc_updates})"
+        );
+    }
+
+    #[test]
+    fn unpack_inverts_repack() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let line = structured_line(&mut rng);
+            let packed = Coc::repack(&line);
+            assert_eq!(unpack_coc(&packed), line);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! WLCRC: Word-Level Compression with Restricted Coset coding for MLC PCM.
+//!
+//! This crate implements the primary contribution of the paper
+//! *"Enabling Fine-Grain Restricted Coset Coding Through Word-Level
+//! Compression for PCM"* (HPCA 2018): an on-chip encoding pipeline that
+//! reduces MLC PCM write energy by encoding data at fine (16-bit) block
+//! granularity while hiding the auxiliary encoding bits inside space
+//! reclaimed by Word-Level Compression.
+//!
+//! The main entry points are:
+//!
+//! * [`WlcCosetCodec`] — the unified WLC-integrated codec. Configured as
+//!   *restricted* it is the paper's **WLCRC-8/16/32/64**; configured as
+//!   *unrestricted* with the 4cosets or 3cosets candidate pool it is the
+//!   **WLC+4cosets** / **WLC+3cosets** comparison scheme.
+//! * [`CocCosetCodec`] — the **COC+4cosets** comparison scheme, which uses a
+//!   coverage-oriented compressor instead of WLC and therefore loses the
+//!   bit-position locality differential writes depend on.
+//! * [`MultiObjectiveConfig`] — the Section VIII-D extension that trades a
+//!   little energy for endurance when the two coset groups cost nearly the
+//!   same.
+//! * [`hardware::HardwareModel`] — an analytical substitute for the paper's
+//!   Synopsys synthesis results (area / delay / energy of the WLCRC logic).
+//! * [`schemes`] — a registry building every scheme of the paper's
+//!   evaluation (Figure 8) behind the common
+//!   [`wlcrc_pcm::codec::LineCodec`] interface.
+//!
+//! # Quick example
+//!
+//! ```
+//! use wlcrc::WlcCosetCodec;
+//! use wlcrc_pcm::prelude::*;
+//!
+//! let codec = WlcCosetCodec::wlcrc16();
+//! let energy = EnergyModel::paper_default();
+//! let old = codec.initial_line();
+//! let data = MemoryLine::from_words([0x0000_0000_1234_5678; 8]);
+//! let encoded = codec.encode(&data, &old, &energy);
+//! assert_eq!(codec.decode(&encoded), data);
+//! let outcome = differential_write(&old, &encoded, &energy);
+//! println!("write energy: {:.1} pJ", outcome.total_energy_pj());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coc_coset;
+pub mod hardware;
+pub mod layout;
+pub mod schemes;
+pub mod wlc_coset;
+
+pub use coc_coset::CocCosetCodec;
+pub use layout::WordLayout;
+pub use wlc_coset::{CosetPolicy, MultiObjectiveConfig, WlcCosetCodec};

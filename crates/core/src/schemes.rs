@@ -1,0 +1,124 @@
+//! Registry of every scheme evaluated in the paper (Figure 8 onwards).
+
+use crate::{CocCosetCodec, WlcCosetCodec};
+use wlcrc_coset::{DinCodec, FlipMinCodec, FnwCodec, Granularity, NCosetsCodec};
+use wlcrc_pcm::codec::{LineCodec, RawCodec};
+
+/// Identifier for the schemes compared in the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeId {
+    /// Differential write only.
+    Baseline,
+    /// FlipMin with sixteen coset masks per line.
+    FlipMin,
+    /// Flip-N-Write on 128-bit blocks.
+    Fnw,
+    /// DIN (compression + 3-to-4-bit expansion + BCH).
+    Din,
+    /// The prior 6cosets scheme on whole 512-bit lines.
+    SixCosets,
+    /// COC compression with 4cosets encoding.
+    CocFourCosets,
+    /// WLC with unrestricted 4cosets at 32-bit blocks (its best point).
+    WlcFourCosets,
+    /// WLCRC at 16-bit blocks (the paper's proposal).
+    Wlcrc16,
+}
+
+impl SchemeId {
+    /// Every scheme, in the order the paper's figures list them.
+    pub const ALL: [SchemeId; 8] = [
+        SchemeId::Baseline,
+        SchemeId::FlipMin,
+        SchemeId::Fnw,
+        SchemeId::Din,
+        SchemeId::SixCosets,
+        SchemeId::CocFourCosets,
+        SchemeId::WlcFourCosets,
+        SchemeId::Wlcrc16,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeId::Baseline => "Baseline",
+            SchemeId::FlipMin => "FlipMin",
+            SchemeId::Fnw => "FNW",
+            SchemeId::Din => "DIN",
+            SchemeId::SixCosets => "6cosets",
+            SchemeId::CocFourCosets => "COC+4cosets",
+            SchemeId::WlcFourCosets => "WLC+4cosets",
+            SchemeId::Wlcrc16 => "WLCRC-16",
+        }
+    }
+
+    /// Builds the codec implementing this scheme with the paper's default
+    /// parameters.
+    pub fn build(self) -> Box<dyn LineCodec> {
+        match self {
+            SchemeId::Baseline => Box::new(RawCodec::new()),
+            SchemeId::FlipMin => Box::new(FlipMinCodec::new()),
+            SchemeId::Fnw => Box::new(FnwCodec::paper_default()),
+            SchemeId::Din => Box::new(DinCodec::new()),
+            SchemeId::SixCosets => Box::new(NCosetsCodec::six_cosets(Granularity::new(512))),
+            SchemeId::CocFourCosets => Box::new(CocCosetCodec::new()),
+            SchemeId::WlcFourCosets => Box::new(WlcCosetCodec::wlc_four_cosets(32)),
+            SchemeId::Wlcrc16 => Box::new(WlcCosetCodec::wlcrc16()),
+        }
+    }
+}
+
+/// Builds every scheme of the paper's main comparison, in figure order.
+pub fn standard_schemes() -> Vec<(SchemeId, Box<dyn LineCodec>)> {
+    SchemeId::ALL.iter().map(|id| (*id, id.build())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlcrc_pcm::energy::EnergyModel;
+    use wlcrc_pcm::line::MemoryLine;
+
+    #[test]
+    fn all_schemes_build_and_round_trip() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(77);
+        for (id, codec) in standard_schemes() {
+            let mut old = codec.initial_line();
+            for round in 0..10 {
+                let mut words = [0u64; 8];
+                for w in &mut words {
+                    *w = match rng.gen_range(0..3) {
+                        0 => u64::from(rng.gen::<u16>()),
+                        1 => rng.gen(),
+                        _ => 0,
+                    };
+                }
+                let data = MemoryLine::from_words(words);
+                let enc = codec.encode(&data, &old, &energy);
+                assert_eq!(enc.len(), codec.encoded_cells(), "{:?}", id);
+                assert_eq!(codec.decode(&enc), data, "{:?} round {round}", id);
+                old = enc;
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<&str> = SchemeId::ALL.iter().map(|s| s.label()).collect();
+        for i in 0..labels.len() {
+            for j in (i + 1)..labels.len() {
+                assert_ne!(labels[i], labels[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_order_matches_figures() {
+        assert_eq!(SchemeId::ALL[0], SchemeId::Baseline);
+        assert_eq!(SchemeId::ALL[7], SchemeId::Wlcrc16);
+        assert_eq!(standard_schemes().len(), 8);
+    }
+}

@@ -1,0 +1,127 @@
+//! Data-block granularity of an encoding.
+
+use std::fmt;
+use wlcrc_pcm::LINE_BITS;
+
+/// The size, in bits, of the data blocks that are encoded independently.
+///
+/// The paper sweeps granularity between 8 and 512 bits; a granularity must be
+/// an even divisor of the 512-bit line so that blocks align with cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Granularity(usize);
+
+impl Granularity {
+    /// The granularities studied by the paper.
+    pub const SWEEP: [Granularity; 7] = [
+        Granularity(8),
+        Granularity(16),
+        Granularity(32),
+        Granularity(64),
+        Granularity(128),
+        Granularity(256),
+        Granularity(512),
+    ];
+
+    /// Creates a granularity of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is odd, zero, or does not divide 512.
+    pub fn new(bits: usize) -> Granularity {
+        assert!(bits > 0 && bits % 2 == 0, "granularity must be a positive even number of bits");
+        assert!(LINE_BITS % bits == 0, "granularity must divide the 512-bit line");
+        Granularity(bits)
+    }
+
+    /// The block size in bits.
+    pub fn bits(self) -> usize {
+        self.0
+    }
+
+    /// The block size in cells (2 bits per cell).
+    pub fn cells(self) -> usize {
+        self.0 / 2
+    }
+
+    /// Number of blocks in a 512-bit line.
+    pub fn blocks_per_line(self) -> usize {
+        LINE_BITS / self.0
+    }
+
+    /// Number of blocks in one 64-bit word (zero if the granularity is
+    /// coarser than a word).
+    pub fn blocks_per_word(self) -> usize {
+        if self.0 <= 64 {
+            64 / self.0
+        } else {
+            0
+        }
+    }
+
+    /// The range of cell indices of block `block` within the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= blocks_per_line()`.
+    pub fn block_cells(self, block: usize) -> std::ops::Range<usize> {
+        assert!(block < self.blocks_per_line(), "block index out of range");
+        let cells = self.cells();
+        block * cells..(block + 1) * cells
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+impl From<Granularity> for usize {
+    fn from(g: Granularity) -> usize {
+        g.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_values_match_paper() {
+        let bits: Vec<usize> = Granularity::SWEEP.iter().map(|g| g.bits()).collect();
+        assert_eq!(bits, vec![8, 16, 32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn cells_and_blocks() {
+        let g = Granularity::new(16);
+        assert_eq!(g.cells(), 8);
+        assert_eq!(g.blocks_per_line(), 32);
+        assert_eq!(g.blocks_per_word(), 4);
+        assert_eq!(g.block_cells(0), 0..8);
+        assert_eq!(g.block_cells(31), 248..256);
+    }
+
+    #[test]
+    fn coarse_granularity_has_no_word_blocks() {
+        assert_eq!(Granularity::new(128).blocks_per_word(), 0);
+        assert_eq!(Granularity::new(512).blocks_per_line(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_granularity_is_rejected() {
+        let _ = Granularity::new(7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_divisor_granularity_is_rejected() {
+        let _ = Granularity::new(96);
+    }
+
+    #[test]
+    fn display_mentions_bits() {
+        assert_eq!(Granularity::new(32).to_string(), "32-bit");
+    }
+}

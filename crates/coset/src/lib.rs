@@ -1,0 +1,44 @@
+//! Coset-coding schemes for MLC PCM write-energy reduction.
+//!
+//! This crate implements every encoding scheme the paper compares against, on
+//! top of the device model in `wlcrc-pcm`:
+//!
+//! * [`candidate::CosetCandidate`] — symbol-to-state mappings, including the
+//!   four hand-picked candidates of Table I (`C1..C4`) and the six candidates
+//!   of the prior 6cosets scheme.
+//! * [`ncosets::NCosetsCodec`] — the generic "choose the cheapest candidate
+//!   per data block" codec, parameterised by candidate set and block
+//!   granularity (8 to 512 bits); this yields `3cosets`, `4cosets` and
+//!   `6cosets` at any granularity.
+//! * [`restricted::RestrictedCosetCodec`] — Section V's restricted coset
+//!   coding: all blocks of a line (or word) must draw their candidate from
+//!   one of two groups, `{C1, C2}` or `{C1, C3}`, halving the per-block
+//!   auxiliary information.
+//! * [`fnw::FnwCodec`] — Flip-N-Write adapted to MLC PCM.
+//! * [`flipmin::FlipMinCodec`] — FlipMin with sixteen 512-bit coset masks
+//!   derived from the dual of a (72, 64) Hamming code.
+//! * [`din::DinCodec`] — the DIN scheme: FPC/BDI compression, a 3-to-4-bit
+//!   expansion that avoids high-energy states, and a 20-bit BCH(t = 2) code.
+//!
+//! All schemes implement [`wlcrc_pcm::codec::LineCodec`], so the simulator in
+//! `wlcrc-memsim` can evaluate them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod cost;
+pub mod din;
+pub mod flipmin;
+pub mod fnw;
+pub mod granularity;
+pub mod ncosets;
+pub mod restricted;
+
+pub use candidate::{CosetCandidate, CandidateSet};
+pub use din::DinCodec;
+pub use flipmin::FlipMinCodec;
+pub use fnw::FnwCodec;
+pub use granularity::Granularity;
+pub use ncosets::NCosetsCodec;
+pub use restricted::RestrictedCosetCodec;

@@ -1,0 +1,306 @@
+//! The generic "n cosets" codec: each data block is independently encoded
+//! with the cheapest candidate of a [`CandidateSet`], and the chosen candidate
+//! is recorded in auxiliary cells appended to the line.
+//!
+//! Instantiated with the right candidate set and granularity this yields the
+//! paper's `3cosets`, `4cosets` and `6cosets` schemes at any block size from
+//! 8 to 512 bits.
+
+use crate::candidate::CandidateSet;
+use crate::cost::{block_cost, read_block, write_block};
+use crate::granularity::Granularity;
+use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::line::MemoryLine;
+use wlcrc_pcm::physical::{CellClass, PhysicalLine};
+use wlcrc_pcm::state::CellState;
+use wlcrc_pcm::LINE_CELLS;
+
+/// The six cheapest two-cell state combinations, used by candidate sets that
+/// need more than four selector values per block (i.e. 6cosets). Ordered by
+/// total programming energy so that low indices are cheap to store.
+const AUX_COMBOS: [(CellState, CellState); 6] = [
+    (CellState::S1, CellState::S1),
+    (CellState::S1, CellState::S2),
+    (CellState::S2, CellState::S1),
+    (CellState::S2, CellState::S2),
+    (CellState::S1, CellState::S3),
+    (CellState::S3, CellState::S1),
+];
+
+/// A coset codec that picks, for every data block, the candidate with the
+/// minimum differential-write energy.
+#[derive(Debug, Clone)]
+pub struct NCosetsCodec {
+    set: CandidateSet,
+    granularity: Granularity,
+    name: String,
+}
+
+impl NCosetsCodec {
+    /// Creates a codec from a candidate set and block granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate set needs more than two auxiliary cells per
+    /// block (more than 16 candidates).
+    pub fn new(set: CandidateSet, granularity: Granularity) -> NCosetsCodec {
+        assert!(
+            set.len() <= 16,
+            "NCosetsCodec supports at most 16 candidates per block"
+        );
+        if set.len() > 4 {
+            assert!(
+                set.len() <= AUX_COMBOS.len(),
+                "candidate sets with more than 4 entries are limited to {} (the cheap aux combos)",
+                AUX_COMBOS.len()
+            );
+        }
+        let name = format!("{}-{}", set.name(), granularity.bits());
+        NCosetsCodec { set, granularity, name }
+    }
+
+    /// The paper's `4cosets` scheme at the given granularity.
+    pub fn four_cosets(granularity: Granularity) -> NCosetsCodec {
+        NCosetsCodec::new(CandidateSet::four_cosets(), granularity)
+    }
+
+    /// The paper's `3cosets` scheme at the given granularity.
+    pub fn three_cosets(granularity: Granularity) -> NCosetsCodec {
+        NCosetsCodec::new(CandidateSet::three_cosets(), granularity)
+    }
+
+    /// The prior `6cosets` scheme at the given granularity.
+    pub fn six_cosets(granularity: Granularity) -> NCosetsCodec {
+        NCosetsCodec::new(CandidateSet::six_cosets(), granularity)
+    }
+
+    /// The candidate set used by this codec.
+    pub fn candidate_set(&self) -> &CandidateSet {
+        &self.set
+    }
+
+    /// The block granularity of this codec.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of auxiliary cells used per block.
+    pub fn aux_cells_per_block(&self) -> usize {
+        if self.set.len() <= 4 {
+            1
+        } else {
+            2
+        }
+    }
+
+    fn aux_cell_base(&self) -> usize {
+        LINE_CELLS
+    }
+
+    fn write_selector(&self, out: &mut PhysicalLine, block: usize, index: usize) {
+        let base = self.aux_cell_base() + block * self.aux_cells_per_block();
+        if self.aux_cells_per_block() == 1 {
+            out.set_state(base, CellState::from_index(index));
+        } else {
+            let (a, b) = AUX_COMBOS[index];
+            out.set_state(base, a);
+            out.set_state(base + 1, b);
+        }
+    }
+
+    /// Differential-write cost of recording candidate `index` for `block`,
+    /// given the currently stored auxiliary cells.
+    fn selector_cost(
+        &self,
+        old: &PhysicalLine,
+        block: usize,
+        index: usize,
+        energy: &EnergyModel,
+    ) -> f64 {
+        let base = self.aux_cell_base() + block * self.aux_cells_per_block();
+        if self.aux_cells_per_block() == 1 {
+            energy.transition_energy_pj(old.state(base), CellState::from_index(index))
+        } else {
+            let (a, b) = AUX_COMBOS[index];
+            energy.transition_energy_pj(old.state(base), a)
+                + energy.transition_energy_pj(old.state(base + 1), b)
+        }
+    }
+
+    fn read_selector(&self, stored: &PhysicalLine, block: usize) -> usize {
+        let base = self.aux_cell_base() + block * self.aux_cells_per_block();
+        if self.aux_cells_per_block() == 1 {
+            stored.state(base).index().min(self.set.len() - 1)
+        } else {
+            let pair = (stored.state(base), stored.state(base + 1));
+            AUX_COMBOS
+                .iter()
+                .position(|c| *c == pair)
+                .unwrap_or(0)
+                .min(self.set.len() - 1)
+        }
+    }
+}
+
+impl LineCodec for NCosetsCodec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn encoded_cells(&self) -> usize {
+        LINE_CELLS + self.granularity.blocks_per_line() * self.aux_cells_per_block()
+    }
+
+    fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in LINE_CELLS..self.encoded_cells() {
+            out.set_class(cell, CellClass::Aux);
+        }
+        for block in 0..self.granularity.blocks_per_line() {
+            let cells = self.granularity.block_cells(block);
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (idx, candidate) in self.set.candidates().iter().enumerate() {
+                // The selection minimises the full differential-write cost:
+                // the data block plus the auxiliary cells that record the
+                // chosen candidate.
+                let cost = block_cost(data, old, cells.clone(), candidate, energy)
+                    + self.selector_cost(old, block, idx, energy);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = idx;
+                }
+            }
+            write_block(data, &mut out, cells, self.set.candidate(best));
+            self.write_selector(&mut out, block, best);
+        }
+        out
+    }
+
+    fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
+        assert_eq!(stored.len(), self.encoded_cells());
+        let mut data = MemoryLine::ZERO;
+        for block in 0..self.granularity.blocks_per_line() {
+            let index = self.read_selector(stored, block);
+            let cells = self.granularity.block_cells(block);
+            read_block(stored, &mut data, cells, self.set.candidate(index));
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlcrc_pcm::write::differential_write;
+
+    fn random_line(rng: &mut StdRng) -> MemoryLine {
+        let mut words = [0u64; 8];
+        for w in &mut words {
+            *w = rng.gen();
+        }
+        MemoryLine::from_words(words)
+    }
+
+    #[test]
+    fn round_trip_all_sets_and_granularities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for set in [CandidateSet::three_cosets(), CandidateSet::four_cosets(), CandidateSet::six_cosets()] {
+            for g in [8usize, 16, 32, 64, 128, 256, 512] {
+                let codec = NCosetsCodec::new(set.clone(), Granularity::new(g));
+                let old = codec.initial_line();
+                for _ in 0..10 {
+                    let data = random_line(&mut rng);
+                    let enc = codec.encode(&data, &old, &EnergyModel::paper_default());
+                    assert_eq!(enc.len(), codec.encoded_cells());
+                    assert_eq!(codec.decode(&enc), data, "{} g={}", set.name(), g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aux_cell_counts_match_paper() {
+        // 6cosets at 512-bit granularity: 2 aux symbols per line.
+        let six = NCosetsCodec::six_cosets(Granularity::new(512));
+        assert_eq!(six.encoded_cells() - 256, 2);
+        // 4cosets at 512-bit: 1 aux symbol.
+        let four = NCosetsCodec::four_cosets(Granularity::new(512));
+        assert_eq!(four.encoded_cells() - 256, 1);
+        // 16-bit granularity: 32 blocks -> 32 aux symbols for 4cosets,
+        // 64 for 6cosets.
+        assert_eq!(NCosetsCodec::four_cosets(Granularity::new(16)).encoded_cells() - 256, 32);
+        assert_eq!(NCosetsCodec::six_cosets(Granularity::new(16)).encoded_cells() - 256, 64);
+    }
+
+    #[test]
+    fn encoding_never_costs_more_than_default_mapping() {
+        // The candidate sets all contain C1 (the default mapping) or an
+        // equivalent low state assignment, so the chosen encoding's data cost
+        // can never exceed encoding with C1 alone.
+        let mut rng = StdRng::seed_from_u64(3);
+        let energy = EnergyModel::paper_default();
+        let codec = NCosetsCodec::four_cosets(Granularity::new(16));
+        let raw = wlcrc_pcm::codec::RawCodec::new();
+        for _ in 0..30 {
+            let data = random_line(&mut rng);
+            let old_data = random_line(&mut rng);
+            // Build consistent "old" content for both codecs from old_data.
+            let old_coset = codec.encode(&old_data, &codec.initial_line(), &energy);
+            let old_raw = raw.encode(&old_data, &raw.initial_line(), &energy);
+            let new_coset = codec.encode(&data, &old_coset, &energy);
+            let new_raw = raw.encode(&data, &old_raw, &energy);
+            let coset_cost = differential_write(&old_coset, &new_coset, &energy).data_energy_pj;
+            let raw_cost = differential_write(&old_raw, &new_raw, &energy).data_energy_pj;
+            assert!(
+                coset_cost <= raw_cost + 1e-9,
+                "coset data energy {coset_cost} should not exceed baseline {raw_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn biased_data_prefers_low_energy_states() {
+        // An all-ones line (symbol 11 everywhere) must end up mostly in the
+        // low-energy states thanks to C2.
+        let codec = NCosetsCodec::four_cosets(Granularity::new(32));
+        let energy = EnergyModel::paper_default();
+        let data = MemoryLine::ZERO.complement();
+        let enc = codec.encode(&data, &codec.initial_line(), &energy);
+        let low = enc
+            .states()
+            .iter()
+            .take(LINE_CELLS)
+            .filter(|s| s.is_low_energy())
+            .count();
+        assert_eq!(low, LINE_CELLS);
+    }
+
+    #[test]
+    fn finer_granularity_reduces_data_energy_on_random_data() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let coarse = NCosetsCodec::six_cosets(Granularity::new(512));
+        let fine = NCosetsCodec::six_cosets(Granularity::new(16));
+        let mut coarse_cost = 0.0;
+        let mut fine_cost = 0.0;
+        for _ in 0..50 {
+            let old = random_line(&mut rng);
+            let new = random_line(&mut rng);
+            let old_c = coarse.encode(&old, &coarse.initial_line(), &energy);
+            let old_f = fine.encode(&old, &fine.initial_line(), &energy);
+            let new_c = coarse.encode(&new, &old_c, &energy);
+            let new_f = fine.encode(&new, &old_f, &energy);
+            coarse_cost += differential_write(&old_c, &new_c, &energy).data_energy_pj;
+            fine_cost += differential_write(&old_f, &new_f, &energy).data_energy_pj;
+        }
+        assert!(
+            fine_cost < coarse_cost,
+            "fine granularity should reduce data energy ({fine_cost} vs {coarse_cost})"
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Restricted coset coding (Section V of the paper), applied at line level.
+//!
+//! Instead of letting every block choose freely among `C1`, `C2` and `C3`,
+//! the line first commits to one of two *groups* — `{C1, C2}` or `{C1, C3}` —
+//! and every block then picks the cheaper of the two candidates in that
+//! group. This needs one global auxiliary bit per line plus one bit per
+//! block, instead of two bits per block for the unrestricted 3cosets.
+//!
+//! (The WLC-integrated version, which applies the restriction per 64-bit word
+//! and stores the auxiliary bits in reclaimed cells, lives in the `wlcrc`
+//! crate; this codec is the stand-alone `3-r-cosets` variant evaluated in
+//! Figure 5.)
+
+use crate::candidate::{c1, c2, c3, CosetCandidate};
+use crate::cost::{block_cost, read_block, write_block};
+use crate::granularity::Granularity;
+use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::line::MemoryLine;
+use wlcrc_pcm::mapping::SymbolMapping;
+use wlcrc_pcm::physical::{CellClass, PhysicalLine};
+use wlcrc_pcm::state::Symbol;
+use wlcrc_pcm::LINE_CELLS;
+
+/// The stand-alone restricted coset codec (`3-r-cosets`).
+#[derive(Debug, Clone)]
+pub struct RestrictedCosetCodec {
+    granularity: Granularity,
+    base: CosetCandidate,
+    alt_a: CosetCandidate,
+    alt_b: CosetCandidate,
+    aux_mapping: SymbolMapping,
+    name: String,
+}
+
+impl RestrictedCosetCodec {
+    /// Creates the restricted codec at the given granularity, using the
+    /// paper's groups `{C1, C2}` and `{C1, C3}`.
+    pub fn new(granularity: Granularity) -> RestrictedCosetCodec {
+        RestrictedCosetCodec {
+            granularity,
+            base: c1(),
+            alt_a: c2(),
+            alt_b: c3(),
+            aux_mapping: SymbolMapping::default_mapping(),
+            name: format!("3-r-cosets-{}", granularity.bits()),
+        }
+    }
+
+    /// The block granularity of this codec.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of auxiliary bits per line: one global group bit plus one bit
+    /// per block.
+    pub fn aux_bits(&self) -> usize {
+        1 + self.granularity.blocks_per_line()
+    }
+
+    /// Number of auxiliary cells appended to the line (two bits per cell,
+    /// rounded up).
+    pub fn aux_cells(&self) -> usize {
+        self.aux_bits().div_ceil(2)
+    }
+
+    fn group_candidates(&self, group_b: bool) -> (&CosetCandidate, &CosetCandidate) {
+        if group_b {
+            (&self.base, &self.alt_b)
+        } else {
+            (&self.base, &self.alt_a)
+        }
+    }
+
+    /// Packs the auxiliary bits (group bit first, then per-block bits) into
+    /// aux cells through the default mapping, so that the frequent case
+    /// (candidate `C1`, bit 0) stays in the cheapest state.
+    fn write_aux_bits(&self, out: &mut PhysicalLine, bits: &[bool]) {
+        for (i, pair) in bits.chunks(2).enumerate() {
+            let msb = pair.first().copied().unwrap_or(false);
+            let lsb = pair.get(1).copied().unwrap_or(false);
+            // Bit order within the symbol: first bit is the MSB.
+            let symbol = Symbol::from_bits(msb, lsb);
+            out.set_state(LINE_CELLS + i, self.aux_mapping.state_of(symbol));
+        }
+    }
+
+    /// Differential-write cost of storing the given auxiliary bits over the
+    /// currently stored auxiliary cells.
+    fn aux_cost(&self, old: &PhysicalLine, bits: &[bool], energy: &EnergyModel) -> f64 {
+        let mut cost = 0.0;
+        for (i, pair) in bits.chunks(2).enumerate() {
+            let msb = pair.first().copied().unwrap_or(false);
+            let lsb = pair.get(1).copied().unwrap_or(false);
+            let target = self.aux_mapping.state_of(Symbol::from_bits(msb, lsb));
+            cost += energy.transition_energy_pj(old.state(LINE_CELLS + i), target);
+        }
+        cost
+    }
+
+    fn read_aux_bits(&self, stored: &PhysicalLine) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(self.aux_bits());
+        for i in 0..self.aux_cells() {
+            let symbol = self.aux_mapping.symbol_of(stored.state(LINE_CELLS + i));
+            bits.push(symbol.msb());
+            bits.push(symbol.lsb());
+        }
+        bits.truncate(self.aux_bits());
+        bits
+    }
+}
+
+impl LineCodec for RestrictedCosetCodec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn encoded_cells(&self) -> usize {
+        LINE_CELLS + self.aux_cells()
+    }
+
+    fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let blocks = self.granularity.blocks_per_line();
+
+        // Evaluate both groups: for each, every block takes the cheaper of
+        // the two candidates in the group (steps 1-3 of Section V). The group
+        // decision also accounts for the cost of rewriting the auxiliary
+        // cells, which keeps the selection stable across consecutive writes.
+        let mut group_cost = [0.0f64; 2];
+        let mut group_choice = [vec![false; blocks], vec![false; blocks]];
+        for (g, choices) in group_choice.iter_mut().enumerate() {
+            let (base, alt) = self.group_candidates(g == 1);
+            for block in 0..blocks {
+                let cells = self.granularity.block_cells(block);
+                let cost_base = block_cost(data, old, cells.clone(), base, energy);
+                let cost_alt = block_cost(data, old, cells, alt, energy);
+                if cost_alt < cost_base {
+                    choices[block] = true;
+                    group_cost[g] += cost_alt;
+                } else {
+                    group_cost[g] += cost_base;
+                }
+            }
+            let mut aux_bits = Vec::with_capacity(self.aux_bits());
+            aux_bits.push(g == 1);
+            aux_bits.extend(choices.iter().copied());
+            group_cost[g] += self.aux_cost(old, &aux_bits, energy);
+        }
+        let group_b = group_cost[1] < group_cost[0];
+        let mut choices = group_choice[usize::from(group_b)].clone();
+        let (base, alt) = self.group_candidates(group_b);
+
+        // Refinement: a block only switches away from C1 when the data saving
+        // exceeds the cost of rewriting the auxiliary cell that records the
+        // switch (two block bits share one cell, so the cost is evaluated on
+        // the full auxiliary bit vector).
+        for block in 0..blocks {
+            let cells = self.granularity.block_cells(block);
+            let cost_base = block_cost(data, old, cells.clone(), base, energy);
+            let cost_alt = block_cost(data, old, cells, alt, energy);
+            let mut best_flag = choices[block];
+            let mut best_total = f64::INFINITY;
+            for flag in [false, true] {
+                let mut trial_bits = Vec::with_capacity(self.aux_bits());
+                trial_bits.push(group_b);
+                let mut trial_choices = choices.clone();
+                trial_choices[block] = flag;
+                trial_bits.extend(trial_choices.iter().copied());
+                let total = if flag { cost_alt } else { cost_base }
+                    + self.aux_cost(old, &trial_bits, energy);
+                if total < best_total {
+                    best_total = total;
+                    best_flag = flag;
+                }
+            }
+            choices[block] = best_flag;
+        }
+        let choices = &choices;
+
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in LINE_CELLS..self.encoded_cells() {
+            out.set_class(cell, CellClass::Aux);
+        }
+        for block in 0..blocks {
+            let cells = self.granularity.block_cells(block);
+            let candidate = if choices[block] { alt } else { base };
+            write_block(data, &mut out, cells, candidate);
+        }
+        let mut aux_bits = Vec::with_capacity(self.aux_bits());
+        aux_bits.push(group_b);
+        aux_bits.extend(choices.iter().copied());
+        self.write_aux_bits(&mut out, &aux_bits);
+        out
+    }
+
+    fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
+        assert_eq!(stored.len(), self.encoded_cells());
+        let bits = self.read_aux_bits(stored);
+        let group_b = bits[0];
+        let (base, alt) = self.group_candidates(group_b);
+        let mut data = MemoryLine::ZERO;
+        for block in 0..self.granularity.blocks_per_line() {
+            let cells = self.granularity.block_cells(block);
+            let candidate = if bits[1 + block] { alt } else { base };
+            read_block(stored, &mut data, cells, candidate);
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ncosets::NCosetsCodec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlcrc_pcm::write::differential_write;
+
+    fn random_line(rng: &mut StdRng) -> MemoryLine {
+        let mut words = [0u64; 8];
+        for w in &mut words {
+            *w = rng.gen();
+        }
+        MemoryLine::from_words(words)
+    }
+
+    #[test]
+    fn aux_bit_budget_matches_paper() {
+        // 16-bit granularity: 32 blocks -> 33 aux bits -> 17 symbols.
+        let codec = RestrictedCosetCodec::new(Granularity::new(16));
+        assert_eq!(codec.aux_bits(), 33);
+        assert_eq!(codec.aux_cells(), 17);
+        assert_eq!(codec.encoded_cells(), 256 + 17);
+    }
+
+    #[test]
+    fn round_trip_at_all_granularities() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(21);
+        for g in [8usize, 16, 32, 64, 128] {
+            let codec = RestrictedCosetCodec::new(Granularity::new(g));
+            let mut old = codec.initial_line();
+            for _ in 0..20 {
+                let data = random_line(&mut rng);
+                let enc = codec.encode(&data, &old, &energy);
+                assert_eq!(codec.decode(&enc), data, "granularity {g}");
+                old = enc;
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_on_biased_data() {
+        let energy = EnergyModel::paper_default();
+        let codec = RestrictedCosetCodec::new(Granularity::new(16));
+        for data in [
+            MemoryLine::ZERO,
+            MemoryLine::ZERO.complement(),
+            MemoryLine::from_words([u64::MAX, 0, u64::MAX, 0, 1, 2, 3, 4]),
+        ] {
+            let enc = codec.encode(&data, &codec.initial_line(), &energy);
+            assert_eq!(codec.decode(&enc), data);
+        }
+    }
+
+    #[test]
+    fn restricted_uses_fewer_aux_cells_than_unrestricted() {
+        let g = Granularity::new(16);
+        let restricted = RestrictedCosetCodec::new(g);
+        let unrestricted = NCosetsCodec::three_cosets(g);
+        assert!(restricted.encoded_cells() < unrestricted.encoded_cells());
+    }
+
+    #[test]
+    fn restricted_data_energy_close_to_three_cosets() {
+        // Restricting the candidate choice should only slightly increase the
+        // data-block energy (the point of Figure 5).
+        let energy = EnergyModel::paper_default();
+        let g = Granularity::new(16);
+        let restricted = RestrictedCosetCodec::new(g);
+        let unrestricted = NCosetsCodec::three_cosets(g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut restricted_cost = 0.0;
+        let mut unrestricted_cost = 0.0;
+        for _ in 0..100 {
+            let old_data = random_line(&mut rng);
+            let new_data = random_line(&mut rng);
+            let old_r = restricted.encode(&old_data, &restricted.initial_line(), &energy);
+            let old_u = unrestricted.encode(&old_data, &unrestricted.initial_line(), &energy);
+            let new_r = restricted.encode(&new_data, &old_r, &energy);
+            let new_u = unrestricted.encode(&new_data, &old_u, &energy);
+            restricted_cost += differential_write(&old_r, &new_r, &energy).data_energy_pj;
+            unrestricted_cost += differential_write(&old_u, &new_u, &energy).data_energy_pj;
+        }
+        assert!(restricted_cost >= unrestricted_cost);
+        assert!(
+            restricted_cost <= unrestricted_cost * 1.15,
+            "restriction should cost at most a few percent (restricted {restricted_cost}, unrestricted {unrestricted_cost})"
+        );
+    }
+
+    #[test]
+    fn group_bit_zero_when_groups_tie() {
+        // All-zero data: both groups cost the same (C1 is in both), so the
+        // encoder must keep the group bit at 0 (the cheaper aux state).
+        let energy = EnergyModel::paper_default();
+        let codec = RestrictedCosetCodec::new(Granularity::new(16));
+        let enc = codec.encode(&MemoryLine::ZERO, &codec.initial_line(), &energy);
+        let bits = codec.read_aux_bits(&enc);
+        assert!(!bits[0]);
+        assert!(bits[1..].iter().all(|b| !b));
+    }
+}

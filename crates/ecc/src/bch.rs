@@ -1,0 +1,371 @@
+//! A binary BCH code with `t = 2` (two-error correction), shortened to an
+//! arbitrary message length.
+//!
+//! DIN attaches a 20-bit BCH code to every encoded memory line so that two
+//! write-disturbance errors can be corrected during the verification step.
+//! With `m = 10` the full code is BCH(1023, 1003) and its 20 parity bits are
+//! exactly the overhead quoted by the paper; here the code is used shortened
+//! to the actual payload length (≤ 1003 bits).
+
+use crate::bits::BitVec;
+use crate::gf::GaloisField;
+use std::fmt;
+
+/// A binary, systematic, shortened BCH code correcting up to two errors.
+#[derive(Clone)]
+pub struct Bch {
+    gf: GaloisField,
+    generator: BitVec,
+    parity_bits: usize,
+    max_message_bits: usize,
+}
+
+/// Errors reported by [`Bch::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BchError {
+    /// More errors occurred than the code can correct.
+    TooManyErrors,
+    /// The received word length does not match the code parameters.
+    LengthMismatch,
+}
+
+impl fmt::Display for BchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BchError::TooManyErrors => write!(f, "more errors than the code can correct"),
+            BchError::LengthMismatch => write!(f, "received word has the wrong length"),
+        }
+    }
+}
+
+impl std::error::Error for BchError {}
+
+impl Bch {
+    /// Constructs the `t = 2` BCH code over GF(2^m).
+    ///
+    /// The generator polynomial is the least common multiple of the minimal
+    /// polynomials of `alpha` and `alpha^3`; for `m = 10` it has degree 20.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside the supported range of [`GaloisField::new`].
+    pub fn new(m: usize) -> Bch {
+        let gf = GaloisField::new(m);
+        let m1 = gf.minimal_polynomial(1);
+        let m3 = gf.minimal_polynomial(3);
+        let generator_mask = poly_mul_gf2(m1, m3);
+        let parity_bits = (127 - generator_mask.leading_zeros() as usize) as usize;
+        let mut generator = BitVec::zeros(parity_bits + 1);
+        for i in 0..=parity_bits {
+            if (generator_mask >> i) & 1 == 1 {
+                generator.set(i, true);
+            }
+        }
+        let n = (1usize << m) - 1;
+        Bch { gf, generator, parity_bits, max_message_bits: n - parity_bits }
+    }
+
+    /// The standard code used by DIN: `t = 2` over GF(2^10), i.e. 20 parity bits.
+    pub fn din_default() -> Bch {
+        Bch::new(10)
+    }
+
+    /// Number of parity bits appended to each message.
+    pub fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    /// Maximum number of message bits the (shortened) code can protect.
+    pub fn max_message_bits(&self) -> usize {
+        self.max_message_bits
+    }
+
+    /// Computes the parity bits for `message` (systematic encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is longer than [`Bch::max_message_bits`].
+    pub fn parity(&self, message: &BitVec) -> BitVec {
+        assert!(
+            message.len() <= self.max_message_bits,
+            "message too long for this BCH code"
+        );
+        // Polynomial division of message * x^parity by the generator.
+        // Work on a buffer of message followed by `parity_bits` zeros, with
+        // index 0 being the highest-degree coefficient for the division.
+        let k = message.len();
+        let total = k + self.parity_bits;
+        let mut buf = vec![false; total];
+        for i in 0..k {
+            // message bit i is the coefficient of x^(parity + i); store
+            // high-degree first.
+            buf[k - 1 - i] = message.get(i);
+        }
+        // buf[0..k] = message (high degree first), buf[k..] = zeros.
+        for pos in 0..k {
+            if buf[pos] {
+                for j in 0..=self.parity_bits {
+                    if self.generator.get(self.parity_bits - j) {
+                        buf[pos + j] ^= true;
+                    }
+                }
+            }
+        }
+        // Remainder is in buf[k..], high degree first; return LSB-first.
+        let mut parity = BitVec::zeros(self.parity_bits);
+        for i in 0..self.parity_bits {
+            parity.set(i, buf[total - 1 - i]);
+        }
+        parity
+    }
+
+    /// Encodes `message`, returning `message || parity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is longer than [`Bch::max_message_bits`].
+    pub fn encode(&self, message: &BitVec) -> BitVec {
+        let mut out = message.clone();
+        out.extend_from(&self.parity(message));
+        out
+    }
+
+    /// Decodes a received word of `message_len + parity_bits` bits, correcting
+    /// up to two bit errors. Returns the corrected message bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BchError::LengthMismatch`] if the word is shorter than the
+    /// parity, and [`BchError::TooManyErrors`] if more than two errors are
+    /// detected (the word cannot be corrected).
+    pub fn decode(&self, received: &BitVec) -> Result<BitVec, BchError> {
+        if received.len() < self.parity_bits || received.len() > self.max_message_bits + self.parity_bits
+        {
+            return Err(BchError::LengthMismatch);
+        }
+        let message_len = received.len() - self.parity_bits;
+
+        // Treat the received vector as a codeword polynomial: the bit at
+        // message position i corresponds to x^(parity_bits + i) and parity bit
+        // j corresponds to x^j.
+        let coeff = |idx: usize| -> bool {
+            if idx < self.parity_bits {
+                received.get(message_len + idx)
+            } else {
+                received.get(idx - self.parity_bits)
+            }
+        };
+        let n = received.len();
+
+        // Syndromes S1..S4 = r(alpha^i).
+        let mut syndromes = [0u32; 4];
+        for (si, syn) in syndromes.iter_mut().enumerate() {
+            let alpha_i = si + 1;
+            let mut acc = 0u32;
+            for j in 0..n {
+                if coeff(j) {
+                    acc ^= self.gf.pow(self.gf.alpha_pow(alpha_i), j);
+                }
+            }
+            *syn = acc;
+        }
+        let [s1, s2, s3, _s4] = syndromes;
+
+        if syndromes.iter().all(|s| *s == 0) {
+            return Ok(extract_message(received, message_len));
+        }
+
+        // Berlekamp/Peterson for t = 2:
+        // If S1 != 0 and S3 == S1^3 -> single error at log(S1).
+        // Otherwise solve sigma(x) = 1 + sigma1 x + sigma2 x^2 with
+        //   sigma1 = S1, sigma2 = (S3 + S1^3) / S1.
+        let mut corrected = received.clone();
+        let s1_cubed = self.gf.pow(s1, 3);
+        if s1 != 0 && s3 == s1_cubed {
+            let pos = self.gf.log(s1);
+            if pos >= n {
+                return Err(BchError::TooManyErrors);
+            }
+            flip_codeword_bit(&mut corrected, pos, message_len, self.parity_bits);
+            return Ok(extract_message(&corrected, message_len));
+        }
+        if s1 == 0 {
+            // S1 == 0 but some other syndrome non-zero: uncorrectable for t=2.
+            return Err(BchError::TooManyErrors);
+        }
+        let sigma1 = s1;
+        let sigma2 = self.gf.div(self.gf.add(s3, s1_cubed), s1);
+        // Chien search over valid positions.
+        let mut error_positions = Vec::new();
+        for pos in 0..n {
+            // sigma(alpha^{-pos}) == 0  <=> error at position pos.
+            let x = self.gf.alpha_pow((self.gf.order() - (pos % self.gf.order())) % self.gf.order());
+            let val = self
+                .gf
+                .add(self.gf.add(1, self.gf.mul(sigma1, x)), self.gf.mul(sigma2, self.gf.mul(x, x)));
+            if val == 0 {
+                error_positions.push(pos);
+            }
+        }
+        if error_positions.len() != 2 {
+            return Err(BchError::TooManyErrors);
+        }
+        // Verify S2 consistency: S2 must equal S1^2 for binary codes.
+        if s2 != self.gf.mul(s1, s1) {
+            return Err(BchError::TooManyErrors);
+        }
+        for pos in error_positions {
+            flip_codeword_bit(&mut corrected, pos, message_len, self.parity_bits);
+        }
+        Ok(extract_message(&corrected, message_len))
+    }
+}
+
+impl fmt::Debug for Bch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bch(t=2, m={}, parity_bits={})",
+            self.gf.degree(),
+            self.parity_bits
+        )
+    }
+}
+
+/// Flips the bit whose codeword-polynomial degree is `pos`.
+fn flip_codeword_bit(word: &mut BitVec, pos: usize, message_len: usize, parity_bits: usize) {
+    let idx = if pos < parity_bits {
+        message_len + pos
+    } else {
+        pos - parity_bits
+    };
+    let cur = word.get(idx);
+    word.set(idx, !cur);
+}
+
+fn extract_message(word: &BitVec, message_len: usize) -> BitVec {
+    word.iter().take(message_len).collect()
+}
+
+/// Carry-less (GF(2)) polynomial multiplication of two bit-mask polynomials.
+fn poly_mul_gf2(a: u64, b: u64) -> u128 {
+    let mut acc = 0u128;
+    for i in 0..64 {
+        if (a >> i) & 1 == 1 {
+            acc ^= u128::from(b) << i;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_message(len: usize, rng: &mut StdRng) -> BitVec {
+        (0..len).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn din_code_has_20_parity_bits() {
+        let bch = Bch::din_default();
+        assert_eq!(bch.parity_bits(), 20);
+        assert_eq!(bch.max_message_bits(), 1003);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let bch = Bch::din_default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for len in [1usize, 8, 100, 369, 492, 512] {
+            let msg = random_message(len, &mut rng);
+            let code = bch.encode(&msg);
+            assert_eq!(code.len(), len + 20);
+            assert_eq!(bch.decode(&code).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrects_any_single_error() {
+        let bch = Bch::din_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let msg = random_message(128, &mut rng);
+        let code = bch.encode(&msg);
+        for i in 0..code.len() {
+            let mut corrupted = code.clone();
+            corrupted.set(i, !corrupted.get(i));
+            assert_eq!(bch.decode(&corrupted).unwrap(), msg, "error at bit {i}");
+        }
+    }
+
+    #[test]
+    fn corrects_double_errors() {
+        let bch = Bch::din_default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let msg = random_message(369, &mut rng);
+        let code = bch.encode(&msg);
+        for _ in 0..50 {
+            let i = rng.gen_range(0..code.len());
+            let mut j = rng.gen_range(0..code.len());
+            while j == i {
+                j = rng.gen_range(0..code.len());
+            }
+            let mut corrupted = code.clone();
+            corrupted.set(i, !corrupted.get(i));
+            corrupted.set(j, !corrupted.get(j));
+            assert_eq!(bch.decode(&corrupted).unwrap(), msg, "errors at {i},{j}");
+        }
+    }
+
+    #[test]
+    fn detects_triple_errors_mostly() {
+        let bch = Bch::din_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let msg = random_message(200, &mut rng);
+        let code = bch.encode(&msg);
+        let mut miscorrected_to_original = 0;
+        for _ in 0..30 {
+            let mut corrupted = code.clone();
+            let mut picked = std::collections::HashSet::new();
+            while picked.len() < 3 {
+                picked.insert(rng.gen_range(0..code.len()));
+            }
+            for &i in &picked {
+                corrupted.set(i, !corrupted.get(i));
+            }
+            match bch.decode(&corrupted) {
+                Err(BchError::TooManyErrors) => {}
+                Ok(decoded) => {
+                    // A t=2 code may miscorrect 3 errors to a different
+                    // codeword, but never back to the original message.
+                    if decoded == msg {
+                        miscorrected_to_original += 1;
+                    }
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(miscorrected_to_original, 0);
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let bch = Bch::din_default();
+        assert_eq!(bch.decode(&BitVec::zeros(5)), Err(BchError::LengthMismatch));
+    }
+
+    #[test]
+    fn smaller_field_also_works() {
+        let bch = Bch::new(6); // BCH(63, 51), 12 parity bits
+        assert_eq!(bch.parity_bits(), 12);
+        let mut rng = StdRng::seed_from_u64(1);
+        let msg = random_message(40, &mut rng);
+        let code = bch.encode(&msg);
+        let mut corrupted = code.clone();
+        corrupted.set(3, !corrupted.get(3));
+        corrupted.set(30, !corrupted.get(30));
+        assert_eq!(bch.decode(&corrupted).unwrap(), msg);
+    }
+}

@@ -1,0 +1,214 @@
+//! A simple dense bit vector used by the block-code implementations.
+
+use std::fmt;
+
+/// A growable, dense vector of bits.
+///
+/// Bit 0 is the first bit pushed. Used to carry code words of arbitrary
+/// length (e.g. 369-bit compressed payloads, 512-bit lines, 20-bit BCH
+/// remainders) between the compression and coding layers.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    bits: Vec<bool>,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> BitVec {
+        BitVec { bits: Vec::new() }
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> BitVec {
+        BitVec { bits: vec![false; len] }
+    }
+
+    /// Creates a bit vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> BitVec {
+        BitVec { bits: bits.to_vec() }
+    }
+
+    /// Creates a bit vector from the low `len` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> BitVec {
+        assert!(len <= 64);
+        BitVec { bits: (0..len).map(|i| (value >> i) & 1 == 1).collect() }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, index: usize) -> bool {
+        self.bits[index]
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&mut self, index: usize, value: bool) {
+        self.bits[index] = value;
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        self.bits.push(value);
+    }
+
+    /// Appends the low `len` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn push_u64(&mut self, value: u64, len: usize) {
+        assert!(len <= 64);
+        for i in 0..len {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        self.bits.extend_from_slice(&other.bits);
+    }
+
+    /// Reads `len` bits starting at `start` into the low bits of a `u64`,
+    /// LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `len > 64`.
+    pub fn read_u64(&self, start: usize, len: usize) -> u64 {
+        assert!(len <= 64);
+        assert!(start + len <= self.bits.len());
+        let mut out = 0u64;
+        for i in 0..len {
+            if self.bits[start + i] {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// XORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len(), other.len(), "xor requires equal lengths");
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// Iterates over the bits, first bit first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// The underlying boolean slice.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len())?;
+        for b in self.bits.iter().take(64) {
+            write!(f, "{}", if *b { '1' } else { '0' })?;
+        }
+        if self.len() > 64 {
+            write!(f, "...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> BitVec {
+        BitVec { bits: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        self.bits.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        let v = BitVec::from_u64(0xDEAD_BEEF, 32);
+        assert_eq!(v.len(), 32);
+        assert_eq!(v.read_u64(0, 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn push_and_read_across_boundaries() {
+        let mut v = BitVec::new();
+        v.push_u64(0b101, 3);
+        v.push_u64(0xFF, 8);
+        assert_eq!(v.len(), 11);
+        assert_eq!(v.read_u64(0, 3), 0b101);
+        assert_eq!(v.read_u64(3, 8), 0xFF);
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let a = BitVec::from_u64(0b1100, 4);
+        let mut b = BitVec::from_u64(0b1010, 4);
+        b.xor_with(&a);
+        assert_eq!(b.read_u64(0, 4), 0b0110);
+        b.xor_with(&a);
+        assert_eq!(b.read_u64(0, 4), 0b1010);
+    }
+
+    #[test]
+    fn count_ones_counts() {
+        assert_eq!(BitVec::from_u64(0b1011, 4).count_ones(), 3);
+        assert_eq!(BitVec::zeros(100).count_ones(), 0);
+    }
+
+    #[test]
+    fn from_iter_and_extend() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        let mut w = BitVec::new();
+        w.extend(v.iter());
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    #[should_panic]
+    fn xor_length_mismatch_panics() {
+        let mut a = BitVec::zeros(3);
+        a.xor_with(&BitVec::zeros(4));
+    }
+}

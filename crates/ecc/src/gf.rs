@@ -1,0 +1,284 @@
+//! Arithmetic over the binary extension field GF(2^m).
+//!
+//! Implemented with log/antilog tables generated from a primitive polynomial,
+//! which is all the BCH encoder/decoder needs.
+
+use std::fmt;
+
+/// Default primitive polynomials for GF(2^m), indexed by `m` (3..=13).
+/// Each entry is the polynomial with the implicit leading `x^m` term included
+/// as bit `m` (e.g. `x^10 + x^3 + 1` is `0b100_0000_1001`).
+const PRIMITIVE_POLYS: [(usize, u32); 11] = [
+    (3, 0b1011),
+    (4, 0b1_0011),
+    (5, 0b10_0101),
+    (6, 0b100_0011),
+    (7, 0b1000_1001),
+    (8, 0b1_0001_1101),
+    (9, 0b10_0001_0001),
+    (10, 0b100_0000_1001),
+    (11, 0b1000_0000_0101),
+    (12, 0b1_0000_0101_0011),
+    (13, 0b10_0000_0001_1011),
+];
+
+/// The finite field GF(2^m) with precomputed exponential and logarithm tables.
+#[derive(Clone)]
+pub struct GaloisField {
+    m: usize,
+    size: usize,
+    exp: Vec<u32>,
+    log: Vec<u32>,
+}
+
+impl GaloisField {
+    /// Constructs GF(2^m) using a standard primitive polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `3..=13`.
+    pub fn new(m: usize) -> GaloisField {
+        let poly = PRIMITIVE_POLYS
+            .iter()
+            .find(|(deg, _)| *deg == m)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| panic!("no primitive polynomial recorded for m = {m}"));
+        GaloisField::with_polynomial(m, poly)
+    }
+
+    /// Constructs GF(2^m) from an explicit primitive polynomial (with the
+    /// leading term included as bit `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `2..=16` or the polynomial does not generate
+    /// the full multiplicative group (i.e. it is not primitive).
+    pub fn with_polynomial(m: usize, poly: u32) -> GaloisField {
+        assert!((2..=16).contains(&m), "field degree out of supported range");
+        let size = 1usize << m;
+        let mut exp = vec![0u32; 2 * size];
+        let mut log = vec![0u32; size];
+        let mut x = 1u32;
+        for i in 0..(size - 1) {
+            exp[i] = x;
+            assert!(
+                !(x == 1 && i != 0),
+                "polynomial {poly:#x} is not primitive for GF(2^{m})"
+            );
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        // Duplicate the table so that exp[i + (size-1)] == exp[i].
+        for i in (size - 1)..(2 * size) {
+            exp[i] = exp[i % (size - 1)];
+        }
+        GaloisField { m, size, exp, log }
+    }
+
+    /// The extension degree `m`.
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// The number of field elements, `2^m`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The order of the multiplicative group, `2^m - 1`.
+    pub fn order(&self) -> usize {
+        self.size - 1
+    }
+
+    /// `alpha^i`, where `alpha` is the primitive element.
+    pub fn alpha_pow(&self, i: usize) -> u32 {
+        self.exp[i % self.order()]
+    }
+
+    /// Discrete logarithm of a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn log(&self, x: u32) -> usize {
+        assert!(x != 0, "log of zero is undefined");
+        self.log[x as usize] as usize
+    }
+
+    /// Field addition (XOR).
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u32) -> u32 {
+        assert!(a != 0, "zero has no multiplicative inverse");
+        self.exp[self.order() - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// `a^e` by repeated squaring in the exponent domain.
+    pub fn pow(&self, a: u32, e: usize) -> u32 {
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let l = self.log[a as usize] as usize;
+        self.exp[(l * e) % self.order()]
+    }
+
+    /// The minimal polynomial of `alpha^i` over GF(2), returned as a bit mask
+    /// (bit `j` set means the coefficient of `x^j` is 1).
+    pub fn minimal_polynomial(&self, i: usize) -> u64 {
+        // Collect the conjugacy class {i, 2i, 4i, ...} mod (2^m - 1).
+        let order = self.order();
+        let mut class = Vec::new();
+        let mut cur = i % order;
+        loop {
+            if class.contains(&cur) {
+                break;
+            }
+            class.push(cur);
+            cur = (cur * 2) % order;
+        }
+        // Multiply out (x - alpha^j) for every j in the class, over GF(2^m);
+        // the result has coefficients in GF(2).
+        let mut poly: Vec<u32> = vec![1]; // constant polynomial 1
+        for &j in &class {
+            let root = self.alpha_pow(j);
+            // poly = poly * (x + root)
+            let mut next = vec![0u32; poly.len() + 1];
+            for (deg, &coeff) in poly.iter().enumerate() {
+                next[deg + 1] ^= coeff; // x * coeff
+                next[deg] ^= self.mul(coeff, root);
+            }
+            poly = next;
+        }
+        let mut mask = 0u64;
+        for (deg, &coeff) in poly.iter().enumerate() {
+            assert!(coeff <= 1, "minimal polynomial must have GF(2) coefficients");
+            if coeff == 1 {
+                mask |= 1 << deg;
+            }
+        }
+        mask
+    }
+}
+
+impl fmt::Debug for GaloisField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GaloisField(2^{})", self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_agrees_with_schoolbook_in_gf16() {
+        let gf = GaloisField::new(4);
+        // Schoolbook carry-less multiply reduced by x^4 + x + 1.
+        fn slow_mul(mut a: u32, mut b: u32) -> u32 {
+            let mut acc = 0u32;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x10 != 0 {
+                    a ^= 0b1_0011;
+                }
+                b >>= 1;
+            }
+            acc
+        }
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(gf.mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let gf = GaloisField::new(10);
+        for a in 1..gf.size() as u32 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let gf = GaloisField::new(8);
+        for a in [1u32, 2, 3, 87, 255] {
+            let mut acc = 1u32;
+            for e in 0..20usize {
+                assert_eq!(gf.pow(a, e), acc);
+                acc = gf.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        let gf = GaloisField::new(10);
+        let mut seen = vec![false; gf.size()];
+        for i in 0..gf.order() {
+            let x = gf.alpha_pow(i);
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha_is_the_primitive_polynomial() {
+        let gf = GaloisField::new(10);
+        assert_eq!(gf.minimal_polynomial(1), 0b100_0000_1001);
+    }
+
+    #[test]
+    fn minimal_polynomial_divides_x_order_plus_one() {
+        // alpha^3's minimal polynomial must have alpha^3 as a root.
+        let gf = GaloisField::new(10);
+        let m3 = gf.minimal_polynomial(3);
+        let mut acc = 0u32;
+        for deg in 0..64 {
+            if (m3 >> deg) & 1 == 1 {
+                acc ^= gf.pow(gf.alpha_pow(3), deg);
+            }
+        }
+        assert_eq!(acc, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_of_zero_panics() {
+        let gf = GaloisField::new(4);
+        let _ = gf.log(0);
+    }
+}

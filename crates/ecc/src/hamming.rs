@@ -1,0 +1,242 @@
+//! The (72, 64) extended Hamming (SEC-DED) code and its dual, used by the
+//! FlipMin scheme to derive coset candidates.
+
+use crate::bits::BitVec;
+use std::fmt;
+
+/// Number of data bits protected by the code.
+pub const DATA_BITS: usize = 64;
+/// Number of check bits (7 Hamming bits + 1 overall parity bit).
+pub const CHECK_BITS: usize = 8;
+/// Total codeword length.
+pub const CODE_BITS: usize = DATA_BITS + CHECK_BITS;
+
+/// The (72, 64) extended Hamming code (single-error-correcting,
+/// double-error-detecting).
+///
+/// Codewords are laid out as the 64 data bits followed by the 8 check bits.
+/// The dual code of its generator matrix is the 8-dimensional code spanned by
+/// the parity-check rows; [`Hamming7264::dual_basis`] exposes that basis,
+/// which FlipMin combines into coset candidates.
+#[derive(Clone)]
+pub struct Hamming7264 {
+    /// `parity_masks[j]` has a bit set for every data-bit position that
+    /// participates in check bit `j` (for `j < 7`); index 7 is the overall
+    /// parity over all data and check bits.
+    parity_masks: [u64; CHECK_BITS],
+}
+
+/// The outcome of decoding a possibly corrupted codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HammingOutcome {
+    /// The codeword was clean.
+    Clean,
+    /// A single error was corrected (at the given codeword bit position).
+    Corrected(usize),
+    /// A double error was detected but cannot be corrected.
+    DoubleError,
+}
+
+impl Hamming7264 {
+    /// Builds the standard (72, 64) SEC-DED code.
+    pub fn new() -> Hamming7264 {
+        // Assign each of the 64 data bits a distinct 7-bit syndrome value with
+        // at least two bits set (values with a single bit set are reserved for
+        // the check bits themselves). There are 120 such values in 0..128, so
+        // taking the first 64 in increasing order is a valid assignment.
+        let mut syndromes = Vec::with_capacity(DATA_BITS);
+        let mut v = 3u32;
+        while syndromes.len() < DATA_BITS {
+            if v.count_ones() >= 2 {
+                syndromes.push(v);
+            }
+            v += 1;
+        }
+        let mut parity_masks = [0u64; CHECK_BITS];
+        for (data_bit, syn) in syndromes.iter().enumerate() {
+            for (j, mask) in parity_masks.iter_mut().enumerate().take(7) {
+                if (syn >> j) & 1 == 1 {
+                    *mask |= 1 << data_bit;
+                }
+            }
+        }
+        // The overall parity covers every data bit (check bits are added in
+        // during encode/decode).
+        parity_masks[7] = u64::MAX;
+        Hamming7264 { parity_masks }
+    }
+
+    /// Encodes 64 data bits into a 72-bit codeword (data bits first).
+    pub fn encode(&self, data: u64) -> BitVec {
+        let mut out = BitVec::from_u64(data, DATA_BITS);
+        let mut check = [false; CHECK_BITS];
+        for j in 0..7 {
+            check[j] = ((data & self.parity_masks[j]).count_ones() & 1) == 1;
+        }
+        let overall = (data.count_ones() as usize + check.iter().filter(|b| **b).count()) % 2 == 1;
+        check[7] = overall;
+        for c in check {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Decodes a 72-bit codeword, correcting a single error if present.
+    /// Returns the corrected data together with the decoding outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != 72`.
+    pub fn decode(&self, word: &BitVec) -> (u64, HammingOutcome) {
+        assert_eq!(word.len(), CODE_BITS, "a (72,64) codeword is 72 bits");
+        let data = word.read_u64(0, DATA_BITS);
+        let mut syndrome = 0u32;
+        for j in 0..7 {
+            let expected = ((data & self.parity_masks[j]).count_ones() & 1) == 1;
+            let stored = word.get(DATA_BITS + j);
+            if expected != stored {
+                syndrome |= 1 << j;
+            }
+        }
+        let ones = (0..CODE_BITS).filter(|&i| word.get(i)).count();
+        let overall_parity_error = ones % 2 == 1;
+
+        if syndrome == 0 && !overall_parity_error {
+            return (data, HammingOutcome::Clean);
+        }
+        if !overall_parity_error {
+            // Non-zero syndrome but even overall parity => two errors.
+            return (data, HammingOutcome::DoubleError);
+        }
+        // Single error: locate it.
+        if syndrome == 0 {
+            // The overall parity bit itself flipped.
+            return (data, HammingOutcome::Corrected(CODE_BITS - 1));
+        }
+        if syndrome.count_ones() == 1 {
+            // One of the seven check bits flipped; data is intact.
+            let check_idx = syndrome.trailing_zeros() as usize;
+            return (data, HammingOutcome::Corrected(DATA_BITS + check_idx));
+        }
+        // A data bit flipped: find which data bit has this syndrome.
+        for data_bit in 0..DATA_BITS {
+            let mut s = 0u32;
+            for j in 0..7 {
+                if (self.parity_masks[j] >> data_bit) & 1 == 1 {
+                    s |= 1 << j;
+                }
+            }
+            if s == syndrome {
+                return (data ^ (1 << data_bit), HammingOutcome::Corrected(data_bit));
+            }
+        }
+        (data, HammingOutcome::DoubleError)
+    }
+
+    /// A basis of the dual code: the eight parity-check rows, expressed as
+    /// 72-bit vectors (data-bit participation in the low 64 bits, the identity
+    /// over the check bits in the high 8 bits).
+    pub fn dual_basis(&self) -> Vec<u128> {
+        let mut basis = Vec::with_capacity(CHECK_BITS);
+        for j in 0..CHECK_BITS {
+            let mut row = u128::from(self.parity_masks[j]);
+            row |= 1u128 << (DATA_BITS + j);
+            if j == 7 {
+                // The overall parity row also covers the other check bits.
+                for k in 0..7 {
+                    row |= 1u128 << (DATA_BITS + k);
+                }
+            }
+            basis.push(row);
+        }
+        basis
+    }
+}
+
+impl Default for Hamming7264 {
+    fn default() -> Hamming7264 {
+        Hamming7264::new()
+    }
+}
+
+impl fmt::Debug for Hamming7264 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hamming7264(SEC-DED)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_round_trip() {
+        let code = Hamming7264::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let data: u64 = rng.gen();
+            let word = code.encode(data);
+            assert_eq!(word.len(), CODE_BITS);
+            let (decoded, outcome) = code.decode(&word);
+            assert_eq!(decoded, data);
+            assert_eq!(outcome, HammingOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let code = Hamming7264::new();
+        let data = 0x0123_4567_89AB_CDEF_u64;
+        let word = code.encode(data);
+        for i in 0..CODE_BITS {
+            let mut corrupted = word.clone();
+            corrupted.set(i, !corrupted.get(i));
+            let (decoded, outcome) = code.decode(&corrupted);
+            assert_eq!(decoded, data, "error at bit {i}");
+            assert!(matches!(outcome, HammingOutcome::Corrected(_)), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn detects_double_errors() {
+        let code = Hamming7264::new();
+        let data = 0xDEAD_BEEF_CAFE_F00D_u64;
+        let word = code.encode(data);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..100 {
+            let i = rng.gen_range(0..CODE_BITS);
+            let mut j = rng.gen_range(0..CODE_BITS);
+            while j == i {
+                j = rng.gen_range(0..CODE_BITS);
+            }
+            let mut corrupted = word.clone();
+            corrupted.set(i, !corrupted.get(i));
+            corrupted.set(j, !corrupted.get(j));
+            let (_, outcome) = code.decode(&corrupted);
+            assert_eq!(outcome, HammingOutcome::DoubleError, "errors at {i},{j}");
+        }
+    }
+
+    #[test]
+    fn dual_basis_is_orthogonal_to_codewords() {
+        let code = Hamming7264::new();
+        let basis = code.dual_basis();
+        assert_eq!(basis.len(), CHECK_BITS);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let data: u64 = rng.gen();
+            let word = code.encode(data);
+            let mut word_bits = 0u128;
+            for i in 0..CODE_BITS {
+                if word.get(i) {
+                    word_bits |= 1 << i;
+                }
+            }
+            for (j, row) in basis.iter().enumerate() {
+                assert_eq!((row & word_bits).count_ones() % 2, 0, "row {j} not orthogonal");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error-correcting-code substrates used by the WLCRC reproduction.
+//!
+//! The paper's comparison schemes rely on two classic codes:
+//!
+//! * **DIN** protects each encoded memory line with a 20-bit BCH code able to
+//!   correct two write-disturbance errors — provided here as a binary BCH code
+//!   with `t = 2` over GF(2^10) ([`bch::Bch`]).
+//! * **FlipMin** derives its coset candidates from the dual code of a
+//!   (72, 64) Hamming generator matrix — provided here as
+//!   [`hamming::Hamming7264`] together with [`coset_masks`], which expands the
+//!   dual-code construction into full-line XOR masks.
+//!
+//! Everything is implemented from scratch on top of a small GF(2^m)
+//! arithmetic module ([`gf`]) and a dense bit-vector type ([`bits::BitVec`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bch;
+pub mod bits;
+pub mod gf;
+pub mod hamming;
+
+pub use bch::Bch;
+pub use bits::BitVec;
+pub use gf::GaloisField;
+pub use hamming::Hamming7264;
+
+/// Generates `count` deterministic 512-bit XOR masks (coset candidates) from
+/// the dual code of the (72, 64) Hamming code, replicated across the line, as
+/// used by the FlipMin scheme.
+///
+/// The first mask is always the all-zero mask (the identity candidate), so the
+/// unencoded data is always one of the candidates.
+pub fn coset_masks(count: usize, seed: u64) -> Vec<[u64; 8]> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let hamming = Hamming7264::new();
+    let dual = hamming.dual_basis();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut masks = Vec::with_capacity(count);
+    masks.push([0u64; 8]);
+    while masks.len() < count {
+        // Random non-empty combination of dual-code basis vectors, replicated
+        // over the eight 72-bit codeword slots, truncated to the 512-bit line.
+        let mut combo = 0u128;
+        for basis in &dual {
+            if rng.gen::<bool>() {
+                combo ^= basis;
+            }
+        }
+        if combo == 0 {
+            continue;
+        }
+        let mut mask = [0u64; 8];
+        for (w, slot) in mask.iter_mut().enumerate() {
+            // Use a rotated copy per word so candidates differ across words.
+            let rotated = combo.rotate_left((w as u32 * 13) % 72);
+            *slot = (rotated & u128::from(u64::MAX)) as u64;
+        }
+        if masks.contains(&mask) {
+            continue;
+        }
+        masks.push(mask);
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coset_masks_start_with_identity() {
+        let masks = coset_masks(16, 42);
+        assert_eq!(masks.len(), 16);
+        assert_eq!(masks[0], [0u64; 8]);
+    }
+
+    #[test]
+    fn coset_masks_are_distinct() {
+        let masks = coset_masks(16, 42);
+        for i in 0..masks.len() {
+            for j in (i + 1)..masks.len() {
+                assert_ne!(masks[i], masks[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn coset_masks_are_deterministic() {
+        assert_eq!(coset_masks(8, 7), coset_masks(8, 7));
+        assert_ne!(coset_masks(8, 7), coset_masks(8, 8));
+    }
+}

@@ -1,0 +1,150 @@
+//! Convenience harness shared by the figure-regeneration binaries: run a set
+//! of schemes over a set of workloads and collect the per-cell statistics.
+
+use crate::simulator::{SimulationOptions, Simulator};
+use crate::stats::SchemeStats;
+use serde::{Deserialize, Serialize};
+use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::config::PcmConfig;
+use wlcrc_trace::{TraceGenerator, WorkloadProfile};
+
+/// The result of evaluating a set of schemes across a set of workloads.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// One entry per (scheme, workload) pair, in run order.
+    pub cells: Vec<SchemeStats>,
+}
+
+impl ExperimentResult {
+    /// All statistics collected for `scheme`, one per workload.
+    pub fn for_scheme(&self, scheme: &str) -> Vec<&SchemeStats> {
+        self.cells.iter().filter(|s| s.scheme == scheme).collect()
+    }
+
+    /// The statistics for a specific scheme/workload pair, if present.
+    pub fn get(&self, scheme: &str, workload: &str) -> Option<&SchemeStats> {
+        self.cells
+            .iter()
+            .find(|s| s.scheme == scheme && s.workload == workload)
+    }
+
+    /// Cross-workload average statistics for `scheme` (workloads are weighted
+    /// by their number of writes, like the paper's `Ave.` bars).
+    pub fn average_for_scheme(&self, scheme: &str) -> SchemeStats {
+        let mut merged = SchemeStats::new(scheme, "Ave.");
+        for stats in self.for_scheme(scheme) {
+            merged.merge(stats);
+        }
+        merged
+    }
+
+    /// The distinct scheme names, in first-seen order.
+    pub fn schemes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for cell in &self.cells {
+            if !out.contains(&cell.scheme) {
+                out.push(cell.scheme.clone());
+            }
+        }
+        out
+    }
+
+    /// The distinct workload names, in first-seen order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for cell in &self.cells {
+            if !out.contains(&cell.workload) {
+                out.push(cell.workload.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Runs every `(scheme, workload)` combination: for each workload a synthetic
+/// trace of `lines_per_workload` writes (scaled by the workload's relative
+/// write intensity) is generated from its profile and fed to every scheme.
+///
+/// The same trace (same seed) is used for all schemes of a workload so the
+/// comparison is paired, exactly as in the paper.
+pub fn run_schemes_on_workloads(
+    schemes: &[(&str, Box<dyn LineCodec>)],
+    workloads: &[WorkloadProfile],
+    lines_per_workload: usize,
+    seed: u64,
+) -> ExperimentResult {
+    let mut result = ExperimentResult::default();
+    for profile in workloads {
+        let scaled = ((lines_per_workload as f64) * profile.write_intensity
+            / max_intensity(workloads))
+        .ceil()
+        .max(1.0) as usize;
+        let mut generator = TraceGenerator::new(profile.clone(), seed ^ hash_name(&profile.name));
+        let trace = generator.generate(scaled);
+        for (label, codec) in schemes {
+            let simulator = Simulator::with_config(PcmConfig::table_ii())
+                .with_options(SimulationOptions { seed, verify_integrity: true });
+            let mut stats = simulator.run(codec.as_ref(), &trace);
+            stats.scheme = (*label).to_string();
+            result.cells.push(stats);
+        }
+    }
+    result
+}
+
+fn max_intensity(workloads: &[WorkloadProfile]) -> f64 {
+    workloads
+        .iter()
+        .map(|w| w.write_intensity)
+        .fold(1.0, f64::max)
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlcrc_pcm::codec::RawCodec;
+    use wlcrc_trace::Benchmark;
+
+    #[test]
+    fn runs_every_combination() {
+        let schemes: Vec<(&str, Box<dyn LineCodec>)> = vec![
+            ("Baseline", Box::new(RawCodec::new())),
+            ("Baseline2", Box::new(RawCodec::new())),
+        ];
+        let workloads = vec![Benchmark::Gcc.profile(), Benchmark::Mcf.profile()];
+        let result = run_schemes_on_workloads(&schemes, &workloads, 50, 1);
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.schemes().len(), 2);
+        assert_eq!(result.workloads(), vec!["gcc".to_string(), "mcf".to_string()]);
+        assert!(result.get("Baseline", "gcc").is_some());
+    }
+
+    #[test]
+    fn intensity_scales_trace_length() {
+        let schemes: Vec<(&str, Box<dyn LineCodec>)> =
+            vec![("Baseline", Box::new(RawCodec::new()))];
+        let workloads = vec![Benchmark::Leslie3d.profile(), Benchmark::Omnetpp.profile()];
+        let result = run_schemes_on_workloads(&schemes, &workloads, 100, 2);
+        let hmi = result.get("Baseline", "lesl").unwrap().writes;
+        let lmi = result.get("Baseline", "omne").unwrap().writes;
+        assert!(hmi > lmi, "HMI workloads must issue more writes ({hmi} vs {lmi})");
+    }
+
+    #[test]
+    fn averages_merge_workloads() {
+        let schemes: Vec<(&str, Box<dyn LineCodec>)> =
+            vec![("Baseline", Box::new(RawCodec::new()))];
+        let workloads = vec![Benchmark::Gcc.profile(), Benchmark::Mcf.profile()];
+        let result = run_schemes_on_workloads(&schemes, &workloads, 30, 3);
+        let avg = result.average_for_scheme("Baseline");
+        let total: u64 = result.for_scheme("Baseline").iter().map(|s| s.writes).sum();
+        assert_eq!(avg.writes, total);
+        assert_eq!(avg.workload, "Ave.");
+    }
+}

@@ -1,0 +1,33 @@
+//! Trace-driven MLC PCM main-memory simulator.
+//!
+//! This crate ties the device model (`wlcrc-pcm`), the encoding schemes
+//! (`wlcrc-coset`, `wlcrc`) and the synthetic workloads (`wlcrc-trace`)
+//! together, replicating the methodology of the paper's evaluation:
+//!
+//! * every write transaction carries both the new value and the overwritten
+//!   value; the simulator additionally tracks the *physically stored* cell
+//!   states per line so that differential writes see exactly what a real
+//!   array would contain;
+//! * per write it accounts the programming energy (split into data and
+//!   auxiliary cells), the number of updated cells (the endurance metric) and
+//!   the expected/sampled write-disturbance errors;
+//! * results are aggregated per scheme and per workload into
+//!   [`stats::SchemeStats`], the structure every figure of the paper is
+//!   derived from.
+//!
+//! The memory organisation of Table II (channels, DIMMs, banks) is modelled
+//! in [`memory::MemoryOrganization`] for address mapping and per-bank
+//! accounting; it does not affect the energy metrics, matching the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod memory;
+pub mod simulator;
+pub mod stats;
+
+pub use experiment::{run_schemes_on_workloads, ExperimentResult};
+pub use memory::MemoryOrganization;
+pub use simulator::{SimulationOptions, Simulator};
+pub use stats::SchemeStats;

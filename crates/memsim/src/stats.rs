@@ -1,0 +1,204 @@
+//! Per-scheme, per-workload result aggregation.
+
+use serde::{Deserialize, Serialize};
+use wlcrc_pcm::disturb::DisturbanceOutcome;
+use wlcrc_pcm::write::WriteOutcome;
+
+/// Aggregated statistics of running one encoding scheme over one trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchemeStats {
+    /// Scheme name (e.g. "WLCRC-16").
+    pub scheme: String,
+    /// Workload name (e.g. "lesl").
+    pub workload: String,
+    /// Number of line writes simulated.
+    pub writes: u64,
+    /// Total data-cell write energy (pJ).
+    pub data_energy_pj: f64,
+    /// Total auxiliary-cell write energy (pJ).
+    pub aux_energy_pj: f64,
+    /// Total number of data cells programmed.
+    pub data_cells_updated: u64,
+    /// Total number of auxiliary cells programmed.
+    pub aux_cells_updated: u64,
+    /// Total sampled write-disturbance errors on data cells.
+    pub data_disturb_errors: u64,
+    /// Total sampled write-disturbance errors on auxiliary cells.
+    pub aux_disturb_errors: u64,
+    /// Total expected write-disturbance errors (sum of probabilities).
+    pub expected_disturb_errors: f64,
+    /// Maximum sampled disturbance errors observed in a single write.
+    pub max_disturb_errors_per_write: u64,
+    /// Number of lines the scheme stored in its compressed/encoded format
+    /// (equal to `writes` for schemes without a compression gate).
+    pub encoded_lines: u64,
+    /// Number of decode-vs-original mismatches (must stay zero).
+    pub integrity_failures: u64,
+}
+
+impl SchemeStats {
+    /// Creates an empty accumulator for a scheme/workload pair.
+    pub fn new(scheme: impl Into<String>, workload: impl Into<String>) -> SchemeStats {
+        SchemeStats { scheme: scheme.into(), workload: workload.into(), ..SchemeStats::default() }
+    }
+
+    /// Records the outcome of one line write.
+    pub fn record(
+        &mut self,
+        write: WriteOutcome,
+        disturbance: DisturbanceOutcome,
+        encoded: bool,
+        integrity_ok: bool,
+    ) {
+        self.writes += 1;
+        self.data_energy_pj += write.data_energy_pj;
+        self.aux_energy_pj += write.aux_energy_pj;
+        self.data_cells_updated += write.data_cells_updated as u64;
+        self.aux_cells_updated += write.aux_cells_updated as u64;
+        self.data_disturb_errors += disturbance.data_errors as u64;
+        self.aux_disturb_errors += disturbance.aux_errors as u64;
+        self.expected_disturb_errors += disturbance.expected_total_errors();
+        self.max_disturb_errors_per_write = self
+            .max_disturb_errors_per_write
+            .max(disturbance.total_errors() as u64);
+        if encoded {
+            self.encoded_lines += 1;
+        }
+        if !integrity_ok {
+            self.integrity_failures += 1;
+        }
+    }
+
+    /// Total write energy (pJ).
+    pub fn total_energy_pj(&self) -> f64 {
+        self.data_energy_pj + self.aux_energy_pj
+    }
+
+    /// Mean write energy per line write (pJ).
+    pub fn mean_energy_pj(&self) -> f64 {
+        self.per_write(self.total_energy_pj())
+    }
+
+    /// Mean data-cell energy per write (pJ).
+    pub fn mean_data_energy_pj(&self) -> f64 {
+        self.per_write(self.data_energy_pj)
+    }
+
+    /// Mean auxiliary-cell energy per write (pJ).
+    pub fn mean_aux_energy_pj(&self) -> f64 {
+        self.per_write(self.aux_energy_pj)
+    }
+
+    /// Mean number of updated cells per write (data + aux), the paper's
+    /// endurance metric.
+    pub fn mean_updated_cells(&self) -> f64 {
+        self.per_write((self.data_cells_updated + self.aux_cells_updated) as f64)
+    }
+
+    /// Mean number of updated data cells per write.
+    pub fn mean_updated_data_cells(&self) -> f64 {
+        self.per_write(self.data_cells_updated as f64)
+    }
+
+    /// Mean number of updated auxiliary cells per write.
+    pub fn mean_updated_aux_cells(&self) -> f64 {
+        self.per_write(self.aux_cells_updated as f64)
+    }
+
+    /// Mean sampled write-disturbance errors per write.
+    pub fn mean_disturb_errors(&self) -> f64 {
+        self.per_write((self.data_disturb_errors + self.aux_disturb_errors) as f64)
+    }
+
+    /// Mean expected write-disturbance errors per write.
+    pub fn mean_expected_disturb_errors(&self) -> f64 {
+        self.per_write(self.expected_disturb_errors)
+    }
+
+    /// Fraction of lines stored in the scheme's encoded format.
+    pub fn encoded_fraction(&self) -> f64 {
+        self.per_write(self.encoded_lines as f64)
+    }
+
+    fn per_write(&self, total: f64) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            total / self.writes as f64
+        }
+    }
+
+    /// Merges another accumulator (same scheme) into this one; used to build
+    /// cross-workload averages.
+    pub fn merge(&mut self, other: &SchemeStats) {
+        self.writes += other.writes;
+        self.data_energy_pj += other.data_energy_pj;
+        self.aux_energy_pj += other.aux_energy_pj;
+        self.data_cells_updated += other.data_cells_updated;
+        self.aux_cells_updated += other.aux_cells_updated;
+        self.data_disturb_errors += other.data_disturb_errors;
+        self.aux_disturb_errors += other.aux_disturb_errors;
+        self.expected_disturb_errors += other.expected_disturb_errors;
+        self.max_disturb_errors_per_write =
+            self.max_disturb_errors_per_write.max(other.max_disturb_errors_per_write);
+        self.encoded_lines += other.encoded_lines;
+        self.integrity_failures += other.integrity_failures;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(data: f64, aux: f64, dc: usize, ac: usize) -> WriteOutcome {
+        WriteOutcome {
+            data_energy_pj: data,
+            aux_energy_pj: aux,
+            data_cells_updated: dc,
+            aux_cells_updated: ac,
+        }
+    }
+
+    #[test]
+    fn record_and_means() {
+        let mut stats = SchemeStats::new("X", "w");
+        stats.record(outcome(100.0, 10.0, 5, 1), DisturbanceOutcome::default(), true, true);
+        stats.record(outcome(200.0, 30.0, 7, 3), DisturbanceOutcome::default(), false, true);
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.total_energy_pj(), 340.0);
+        assert_eq!(stats.mean_energy_pj(), 170.0);
+        assert_eq!(stats.mean_updated_cells(), 8.0);
+        assert_eq!(stats.encoded_fraction(), 0.5);
+        assert_eq!(stats.integrity_failures, 0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_means() {
+        let stats = SchemeStats::new("X", "w");
+        assert_eq!(stats.mean_energy_pj(), 0.0);
+        assert_eq!(stats.mean_disturb_errors(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SchemeStats::new("X", "w1");
+        a.record(outcome(100.0, 0.0, 2, 0), DisturbanceOutcome::default(), true, true);
+        let mut b = SchemeStats::new("X", "w2");
+        b.record(outcome(300.0, 0.0, 6, 0), DisturbanceOutcome::default(), true, false);
+        a.merge(&b);
+        assert_eq!(a.writes, 2);
+        assert_eq!(a.mean_energy_pj(), 200.0);
+        assert_eq!(a.integrity_failures, 1);
+    }
+
+    #[test]
+    fn disturbance_maximum_is_tracked() {
+        let mut stats = SchemeStats::new("X", "w");
+        let d1 = DisturbanceOutcome { data_errors: 3, aux_errors: 1, ..Default::default() };
+        let d2 = DisturbanceOutcome { data_errors: 1, aux_errors: 0, ..Default::default() };
+        stats.record(outcome(0.0, 0.0, 0, 0), d1, true, true);
+        stats.record(outcome(0.0, 0.0, 0, 0), d2, true, true);
+        assert_eq!(stats.max_disturb_errors_per_write, 4);
+        assert_eq!(stats.mean_disturb_errors(), 2.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Programming-energy model (Table II of the paper, plus the Figure 14
+//! sensitivity configurations).
+
+use crate::state::CellState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Write-energy model of a 4-level PCM cell.
+///
+/// The paper uses a "single RESET, multiple SET iterations" programming
+/// strategy: whenever a cell value changes, the cell is first RESET (≈36 pJ)
+/// and then zero or more SET pulses bring it to the target state, costing an
+/// additional 0 pJ (`S1`), 20 pJ (`S2`), 307 pJ (`S3`) or 547 pJ (`S4`) with
+/// the default (90 nm prototype) numbers.
+///
+/// ```
+/// use wlcrc_pcm::energy::EnergyModel;
+/// use wlcrc_pcm::state::CellState;
+///
+/// let e = EnergyModel::paper_default();
+/// assert_eq!(e.write_energy_pj(CellState::S1), 36.0);
+/// assert_eq!(e.write_energy_pj(CellState::S4), 36.0 + 547.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    reset_pj: f64,
+    set_pj: [f64; 4],
+}
+
+impl EnergyModel {
+    /// RESET energy used by the paper (picojoules).
+    pub const PAPER_RESET_PJ: f64 = 36.0;
+    /// Per-state SET energies used by the paper (picojoules), indexed by state.
+    pub const PAPER_SET_PJ: [f64; 4] = [0.0, 20.0, 307.0, 547.0];
+
+    /// Creates an energy model from a RESET energy and per-state SET energies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any energy is negative or not finite.
+    pub fn new(reset_pj: f64, set_pj: [f64; 4]) -> EnergyModel {
+        assert!(
+            reset_pj.is_finite() && reset_pj >= 0.0,
+            "RESET energy must be a finite non-negative number"
+        );
+        for e in set_pj {
+            assert!(
+                e.is_finite() && e >= 0.0,
+                "SET energies must be finite non-negative numbers"
+            );
+        }
+        EnergyModel { reset_pj, set_pj }
+    }
+
+    /// The energy model used throughout the paper's evaluation
+    /// (36 pJ RESET; 0/20/307/547 pJ SET).
+    pub fn paper_default() -> EnergyModel {
+        EnergyModel::new(Self::PAPER_RESET_PJ, Self::PAPER_SET_PJ)
+    }
+
+    /// An energy model with reduced intermediate-state energies, keeping `S1`
+    /// and `S2` unchanged. Used for the Figure 14 sensitivity study.
+    pub fn with_intermediate_states(s3_set_pj: f64, s4_set_pj: f64) -> EnergyModel {
+        EnergyModel::new(
+            Self::PAPER_RESET_PJ,
+            [Self::PAPER_SET_PJ[0], Self::PAPER_SET_PJ[1], s3_set_pj, s4_set_pj],
+        )
+    }
+
+    /// The four configurations evaluated in Figure 14 of the paper, from the
+    /// default `(S3, S4) = (307, 547)` down to `(50, 80)`.
+    pub fn figure14_configurations() -> [EnergyModel; 4] {
+        [
+            EnergyModel::with_intermediate_states(307.0, 547.0),
+            EnergyModel::with_intermediate_states(152.0, 273.0),
+            EnergyModel::with_intermediate_states(75.0, 135.0),
+            EnergyModel::with_intermediate_states(50.0, 80.0),
+        ]
+    }
+
+    /// The RESET energy in picojoules.
+    #[inline]
+    pub fn reset_pj(&self) -> f64 {
+        self.reset_pj
+    }
+
+    /// The SET energy required to reach `state` (after the RESET), in picojoules.
+    #[inline]
+    pub fn set_pj(&self, state: CellState) -> f64 {
+        self.set_pj[state.index()]
+    }
+
+    /// The total energy spent when a *changed* cell is programmed into `state`:
+    /// the RESET energy plus the SET energy of the target state.
+    #[inline]
+    pub fn write_energy_pj(&self, state: CellState) -> f64 {
+        self.reset_pj + self.set_pj[state.index()]
+    }
+
+    /// The cost of a differential write of one cell: zero when the stored state
+    /// already equals the target state, the full programming energy otherwise.
+    #[inline]
+    pub fn transition_energy_pj(&self, old: CellState, new: CellState) -> f64 {
+        if old == new {
+            0.0
+        } else {
+            self.write_energy_pj(new)
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::paper_default()
+    }
+}
+
+impl fmt::Display for EnergyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EnergyModel {{ RESET: {} pJ, SET: [{}, {}, {}, {}] pJ }}",
+            self.reset_pj, self.set_pj[0], self.set_pj[1], self.set_pj[2], self.set_pj[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_ii() {
+        let e = EnergyModel::paper_default();
+        assert_eq!(e.write_energy_pj(CellState::S1), 36.0);
+        assert_eq!(e.write_energy_pj(CellState::S2), 56.0);
+        assert_eq!(e.write_energy_pj(CellState::S3), 343.0);
+        assert_eq!(e.write_energy_pj(CellState::S4), 583.0);
+    }
+
+    #[test]
+    fn transition_energy_is_zero_for_unchanged_cells() {
+        let e = EnergyModel::paper_default();
+        for s in CellState::ALL {
+            assert_eq!(e.transition_energy_pj(s, s), 0.0);
+        }
+        assert_eq!(
+            e.transition_energy_pj(CellState::S1, CellState::S4),
+            e.write_energy_pj(CellState::S4)
+        );
+    }
+
+    #[test]
+    fn figure14_configurations_keep_low_states_fixed() {
+        for cfg in EnergyModel::figure14_configurations() {
+            assert_eq!(cfg.write_energy_pj(CellState::S1), 36.0);
+            assert_eq!(cfg.write_energy_pj(CellState::S2), 56.0);
+            assert!(cfg.write_energy_pj(CellState::S3) <= 343.0);
+            assert!(cfg.write_energy_pj(CellState::S4) <= 583.0);
+        }
+    }
+
+    #[test]
+    fn energy_order_is_monotone_in_default_model() {
+        let e = EnergyModel::paper_default();
+        let mut prev = -1.0;
+        for s in CellState::ALL {
+            assert!(e.write_energy_pj(s) > prev);
+            prev = e.write_energy_pj(s);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_energy_is_rejected() {
+        let _ = EnergyModel::new(-1.0, [0.0; 4]);
+    }
+
+    #[test]
+    fn display_mentions_reset() {
+        let e = EnergyModel::paper_default();
+        assert!(e.to_string().contains("RESET: 36"));
+    }
+}

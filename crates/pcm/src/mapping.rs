@@ -1,0 +1,207 @@
+//! Symbol-to-state mappings.
+//!
+//! An MLC PCM encoding is a bijection between the four 2-bit data symbols and
+//! the four cell states. The paper's coset candidates (Table I) are particular
+//! mappings; the *default mapping* stores `00, 10, 11, 01` in `S1, S2, S3, S4`
+//! respectively.
+
+use crate::state::{CellState, Symbol};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bijective mapping from 2-bit data symbols to cell states.
+///
+/// ```
+/// use wlcrc_pcm::mapping::SymbolMapping;
+/// use wlcrc_pcm::state::{CellState, Symbol};
+///
+/// let def = SymbolMapping::default_mapping();
+/// assert_eq!(def.state_of(Symbol::new(0b00)), CellState::S1);
+/// assert_eq!(def.symbol_of(CellState::S4), Symbol::new(0b01));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SymbolMapping {
+    /// `state_of[symbol.value()]` is the index of the state storing that symbol.
+    state_of: [u8; 4],
+}
+
+impl SymbolMapping {
+    /// Builds a mapping from the state assigned to each symbol value
+    /// (`states[v]` is the state that stores symbol `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is not a bijection.
+    pub fn from_states(states: [CellState; 4]) -> SymbolMapping {
+        let mut seen = [false; 4];
+        for s in states {
+            assert!(!seen[s.index()], "symbol mapping must be a bijection");
+            seen[s.index()] = true;
+        }
+        SymbolMapping {
+            state_of: [
+                states[0].index() as u8,
+                states[1].index() as u8,
+                states[2].index() as u8,
+                states[3].index() as u8,
+            ],
+        }
+    }
+
+    /// Builds a mapping from the symbol stored in each state
+    /// (`symbols[i]` is the symbol stored in state `S(i+1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is not a bijection.
+    pub fn from_symbols_per_state(symbols: [Symbol; 4]) -> SymbolMapping {
+        let mut states = [CellState::S1; 4];
+        let mut seen = [false; 4];
+        for (state_idx, sym) in symbols.iter().enumerate() {
+            assert!(!seen[sym.value() as usize], "symbol mapping must be a bijection");
+            seen[sym.value() as usize] = true;
+            states[sym.value() as usize] = CellState::from_index(state_idx);
+        }
+        SymbolMapping::from_states(states)
+    }
+
+    /// The default mapping of the paper: symbols `00, 10, 11, 01` are stored in
+    /// states `S1, S2, S3, S4` respectively. This is coset candidate `C1`.
+    pub fn default_mapping() -> SymbolMapping {
+        SymbolMapping::from_symbols_per_state([
+            Symbol::new(0b00),
+            Symbol::new(0b10),
+            Symbol::new(0b11),
+            Symbol::new(0b01),
+        ])
+    }
+
+    /// The state that stores `symbol` under this mapping.
+    #[inline]
+    pub fn state_of(&self, symbol: Symbol) -> CellState {
+        CellState::from_index(self.state_of[symbol.value() as usize] as usize)
+    }
+
+    /// The symbol stored in `state` under this mapping (inverse lookup).
+    #[inline]
+    pub fn symbol_of(&self, state: CellState) -> Symbol {
+        for v in 0..4u8 {
+            if self.state_of[v as usize] as usize == state.index() {
+                return Symbol::new(v);
+            }
+        }
+        unreachable!("SymbolMapping invariant guarantees a bijection")
+    }
+
+    /// The symbol assigned to each state, indexed by state (`S1` first).
+    pub fn symbols_per_state(&self) -> [Symbol; 4] {
+        [
+            self.symbol_of(CellState::S1),
+            self.symbol_of(CellState::S2),
+            self.symbol_of(CellState::S3),
+            self.symbol_of(CellState::S4),
+        ]
+    }
+
+    /// Enumerates all 24 possible symbol-to-state bijections.
+    pub fn all_mappings() -> Vec<SymbolMapping> {
+        let mut out = Vec::with_capacity(24);
+        let states = CellState::ALL;
+        for a in 0..4 {
+            for b in 0..4 {
+                if b == a {
+                    continue;
+                }
+                for c in 0..4 {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    let d = 6 - a - b - c;
+                    out.push(SymbolMapping::from_states([
+                        states[a], states[b], states[c], states[d],
+                    ]));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SymbolMapping {
+    fn default() -> SymbolMapping {
+        SymbolMapping::default_mapping()
+    }
+}
+
+impl fmt::Display for SymbolMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let per_state = self.symbols_per_state();
+        write!(
+            f,
+            "[S1<-{} S2<-{} S3<-{} S4<-{}]",
+            per_state[0], per_state[1], per_state[2], per_state[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mapping_matches_paper() {
+        let m = SymbolMapping::default_mapping();
+        assert_eq!(m.state_of(Symbol::new(0b00)), CellState::S1);
+        assert_eq!(m.state_of(Symbol::new(0b10)), CellState::S2);
+        assert_eq!(m.state_of(Symbol::new(0b11)), CellState::S3);
+        assert_eq!(m.state_of(Symbol::new(0b01)), CellState::S4);
+    }
+
+    #[test]
+    fn mapping_is_invertible() {
+        for m in SymbolMapping::all_mappings() {
+            for s in Symbol::ALL {
+                assert_eq!(m.symbol_of(m.state_of(s)), s);
+            }
+            for st in CellState::ALL {
+                assert_eq!(m.state_of(m.symbol_of(st)), st);
+            }
+        }
+    }
+
+    #[test]
+    fn all_mappings_are_distinct_and_complete() {
+        let all = SymbolMapping::all_mappings();
+        assert_eq!(all.len(), 24);
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_bijection_is_rejected() {
+        let _ = SymbolMapping::from_states([
+            CellState::S1,
+            CellState::S1,
+            CellState::S2,
+            CellState::S3,
+        ]);
+    }
+
+    #[test]
+    fn symbols_per_state_round_trips() {
+        let m = SymbolMapping::default_mapping();
+        let per_state = m.symbols_per_state();
+        assert_eq!(SymbolMapping::from_symbols_per_state(per_state), m);
+    }
+
+    #[test]
+    fn display_shows_all_states() {
+        let s = SymbolMapping::default_mapping().to_string();
+        assert!(s.contains("S1<-00"));
+        assert!(s.contains("S4<-01"));
+    }
+}

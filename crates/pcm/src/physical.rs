@@ -1,0 +1,254 @@
+//! Physical (stored) cell content of an encoded memory line.
+
+use crate::state::CellState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of a stored cell, used to break write energy and cell-update
+/// counts into the *data block* part and the *auxiliary* part, as the paper's
+/// figures do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// A cell holding (possibly encoded) data bits.
+    Data,
+    /// A cell holding auxiliary information: coset-candidate selectors,
+    /// flip flags, compression flags, ECC bits or reclaimed WLC bits.
+    Aux,
+}
+
+/// The cell states stored in the PCM array for one encoded memory line,
+/// together with the data/aux classification of every cell.
+///
+/// Different encoding schemes store a different number of cells per line
+/// (256 data cells plus zero or more auxiliary cells), so the length is not
+/// fixed. Two physical lines are only comparable cell-by-cell if they were
+/// produced by the same scheme.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalLine {
+    cells: Vec<CellState>,
+    classes: Vec<CellClass>,
+}
+
+impl PhysicalLine {
+    /// Creates a physical line of `len` cells, all in the RESET state `S1`,
+    /// all classified as data. This models a freshly initialised (erased) line.
+    pub fn all_reset(len: usize) -> PhysicalLine {
+        PhysicalLine {
+            cells: vec![CellState::S1; len],
+            classes: vec![CellClass::Data; len],
+        }
+    }
+
+    /// Creates a physical line from explicit cell states, all classified as data.
+    pub fn from_states(cells: Vec<CellState>) -> PhysicalLine {
+        let classes = vec![CellClass::Data; cells.len()];
+        PhysicalLine { cells, classes }
+    }
+
+    /// Creates a physical line from explicit cell states and classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn from_parts(cells: Vec<CellState>, classes: Vec<CellClass>) -> PhysicalLine {
+        assert_eq!(
+            cells.len(),
+            classes.len(),
+            "cells and classes must have the same length"
+        );
+        PhysicalLine { cells, classes }
+    }
+
+    /// Number of cells in the encoded line.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the line has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The state of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn state(&self, index: usize) -> CellState {
+        self.cells[index]
+    }
+
+    /// Sets the state of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn set_state(&mut self, index: usize, state: CellState) {
+        self.cells[index] = state;
+    }
+
+    /// The classification of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn class(&self, index: usize) -> CellClass {
+        self.classes[index]
+    }
+
+    /// Sets the classification of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn set_class(&mut self, index: usize, class: CellClass) {
+        self.classes[index] = class;
+    }
+
+    /// Appends a cell with the given state and class.
+    pub fn push(&mut self, state: CellState, class: CellClass) {
+        self.cells.push(state);
+        self.classes.push(class);
+    }
+
+    /// The stored cell states.
+    #[inline]
+    pub fn states(&self) -> &[CellState] {
+        &self.cells
+    }
+
+    /// The per-cell classifications.
+    #[inline]
+    pub fn classes(&self) -> &[CellClass] {
+        &self.classes
+    }
+
+    /// Number of cells classified as auxiliary.
+    pub fn aux_cells(&self) -> usize {
+        self.classes.iter().filter(|c| **c == CellClass::Aux).count()
+    }
+
+    /// Number of cells classified as data.
+    pub fn data_cells(&self) -> usize {
+        self.len() - self.aux_cells()
+    }
+
+    /// Number of cells whose state differs from `other` at the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two lines have different lengths.
+    pub fn changed_cells(&self, other: &PhysicalLine) -> usize {
+        assert_eq!(self.len(), other.len(), "lines must have the same cell count");
+        self.cells
+            .iter()
+            .zip(other.cells.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Iterates over `(index, state, class)` for every cell.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, CellState, CellClass)> + '_ {
+        self.cells
+            .iter()
+            .zip(self.classes.iter())
+            .enumerate()
+            .map(|(i, (s, c))| (i, *s, *c))
+    }
+
+    /// Histogram of stored states, indexed by state index.
+    pub fn state_histogram(&self) -> [usize; 4] {
+        let mut hist = [0usize; 4];
+        for s in &self.cells {
+            hist[s.index()] += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Debug for PhysicalLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PhysicalLine {{ cells: {}, aux: {}, states: ",
+            self.len(),
+            self.aux_cells()
+        )?;
+        for s in self.cells.iter().take(16) {
+            write!(f, "{}", s.index() + 1)?;
+        }
+        if self.len() > 16 {
+            write!(f, "...")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reset_is_uniform() {
+        let line = PhysicalLine::all_reset(10);
+        assert_eq!(line.len(), 10);
+        assert!(line.states().iter().all(|s| *s == CellState::S1));
+        assert_eq!(line.aux_cells(), 0);
+        assert_eq!(line.data_cells(), 10);
+    }
+
+    #[test]
+    fn changed_cells_counts_differences() {
+        let a = PhysicalLine::all_reset(4);
+        let mut b = a.clone();
+        b.set_state(1, CellState::S3);
+        b.set_state(3, CellState::S2);
+        assert_eq!(a.changed_cells(&b), 2);
+        assert_eq!(b.changed_cells(&a), 2);
+        assert_eq!(a.changed_cells(&a), 0);
+    }
+
+    #[test]
+    fn push_and_classify() {
+        let mut line = PhysicalLine::all_reset(2);
+        line.push(CellState::S4, CellClass::Aux);
+        assert_eq!(line.len(), 3);
+        assert_eq!(line.aux_cells(), 1);
+        assert_eq!(line.class(2), CellClass::Aux);
+        line.set_class(0, CellClass::Aux);
+        assert_eq!(line.aux_cells(), 2);
+    }
+
+    #[test]
+    fn state_histogram_sums_to_len() {
+        let mut line = PhysicalLine::all_reset(8);
+        line.set_state(0, CellState::S4);
+        line.set_state(1, CellState::S4);
+        line.set_state(2, CellState::S2);
+        let h = line.state_histogram();
+        assert_eq!(h.iter().sum::<usize>(), 8);
+        assert_eq!(h[3], 2);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[0], 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_are_rejected() {
+        let a = PhysicalLine::all_reset(4);
+        let b = PhysicalLine::all_reset(5);
+        let _ = a.changed_cells(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_checks_lengths() {
+        let _ = PhysicalLine::from_parts(vec![CellState::S1], vec![]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Cell states and 2-bit data symbols.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four programmable resistance states of a 4-level (MLC) PCM cell.
+///
+/// States are numbered in the order implied by the energy needed to program a
+/// cell into that state: `S1` requires the least energy (a single RESET pulse)
+/// and `S4` the most (RESET followed by many partial-SET iterations).
+///
+/// Resistance-wise, `S1` is the highest-resistance (amorphous/RESET) state and
+/// `S2` the lowest-resistance (fully crystalline/SET) state; `S3` and `S4` are
+/// the intermediate states reached through iterative program-and-verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CellState {
+    /// RESET state (highest resistance, lowest programming energy).
+    S1,
+    /// SET state (lowest resistance, immune to write disturbance).
+    S2,
+    /// First intermediate state (high programming energy).
+    S3,
+    /// Second intermediate state (highest programming energy).
+    S4,
+}
+
+impl CellState {
+    /// All four states, in energy order.
+    pub const ALL: [CellState; 4] = [CellState::S1, CellState::S2, CellState::S3, CellState::S4];
+
+    /// Returns the zero-based index of the state (`S1 -> 0`, ..., `S4 -> 3`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            CellState::S1 => 0,
+            CellState::S2 => 1,
+            CellState::S3 => 2,
+            CellState::S4 => 3,
+        }
+    }
+
+    /// Builds a state from its zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[inline]
+    pub const fn from_index(index: usize) -> CellState {
+        match index {
+            0 => CellState::S1,
+            1 => CellState::S2,
+            2 => CellState::S3,
+            3 => CellState::S4,
+            _ => panic!("cell state index out of range"),
+        }
+    }
+
+    /// `true` for the two low-energy states `S1` and `S2`.
+    #[inline]
+    pub const fn is_low_energy(self) -> bool {
+        matches!(self, CellState::S1 | CellState::S2)
+    }
+
+    /// `true` if an idle cell in this state can be disturbed by a neighbouring
+    /// RESET operation. Only `S2` (minimum resistance) is immune.
+    #[inline]
+    pub const fn is_disturbable(self) -> bool {
+        !matches!(self, CellState::S2)
+    }
+}
+
+impl fmt::Display for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.index() + 1)
+    }
+}
+
+/// A 2-bit data symbol stored in one MLC cell.
+///
+/// The value is in `0..=3` and is interpreted as the bit pair `(msb, lsb)`:
+/// `Symbol::new(0b10)` is the symbol `10`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Symbol(u8);
+
+impl Symbol {
+    /// All four symbols in numeric order `00, 01, 10, 11`.
+    pub const ALL: [Symbol; 4] = [Symbol(0b00), Symbol(0b01), Symbol(0b10), Symbol(0b11)];
+
+    /// Creates a symbol from its 2-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= 4`.
+    #[inline]
+    pub const fn new(value: u8) -> Symbol {
+        assert!(value < 4, "symbol value must be a 2-bit value");
+        Symbol(value)
+    }
+
+    /// Creates a symbol from its most-significant and least-significant bits.
+    #[inline]
+    pub const fn from_bits(msb: bool, lsb: bool) -> Symbol {
+        Symbol(((msb as u8) << 1) | lsb as u8)
+    }
+
+    /// Returns the 2-bit value of the symbol.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the most-significant bit of the symbol.
+    #[inline]
+    pub const fn msb(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+
+    /// Returns the least-significant bit of the symbol.
+    #[inline]
+    pub const fn lsb(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", (self.0 >> 1) & 1, self.0 & 1)
+    }
+}
+
+impl fmt::Binary for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02b}", self.0)
+    }
+}
+
+impl From<Symbol> for u8 {
+    fn from(s: Symbol) -> u8 {
+        s.0
+    }
+}
+
+impl TryFrom<u8> for Symbol {
+    type Error = InvalidSymbolError;
+
+    fn try_from(value: u8) -> Result<Symbol, InvalidSymbolError> {
+        if value < 4 {
+            Ok(Symbol(value))
+        } else {
+            Err(InvalidSymbolError { value })
+        }
+    }
+}
+
+/// Error returned when converting an out-of-range value into a [`Symbol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSymbolError {
+    /// The offending value.
+    pub value: u8,
+}
+
+impl fmt::Display for InvalidSymbolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} is not a valid 2-bit symbol", self.value)
+    }
+}
+
+impl std::error::Error for InvalidSymbolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_index_round_trip() {
+        for s in CellState::ALL {
+            assert_eq!(CellState::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    fn state_ordering_matches_energy_order() {
+        assert!(CellState::S1 < CellState::S2);
+        assert!(CellState::S2 < CellState::S3);
+        assert!(CellState::S3 < CellState::S4);
+    }
+
+    #[test]
+    fn low_energy_states() {
+        assert!(CellState::S1.is_low_energy());
+        assert!(CellState::S2.is_low_energy());
+        assert!(!CellState::S3.is_low_energy());
+        assert!(!CellState::S4.is_low_energy());
+    }
+
+    #[test]
+    fn disturbable_states_exclude_s2() {
+        assert!(CellState::S1.is_disturbable());
+        assert!(!CellState::S2.is_disturbable());
+        assert!(CellState::S3.is_disturbable());
+        assert!(CellState::S4.is_disturbable());
+    }
+
+    #[test]
+    fn symbol_bits_round_trip() {
+        for v in 0..4u8 {
+            let s = Symbol::new(v);
+            assert_eq!(Symbol::from_bits(s.msb(), s.lsb()), s);
+            assert_eq!(u8::from(s), v);
+        }
+    }
+
+    #[test]
+    fn symbol_try_from_rejects_out_of_range() {
+        assert!(Symbol::try_from(3u8).is_ok());
+        assert!(Symbol::try_from(4u8).is_err());
+        let err = Symbol::try_from(200u8).unwrap_err();
+        assert_eq!(err.value, 200);
+        assert!(err.to_string().contains("200"));
+    }
+
+    #[test]
+    fn symbol_display_is_two_bits() {
+        assert_eq!(Symbol::new(0b00).to_string(), "00");
+        assert_eq!(Symbol::new(0b01).to_string(), "01");
+        assert_eq!(Symbol::new(0b10).to_string(), "10");
+        assert_eq!(Symbol::new(0b11).to_string(), "11");
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(CellState::S1.to_string(), "S1");
+        assert_eq!(CellState::S4.to_string(), "S4");
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential write: only cells whose state changes are programmed.
+
+use crate::energy::EnergyModel;
+use crate::physical::{CellClass, PhysicalLine};
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// The outcome of one differential write of an encoded line into the array.
+///
+/// Energy and updated-cell counts are broken down into the data-block part and
+/// the auxiliary part, following the figures of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WriteOutcome {
+    /// Energy (pJ) spent programming data cells that changed.
+    pub data_energy_pj: f64,
+    /// Energy (pJ) spent programming auxiliary cells that changed.
+    pub aux_energy_pj: f64,
+    /// Number of data cells that changed and were therefore programmed.
+    pub data_cells_updated: usize,
+    /// Number of auxiliary cells that changed and were therefore programmed.
+    pub aux_cells_updated: usize,
+}
+
+impl WriteOutcome {
+    /// Total write energy (data + auxiliary), in picojoules.
+    #[inline]
+    pub fn total_energy_pj(&self) -> f64 {
+        self.data_energy_pj + self.aux_energy_pj
+    }
+
+    /// Total number of cells programmed (data + auxiliary).
+    #[inline]
+    pub fn total_cells_updated(&self) -> usize {
+        self.data_cells_updated + self.aux_cells_updated
+    }
+}
+
+impl AddAssign for WriteOutcome {
+    fn add_assign(&mut self, rhs: WriteOutcome) {
+        self.data_energy_pj += rhs.data_energy_pj;
+        self.aux_energy_pj += rhs.aux_energy_pj;
+        self.data_cells_updated += rhs.data_cells_updated;
+        self.aux_cells_updated += rhs.aux_cells_updated;
+    }
+}
+
+/// Performs a differential write of `new` over the currently stored `old`
+/// content and reports the energy and number of programmed cells.
+///
+/// A cell is programmed only if its target state differs from the stored
+/// state; each programmed cell costs the RESET energy plus the SET energy of
+/// its target state. The data/aux split follows the classification carried by
+/// the *new* encoded line.
+///
+/// # Panics
+///
+/// Panics if the two lines have a different number of cells (they must come
+/// from the same encoding scheme).
+pub fn differential_write(
+    old: &PhysicalLine,
+    new: &PhysicalLine,
+    energy: &EnergyModel,
+) -> WriteOutcome {
+    assert_eq!(
+        old.len(),
+        new.len(),
+        "differential write requires lines of identical cell count"
+    );
+    let mut outcome = WriteOutcome::default();
+    for (idx, new_state, class) in new.iter() {
+        let old_state = old.state(idx);
+        if old_state == new_state {
+            continue;
+        }
+        let e = energy.write_energy_pj(new_state);
+        match class {
+            CellClass::Data => {
+                outcome.data_energy_pj += e;
+                outcome.data_cells_updated += 1;
+            }
+            CellClass::Aux => {
+                outcome.aux_energy_pj += e;
+                outcome.aux_cells_updated += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// Returns the indices of the cells that a differential write would program.
+///
+/// # Panics
+///
+/// Panics if the two lines have a different number of cells.
+pub fn changed_cell_indices(old: &PhysicalLine, new: &PhysicalLine) -> Vec<usize> {
+    assert_eq!(old.len(), new.len());
+    (0..new.len())
+        .filter(|&i| old.state(i) != new.state(i))
+        .collect()
+}
+
+/// Computes only the total differential-write energy of writing `new` over
+/// `old`, without the data/aux breakdown. This is the inner loop of every
+/// encoder's candidate-selection cost function, so it is kept allocation-free.
+///
+/// # Panics
+///
+/// Panics if the two lines have a different number of cells.
+pub fn write_cost_pj(old: &PhysicalLine, new: &PhysicalLine, energy: &EnergyModel) -> f64 {
+    assert_eq!(old.len(), new.len());
+    let mut cost = 0.0;
+    for i in 0..new.len() {
+        cost += energy.transition_energy_pj(old.state(i), new.state(i));
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::CellState;
+
+    fn line(states: &[CellState]) -> PhysicalLine {
+        PhysicalLine::from_states(states.to_vec())
+    }
+
+    #[test]
+    fn identical_lines_cost_nothing() {
+        let e = EnergyModel::paper_default();
+        let a = line(&[CellState::S3, CellState::S2, CellState::S4]);
+        let out = differential_write(&a, &a, &e);
+        assert_eq!(out.total_energy_pj(), 0.0);
+        assert_eq!(out.total_cells_updated(), 0);
+        assert!(changed_cell_indices(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn changed_cells_pay_full_programming_energy() {
+        let e = EnergyModel::paper_default();
+        let old = line(&[CellState::S1, CellState::S1]);
+        let new = line(&[CellState::S4, CellState::S1]);
+        let out = differential_write(&old, &new, &e);
+        assert_eq!(out.data_cells_updated, 1);
+        assert_eq!(out.total_energy_pj(), 36.0 + 547.0);
+        assert_eq!(changed_cell_indices(&old, &new), vec![0]);
+    }
+
+    #[test]
+    fn aux_cells_are_accounted_separately() {
+        let e = EnergyModel::paper_default();
+        let old = PhysicalLine::all_reset(3);
+        let mut new = PhysicalLine::all_reset(3);
+        new.set_state(0, CellState::S2);
+        new.set_state(2, CellState::S3);
+        new.set_class(2, CellClass::Aux);
+        let out = differential_write(&old, &new, &e);
+        assert_eq!(out.data_cells_updated, 1);
+        assert_eq!(out.aux_cells_updated, 1);
+        assert_eq!(out.data_energy_pj, 56.0);
+        assert_eq!(out.aux_energy_pj, 343.0);
+    }
+
+    #[test]
+    fn write_cost_matches_outcome_total() {
+        let e = EnergyModel::paper_default();
+        let old = line(&[CellState::S1, CellState::S2, CellState::S3, CellState::S4]);
+        let new = line(&[CellState::S4, CellState::S2, CellState::S1, CellState::S2]);
+        let out = differential_write(&old, &new, &e);
+        assert!((write_cost_pj(&old, &new, &e) - out.total_energy_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcomes_accumulate() {
+        let e = EnergyModel::paper_default();
+        let old = PhysicalLine::all_reset(2);
+        let mut new = PhysicalLine::all_reset(2);
+        new.set_state(0, CellState::S2);
+        let mut acc = WriteOutcome::default();
+        acc += differential_write(&old, &new, &e);
+        acc += differential_write(&old, &new, &e);
+        assert_eq!(acc.data_cells_updated, 2);
+        assert_eq!(acc.total_energy_pj(), 112.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let e = EnergyModel::paper_default();
+        let _ = differential_write(&PhysicalLine::all_reset(2), &PhysicalLine::all_reset(3), &e);
+    }
+}

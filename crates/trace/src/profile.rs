@@ -1,0 +1,362 @@
+//! Workload profiles describing the value statistics of each benchmark.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory-intensity group a benchmark belongs to in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntensityClass {
+    /// High memory intensity (HMI).
+    High,
+    /// Low memory intensity (LMI).
+    Low,
+}
+
+impl fmt::Display for IntensityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntensityClass::High => write!(f, "HMI"),
+            IntensityClass::Low => write!(f, "LMI"),
+        }
+    }
+}
+
+/// The benchmarks evaluated by the paper: twelve write-intensive SPEC CPU2006
+/// workloads plus `canneal` from PARSEC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Leslie3d,
+    Milc,
+    Wrf,
+    Soplex,
+    Zeusmp,
+    Lbm,
+    Gcc,
+    Astar,
+    Mcf,
+    Canneal,
+    Libquantum,
+    Omnetpp,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper's figures list them
+    /// (HMI group first, then LMI group).
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Leslie3d,
+        Benchmark::Milc,
+        Benchmark::Wrf,
+        Benchmark::Soplex,
+        Benchmark::Zeusmp,
+        Benchmark::Lbm,
+        Benchmark::Gcc,
+        Benchmark::Astar,
+        Benchmark::Mcf,
+        Benchmark::Canneal,
+        Benchmark::Libquantum,
+        Benchmark::Omnetpp,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Benchmark::Leslie3d => "lesl",
+            Benchmark::Milc => "milc",
+            Benchmark::Wrf => "wrf",
+            Benchmark::Soplex => "sopl",
+            Benchmark::Zeusmp => "zeus",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Astar => "asta",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Canneal => "cann",
+            Benchmark::Libquantum => "libq",
+            Benchmark::Omnetpp => "omne",
+        }
+    }
+
+    /// The memory-intensity group of the benchmark.
+    pub fn intensity(self) -> IntensityClass {
+        match self {
+            Benchmark::Leslie3d
+            | Benchmark::Milc
+            | Benchmark::Wrf
+            | Benchmark::Soplex
+            | Benchmark::Zeusmp
+            | Benchmark::Lbm
+            | Benchmark::Gcc => IntensityClass::High,
+            _ => IntensityClass::Low,
+        }
+    }
+
+    /// The synthetic profile standing in for this benchmark's trace.
+    pub fn profile(self) -> WorkloadProfile {
+        WorkloadProfile::for_benchmark(self)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Probabilities of the different line-content classes a workload writes.
+///
+/// Classes are chosen per line (not per word) because the content of a memory
+/// line is strongly correlated: a line in the middle of a `double` array is
+/// all doubles, a page of pointers is all pointers, and so on. The mix
+/// controls symbol-frequency bias and WLC/FPC/BDI/COC coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineClassMix {
+    /// Entirely zero lines.
+    pub zero: f64,
+    /// Small non-negative integers (fits in 8–32 bits).
+    pub small_positive: f64,
+    /// Small negative integers (sign-extended ones in the upper bits).
+    pub small_negative: f64,
+    /// Arrays of nearby 48-bit pointers.
+    pub pointer: f64,
+    /// IEEE-754 doubles with a common exponent range.
+    pub float: f64,
+    /// ASCII text.
+    pub text: f64,
+    /// Uniformly random payloads.
+    pub random: f64,
+}
+
+impl LineClassMix {
+    /// Sum of all class probabilities (should be ≈ 1).
+    pub fn total(&self) -> f64 {
+        self.zero
+            + self.small_positive
+            + self.small_negative
+            + self.pointer
+            + self.float
+            + self.text
+            + self.random
+    }
+
+    /// Checks that the mix forms a probability distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or the sum is not within 1e-6 of 1.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("zero", self.zero),
+            ("small_positive", self.small_positive),
+            ("small_negative", self.small_negative),
+            ("pointer", self.pointer),
+            ("float", self.float),
+            ("text", self.text),
+            ("random", self.random),
+        ] {
+            assert!(p >= 0.0, "probability {name} must be non-negative");
+        }
+        assert!(
+            (self.total() - 1.0).abs() < 1e-6,
+            "line class mix must sum to 1 (got {})",
+            self.total()
+        );
+    }
+}
+
+/// A complete synthetic workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Workload name used in reports.
+    pub name: String,
+    /// Memory-intensity group.
+    pub intensity: IntensityClass,
+    /// Relative number of line writes per unit of execution (used to scale
+    /// per-workload totals; HMI benchmarks are 3–10× LMI ones).
+    pub write_intensity: f64,
+    /// Number of distinct line addresses in the working set.
+    pub working_set_lines: usize,
+    /// Probability that a rewrite of a line is an incremental update of its
+    /// previous value rather than an unrelated new value.
+    pub rewrite_similarity: f64,
+    /// When performing an incremental update, probability that each 64-bit
+    /// word of the line is modified.
+    pub word_modify_prob: f64,
+    /// Line content class mix.
+    pub mix: LineClassMix,
+}
+
+impl WorkloadProfile {
+    /// The profile of one of the paper's benchmarks.
+    ///
+    /// The mixes are calibrated so that the aggregate statistics match what
+    /// the paper reports: WLC with k ≤ 6 covers >91 % of lines on average,
+    /// FPC+BDI compresses ≈30 % of lines below 369 bits, `00`/`11` symbols
+    /// dominate, and the HMI group writes several times more lines than LMI.
+    pub fn for_benchmark(benchmark: Benchmark) -> WorkloadProfile {
+        use Benchmark::*;
+        let (write_intensity, working_set, similarity, word_mod, mix) = match benchmark {
+            // Scientific FP codes: the write traffic is dominated by zeroed
+            // regions, index/integer data and small-magnitude values, with a
+            // modest fraction of raw double arrays; high intensity.
+            Leslie3d => (10.0, 4096, 0.55, 0.45, LineClassMix {
+                zero: 0.32, small_positive: 0.36, small_negative: 0.08,
+                pointer: 0.12, float: 0.06, text: 0.01, random: 0.05,
+            }),
+            Milc => (9.0, 8192, 0.50, 0.50, LineClassMix {
+                zero: 0.30, small_positive: 0.36, small_negative: 0.07,
+                pointer: 0.12, float: 0.08, text: 0.01, random: 0.06,
+            }),
+            Wrf => (7.0, 4096, 0.60, 0.40, LineClassMix {
+                zero: 0.38, small_positive: 0.36, small_negative: 0.06,
+                pointer: 0.10, float: 0.05, text: 0.02, random: 0.03,
+            }),
+            Soplex => (6.5, 4096, 0.60, 0.35, LineClassMix {
+                zero: 0.33, small_positive: 0.36, small_negative: 0.08,
+                pointer: 0.14, float: 0.04, text: 0.02, random: 0.03,
+            }),
+            Zeusmp => (6.0, 4096, 0.62, 0.35, LineClassMix {
+                zero: 0.38, small_positive: 0.35, small_negative: 0.07,
+                pointer: 0.11, float: 0.04, text: 0.02, random: 0.03,
+            }),
+            Lbm => (5.5, 8192, 0.45, 0.55, LineClassMix {
+                zero: 0.28, small_positive: 0.36, small_negative: 0.08,
+                pointer: 0.10, float: 0.10, text: 0.02, random: 0.06,
+            }),
+            Gcc => (5.0, 2048, 0.65, 0.30, LineClassMix {
+                zero: 0.36, small_positive: 0.29, small_negative: 0.08,
+                pointer: 0.20, float: 0.02, text: 0.03, random: 0.02,
+            }),
+            // LMI group.
+            Astar => (2.0, 2048, 0.70, 0.25, LineClassMix {
+                zero: 0.30, small_positive: 0.35, small_negative: 0.08,
+                pointer: 0.22, float: 0.02, text: 0.02, random: 0.01,
+            }),
+            Mcf => (2.5, 4096, 0.60, 0.35, LineClassMix {
+                zero: 0.26, small_positive: 0.33, small_negative: 0.10,
+                pointer: 0.24, float: 0.02, text: 0.02, random: 0.03,
+            }),
+            Canneal => (2.2, 8192, 0.55, 0.40, LineClassMix {
+                zero: 0.24, small_positive: 0.32, small_negative: 0.08,
+                pointer: 0.28, float: 0.03, text: 0.02, random: 0.03,
+            }),
+            Libquantum => (1.8, 1024, 0.75, 0.20, LineClassMix {
+                zero: 0.40, small_positive: 0.36, small_negative: 0.06,
+                pointer: 0.10, float: 0.04, text: 0.02, random: 0.02,
+            }),
+            Omnetpp => (1.5, 2048, 0.68, 0.28, LineClassMix {
+                zero: 0.31, small_positive: 0.30, small_negative: 0.08,
+                pointer: 0.24, float: 0.02, text: 0.03, random: 0.02,
+            }),
+        };
+        let profile = WorkloadProfile {
+            name: benchmark.short_name().to_string(),
+            intensity: benchmark.intensity(),
+            write_intensity,
+            working_set_lines: working_set,
+            rewrite_similarity: similarity,
+            word_modify_prob: word_mod,
+            mix,
+        };
+        profile.mix.validate();
+        profile
+    }
+
+    /// A profile writing uniformly random data with no locality; used for the
+    /// "random workloads" studies (Figures 1(a) and 2).
+    pub fn random_data(working_set_lines: usize) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "random".to_string(),
+            intensity: IntensityClass::High,
+            write_intensity: 1.0,
+            working_set_lines,
+            rewrite_similarity: 0.0,
+            word_modify_prob: 1.0,
+            mix: LineClassMix {
+                zero: 0.0,
+                small_positive: 0.0,
+                small_negative: 0.0,
+                pointer: 0.0,
+                float: 0.0,
+                text: 0.0,
+                random: 1.0,
+            },
+        }
+    }
+
+    /// Profiles for all twelve benchmarks, in the paper's figure order.
+    pub fn all_benchmarks() -> Vec<WorkloadProfile> {
+        Benchmark::ALL.iter().map(|b| b.profile()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_profile_is_valid() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            p.mix.validate();
+            assert!(p.write_intensity > 0.0);
+            assert!(p.working_set_lines > 0);
+            assert!((0.0..=1.0).contains(&p.rewrite_similarity));
+            assert!((0.0..=1.0).contains(&p.word_modify_prob));
+            assert_eq!(p.name, b.short_name());
+        }
+    }
+
+    #[test]
+    fn hmi_benchmarks_write_more_than_lmi() {
+        let hmi_min = Benchmark::ALL
+            .iter()
+            .filter(|b| b.intensity() == IntensityClass::High)
+            .map(|b| b.profile().write_intensity)
+            .fold(f64::INFINITY, f64::min);
+        let lmi_max = Benchmark::ALL
+            .iter()
+            .filter(|b| b.intensity() == IntensityClass::Low)
+            .map(|b| b.profile().write_intensity)
+            .fold(0.0, f64::max);
+        assert!(hmi_min > lmi_max);
+    }
+
+    #[test]
+    fn benchmark_groups_match_paper() {
+        assert_eq!(Benchmark::Leslie3d.intensity(), IntensityClass::High);
+        assert_eq!(Benchmark::Gcc.intensity(), IntensityClass::High);
+        assert_eq!(Benchmark::Canneal.intensity(), IntensityClass::Low);
+        assert_eq!(Benchmark::Omnetpp.intensity(), IntensityClass::Low);
+        let hmi = Benchmark::ALL.iter().filter(|b| b.intensity() == IntensityClass::High).count();
+        assert_eq!(hmi, 7);
+    }
+
+    #[test]
+    fn random_profile_is_pure_random() {
+        let p = WorkloadProfile::random_data(128);
+        assert_eq!(p.mix.random, 1.0);
+        assert_eq!(p.rewrite_similarity, 0.0);
+        p.mix.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_mix_is_rejected() {
+        let mix = LineClassMix {
+            zero: 0.9,
+            small_positive: 0.9,
+            small_negative: 0.0,
+            pointer: 0.0,
+            float: 0.0,
+            text: 0.0,
+            random: 0.0,
+        };
+        mix.validate();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Benchmark::Leslie3d.to_string(), "lesl");
+        assert_eq!(IntensityClass::High.to_string(), "HMI");
+    }
+}

@@ -1,0 +1,128 @@
+//! Write records and traces.
+
+use serde::{Deserialize, Serialize};
+use wlcrc_pcm::line::MemoryLine;
+
+/// One memory write transaction: the line address, the value to be stored and
+/// the value being overwritten (required because every scheme is layered on
+/// top of differential write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteRecord {
+    /// Line-aligned physical address of the write.
+    pub address: u64,
+    /// The value previously stored at the address.
+    pub old: MemoryLine,
+    /// The value being written.
+    pub new: MemoryLine,
+}
+
+impl WriteRecord {
+    /// Creates a write record.
+    pub fn new(address: u64, old: MemoryLine, new: MemoryLine) -> WriteRecord {
+        WriteRecord { address, old, new }
+    }
+
+    /// Number of data bits that change in this write.
+    pub fn changed_bits(&self) -> u32 {
+        self.old.hamming_distance(&self.new)
+    }
+}
+
+/// A sequence of write records produced by one workload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Name of the workload that produced the trace.
+    pub workload: String,
+    records: Vec<WriteRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the named workload.
+    pub fn new(workload: impl Into<String>) -> Trace {
+        Trace { workload: workload.into(), records: Vec::new() }
+    }
+
+    /// Creates a trace from existing records.
+    pub fn from_records(workload: impl Into<String>, records: Vec<WriteRecord>) -> Trace {
+        Trace { workload: workload.into(), records }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: WriteRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of write records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records of the trace.
+    pub fn records(&self) -> &[WriteRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteRecord> {
+        self.records.iter()
+    }
+
+    /// Average number of changed bits per write, a quick locality metric.
+    pub fn mean_changed_bits(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.records.iter().map(|r| u64::from(r.changed_bits())).sum();
+        total as f64 / self.records.len() as f64
+    }
+}
+
+impl Extend<WriteRecord> for Trace {
+    fn extend<T: IntoIterator<Item = WriteRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a WriteRecord;
+    type IntoIter = std::slice::Iter<'a, WriteRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changed_bits_counts_difference() {
+        let old = MemoryLine::ZERO;
+        let mut new = MemoryLine::ZERO;
+        new.set_word(0, 0b1011);
+        let rec = WriteRecord::new(0x40, old, new);
+        assert_eq!(rec.changed_bits(), 3);
+    }
+
+    #[test]
+    fn trace_accumulates_records() {
+        let mut trace = Trace::new("test");
+        assert!(trace.is_empty());
+        trace.push(WriteRecord::new(0, MemoryLine::ZERO, MemoryLine::ZERO));
+        trace.push(WriteRecord::new(64, MemoryLine::ZERO, MemoryLine::ZERO.complement()));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.mean_changed_bits(), 256.0);
+        assert_eq!(trace.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_mean_is_zero() {
+        assert_eq!(Trace::new("x").mean_changed_bits(), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Evaluate WLCRC-16 under a custom PCM energy model — the Figure 14 study
+//! generalised: plug in your own RESET/SET energies and disturbance rates.
+//!
+//! Run with `cargo run --release --example custom_energy_model`.
+
+use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+use wlcrc_repro::pcm::config::PcmConfig;
+use wlcrc_repro::pcm::disturb::DisturbanceModel;
+use wlcrc_repro::pcm::energy::EnergyModel;
+use wlcrc_repro::pcm::codec::RawCodec;
+use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use wlcrc_repro::wlcrc::WlcCosetCodec;
+
+fn main() {
+    // A hypothetical next-generation device: cheaper intermediate states and
+    // slightly better disturbance immunity than the paper's 20 nm numbers.
+    let custom_energy = EnergyModel::new(30.0, [0.0, 15.0, 120.0, 220.0]);
+    let custom_disturbance = DisturbanceModel::new([0.08, 0.0, 0.18, 0.10]);
+
+    let mut config = PcmConfig::table_ii();
+    config.energy = custom_energy;
+    config.disturbance = custom_disturbance;
+
+    println!("custom device: {}", config.energy);
+
+    let simulator = Simulator::with_config(config)
+        .with_options(SimulationOptions { seed: 3, verify_integrity: true });
+
+    let baseline = RawCodec::new();
+    let wlcrc = WlcCosetCodec::wlcrc16();
+
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "bench", "base (pJ)", "wlcrc (pJ)", "saving", "base dist", "wlcrc dist"
+    );
+    for benchmark in [Benchmark::Leslie3d, Benchmark::Gcc, Benchmark::Mcf, Benchmark::Libquantum] {
+        let mut generator = TraceGenerator::new(benchmark.profile(), 17);
+        let trace = generator.generate(1500);
+        let base = simulator.run(&baseline, &trace);
+        let ours = simulator.run(&wlcrc, &trace);
+        println!(
+            "{:<6} {:>12.1} {:>12.1} {:>8.1}% {:>12.2} {:>12.2}",
+            benchmark.short_name(),
+            base.mean_energy_pj(),
+            ours.mean_energy_pj(),
+            (1.0 - ours.mean_energy_pj() / base.mean_energy_pj()) * 100.0,
+            base.mean_disturb_errors(),
+            ours.mean_disturb_errors(),
+        );
+    }
+    println!("\nEven with 2.5x cheaper intermediate states the encoding keeps a solid saving,");
+    println!("mirroring the conclusion of the paper's Figure 14 sensitivity study.");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: encode one memory line with WLCRC-16, write it differentially
+//! and inspect the energy, endurance and disturbance numbers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wlcrc_repro::pcm::disturb::evaluate_disturbance;
+use wlcrc_repro::pcm::prelude::*;
+use wlcrc_repro::wlcrc::WlcCosetCodec;
+
+fn main() {
+    let energy = EnergyModel::paper_default();
+    let disturbance = DisturbanceModel::paper_default();
+    let codec = WlcCosetCodec::wlcrc16();
+
+    // The value currently stored in the line and the value we want to write.
+    let old_data = MemoryLine::from_words([0x0000_0000_0001_F400; 8]);
+    let new_data = MemoryLine::from_words([
+        0x0000_0000_0001_F4A0,
+        0xFFFF_FFFF_FFFF_FF9C, // -100
+        0x0000_7F33_2201_1000, // a heap pointer
+        0,
+        0x0000_0000_0C0F_FEE0,
+        0x0000_0000_0001_F400,
+        0xFFFF_FFFF_FFFF_0000,
+        0x0000_0000_0000_002A,
+    ]);
+
+    // What is physically stored before the write: the old data, encoded.
+    let stored = codec.encode(&old_data, &codec.initial_line(), &energy);
+
+    // Encode the new data against the stored content and write differentially.
+    let encoded = codec.encode(&new_data, &stored, &energy);
+    let outcome = differential_write(&stored, &encoded, &energy);
+    let mut rng = StdRng::seed_from_u64(1);
+    let disturb = evaluate_disturbance(&stored, &encoded, &disturbance, &mut rng);
+
+    println!("scheme                : {}", codec.name());
+    println!("line compressible     : {}", codec.is_compressible(&new_data));
+    println!("encoded cells         : {} (256 data + 1 flag)", encoded.len());
+    println!("write energy          : {:.1} pJ", outcome.total_energy_pj());
+    println!("  data cells          : {:.1} pJ", outcome.data_energy_pj);
+    println!("  auxiliary cells     : {:.1} pJ", outcome.aux_energy_pj);
+    println!("cells programmed      : {}", outcome.total_cells_updated());
+    println!("expected disturbances : {:.3}", disturb.expected_total_errors());
+
+    // The decode must return exactly what we wrote.
+    assert_eq!(codec.decode(&encoded), new_data);
+    println!("decode                : OK (lossless round trip)");
+
+    // Compare with the baseline (differential write only).
+    let baseline = RawCodec::new();
+    let stored_b = baseline.encode(&old_data, &baseline.initial_line(), &energy);
+    let encoded_b = baseline.encode(&new_data, &stored_b, &energy);
+    let outcome_b = differential_write(&stored_b, &encoded_b, &energy);
+    println!(
+        "baseline energy       : {:.1} pJ  ({:.0}% saved by WLCRC-16)",
+        outcome_b.total_energy_pj(),
+        (1.0 - outcome.total_energy_pj() / outcome_b.total_energy_pj()) * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! Compare every scheme of the paper's evaluation on one synthetic workload:
+//! the Figure 8/9/10 experiment in miniature.
+//!
+//! Run with `cargo run --release --example scheme_comparison [-- <benchmark>]`
+//! where `<benchmark>` is one of the paper's short names (default: `gcc`).
+
+use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+use wlcrc_repro::pcm::config::PcmConfig;
+use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use wlcrc_repro::wlcrc::schemes::standard_schemes;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let benchmark = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.short_name() == wanted)
+        .unwrap_or(Benchmark::Gcc);
+
+    let mut generator = TraceGenerator::new(benchmark.profile(), 2024);
+    let trace = generator.generate(3000);
+    println!(
+        "workload {} ({}): {} writes, {:.1} changed bits per write on average\n",
+        benchmark.short_name(),
+        benchmark.intensity(),
+        trace.len(),
+        trace.mean_changed_bits()
+    );
+
+    let simulator = Simulator::with_config(PcmConfig::table_ii())
+        .with_options(SimulationOptions { seed: 7, verify_integrity: true });
+
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>10}",
+        "scheme", "energy (pJ)", "updated cells", "disturb/line", "integrity"
+    );
+    let mut baseline_energy = None;
+    for (id, codec) in standard_schemes() {
+        let stats = simulator.run(codec.as_ref(), &trace);
+        if baseline_energy.is_none() {
+            baseline_energy = Some(stats.mean_energy_pj());
+        }
+        let saving = baseline_energy
+            .map(|b| format!("{:>5.1}%", (1.0 - stats.mean_energy_pj() / b) * 100.0))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>12.1} {:>14.1} {:>12.2} {:>10}   saving {}",
+            id.label(),
+            stats.mean_energy_pj(),
+            stats.mean_updated_cells(),
+            stats.mean_disturb_errors(),
+            if stats.integrity_failures == 0 { "OK" } else { "FAIL" },
+            saving,
+        );
+    }
+}

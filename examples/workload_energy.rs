@@ -1,0 +1,61 @@
+//! Inspect how the value statistics of different workloads drive write energy
+//! and compression coverage: symbol histograms, WLC coverage for several `k`,
+//! and the resulting WLCRC-16 saving per benchmark.
+//!
+//! Run with `cargo run --release --example workload_energy`.
+
+use wlcrc_repro::compress::{Compressor, Wlc};
+use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+use wlcrc_repro::pcm::codec::RawCodec;
+use wlcrc_repro::pcm::config::PcmConfig;
+use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use wlcrc_repro::wlcrc::WlcCosetCodec;
+
+fn main() {
+    println!(
+        "{:<6} {:>6} {:>6} {:>6} {:>6}  {:>8} {:>8}  {:>10} {:>10} {:>8}",
+        "bench", "%00", "%01", "%10", "%11", "WLC k=6", "WLC k=9", "base (pJ)", "wlcrc (pJ)", "saving"
+    );
+    for benchmark in Benchmark::ALL {
+        let mut generator = TraceGenerator::new(benchmark.profile(), 99);
+        let trace = generator.generate(1500);
+
+        // Symbol histogram of the written data.
+        let mut hist = [0usize; 4];
+        let mut wlc6 = 0usize;
+        let mut wlc9 = 0usize;
+        for record in trace.iter() {
+            let h = record.new.symbol_histogram();
+            for i in 0..4 {
+                hist[i] += h[i];
+            }
+            if Wlc::new(6).compresses_to(&record.new, 512) {
+                wlc6 += 1;
+            }
+            if Wlc::new(9).compresses_to(&record.new, 512) {
+                wlc9 += 1;
+            }
+        }
+        let total: usize = hist.iter().sum();
+        let pct = |v: usize| v as f64 / total as f64 * 100.0;
+
+        let simulator = Simulator::with_config(PcmConfig::table_ii())
+            .with_options(SimulationOptions { seed: 5, verify_integrity: false });
+        let base = simulator.run(&RawCodec::new(), &trace);
+        let wlcrc = simulator.run(&WlcCosetCodec::wlcrc16(), &trace);
+
+        println!(
+            "{:<6} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%  {:>7.1}% {:>7.1}%  {:>10.1} {:>10.1} {:>7.1}%",
+            benchmark.short_name(),
+            pct(hist[0b00]),
+            pct(hist[0b01]),
+            pct(hist[0b10]),
+            pct(hist[0b11]),
+            wlc6 as f64 / trace.len() as f64 * 100.0,
+            wlc9 as f64 / trace.len() as f64 * 100.0,
+            base.mean_energy_pj(),
+            wlcrc.mean_energy_pj(),
+            (1.0 - wlcrc.mean_energy_pj() / base.mean_energy_pj()) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Umbrella crate of the WLCRC reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it simply re-exports the member
+//! crates under stable names so that downstream users can depend on a single
+//! package:
+//!
+//! * [`pcm`] — MLC PCM device model (cells, energy, differential write,
+//!   disturbance).
+//! * [`ecc`] — BCH / Hamming substrates.
+//! * [`compress`] — WLC, FPC, BDI and COC compressors.
+//! * [`coset`] — coset-coding schemes (3/4/6cosets, restricted, FNW, FlipMin,
+//!   DIN).
+//! * [`wlcrc`] — the paper's contribution: WLC-integrated restricted coset
+//!   coding, plus the scheme registry and the hardware-overhead model.
+//! * [`trace`] — synthetic SPEC/PARSEC-like write-trace generation.
+//! * [`memsim`] — the trace-driven simulator and statistics.
+//!
+//! ```
+//! use wlcrc_repro::wlcrc::WlcCosetCodec;
+//! use wlcrc_repro::pcm::prelude::*;
+//!
+//! let codec = WlcCosetCodec::wlcrc16();
+//! let energy = EnergyModel::paper_default();
+//! let data = MemoryLine::from_words([42; 8]);
+//! let encoded = codec.encode(&data, &codec.initial_line(), &energy);
+//! assert_eq!(codec.decode(&encoded), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wlcrc;
+pub use wlcrc_compress as compress;
+pub use wlcrc_coset as coset;
+pub use wlcrc_ecc as ecc;
+pub use wlcrc_memsim as memsim;
+pub use wlcrc_pcm as pcm;
+pub use wlcrc_trace as trace;
