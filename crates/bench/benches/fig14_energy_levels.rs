@@ -7,9 +7,8 @@ use wlcrc_bench::figures::figure14;
 fn fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_energy_levels");
     group.sample_size(10);
-    group.bench_function("energy_sensitivity", |b| {
-        b.iter(|| figure14(std::hint::black_box(40), 1))
-    });
+    group
+        .bench_function("energy_sensitivity", |b| b.iter(|| figure14(std::hint::black_box(40), 1)));
     group.finish();
 }
 

@@ -13,9 +13,8 @@ fn main() {
         let mut generator = TraceGenerator::new(bench.profile(), args.seed);
         let trace = generator.generate(args.lines);
         for (id, codec) in standard_schemes() {
-            let sim = Simulator::with_config(PcmConfig::table_ii()).with_options(
-                SimulationOptions { seed: args.seed, verify_integrity: false },
-            );
+            let sim = Simulator::with_config(PcmConfig::table_ii())
+                .with_options(SimulationOptions { seed: args.seed, verify_integrity: false });
             let s = sim.run(codec.as_ref(), &trace);
             println!(
                 "{:14} energy={:8.0} (data {:8.0} aux {:6.0})  cells={:6.1} (d {:6.1} a {:5.1})  dist={:4.2} enc%={:.2}",

@@ -63,7 +63,10 @@ fn main() {
 
     // Figure 5.
     let rows = figure5(args.lines, args.seed);
-    let mut t = Table::new("Figure 5: restricted cosets", &["granularity", "scheme", "aux", "blk", "total"]);
+    let mut t = Table::new(
+        "Figure 5: restricted cosets",
+        &["granularity", "scheme", "aux", "blk", "total"],
+    );
     for r in rows {
         t.push_row(vec![
             r.granularity.to_string(),
@@ -78,11 +81,9 @@ fn main() {
     // Section VI-B hardware overhead.
     let model = HardwareModel::wlcrc16();
     let mut t = Table::new("Section VI-B: hardware overhead", &["block", "mm^2", "ns", "pJ"]);
-    for (name, est) in [
-        ("encoder", model.encoder()),
-        ("decoder", model.decoder()),
-        ("total", model.total()),
-    ] {
+    for (name, est) in
+        [("encoder", model.encoder()), ("decoder", model.decoder()), ("total", model.total())]
+    {
         t.push_row(vec![
             name.to_string(),
             format!("{:.4}", est.area_mm2),

@@ -21,7 +21,11 @@ fn main() {
         for (s, v) in sums.iter_mut().zip(values.iter()) {
             *s += v;
         }
-        table.push_numeric_row(&row.workload, &values.iter().map(|v| v * 100.0).collect::<Vec<_>>(), 1);
+        table.push_numeric_row(
+            &row.workload,
+            &values.iter().map(|v| v * 100.0).collect::<Vec<_>>(),
+            1,
+        );
     }
     let averages: Vec<f64> = sums.iter().map(|s| s / rows.len() as f64 * 100.0).collect();
     table.push_numeric_row("ave.", &averages, 1);

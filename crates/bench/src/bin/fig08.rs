@@ -48,10 +48,7 @@ where
             .collect();
         table.push_numeric_row(label, &values, 1);
     }
-    let values: Vec<f64> = schemes
-        .iter()
-        .map(|s| metric(&result.average_for_scheme(s)))
-        .collect();
+    let values: Vec<f64> = schemes.iter().map(|s| metric(&result.average_for_scheme(s))).collect();
     table.push_numeric_row("(H+L)MI Ave.", &values, 1);
     table.print();
 }
@@ -59,7 +56,5 @@ where
 fn main() {
     let args = RunArgs::from_env();
     let result = figure8_9_10(args.lines, args.seed);
-    print_metric(&result, "Figure 8: write energy per line write", "pJ", |s| {
-        s.mean_energy_pj()
-    });
+    print_metric(&result, "Figure 8: write energy per line write", "pJ", |s| s.mean_energy_pj());
 }

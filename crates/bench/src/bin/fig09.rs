@@ -11,10 +11,7 @@ fn main() {
     let schemes = result.schemes();
     let mut headers: Vec<&str> = vec!["workload"];
     headers.extend(schemes.iter().map(|s| s.as_str()));
-    let mut table = Table::new(
-        "Figure 9: average updated cells per line (blk+aux)",
-        &headers,
-    );
+    let mut table = Table::new("Figure 9: average updated cells per line (blk+aux)", &headers);
     let mut workloads = result.workloads();
     workloads.push("Ave.".to_string());
     for workload in &workloads {

@@ -11,10 +11,7 @@ fn main() {
     let schemes = result.schemes();
     let mut headers: Vec<&str> = vec!["workload"];
     headers.extend(schemes.iter().map(|s| s.as_str()));
-    let mut table = Table::new(
-        "Figure 10: average write disturbance errors per line",
-        &headers,
-    );
+    let mut table = Table::new("Figure 10: average write disturbance errors per line", &headers);
     let mut workloads = result.workloads();
     workloads.push("Ave.".to_string());
     for workload in &workloads {
@@ -32,10 +29,8 @@ fn main() {
     }
     // The paper also notes the maximum number of disturbances per line barely
     // changes across schemes; report it as a second table.
-    let mut max_table = Table::new(
-        "Figure 10 (aux): maximum disturbance errors in a single write",
-        &headers,
-    );
+    let mut max_table =
+        Table::new("Figure 10 (aux): maximum disturbance errors in a single write", &headers);
     let values: Vec<f64> = schemes
         .iter()
         .map(|s| result.average_for_scheme(s).max_disturb_errors_per_write as f64)

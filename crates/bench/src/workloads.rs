@@ -26,9 +26,8 @@ pub fn benchmark_profiles() -> Vec<WorkloadProfile> {
 }
 
 fn hash(name: &str) -> u64 {
-    name.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
-        (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
-    })
+    name.bytes()
+        .fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01B3))
 }
 
 #[cfg(test)]

@@ -147,10 +147,7 @@ impl Bdi {
             ((v << shift) as i128) >> shift
         };
         let limit: i128 = 1i128 << (cfg.delta_bytes * 8 - 1);
-        let base = (0..elements)
-            .map(read)
-            .find(|v| !(*v >= -limit && *v < limit))
-            .unwrap_or(0);
+        let base = (0..elements).map(read).find(|v| !(*v >= -limit && *v < limit)).unwrap_or(0);
         push_u(&mut bits, base as u128, cfg.base_bytes * 8);
         for i in 0..elements {
             let v = read(i);

@@ -236,10 +236,8 @@ impl Compressor for Fpc {
     }
 
     fn compressed_bits(&self, line: &MemoryLine) -> Option<usize> {
-        let total: usize = Fpc::classify_line(line)
-            .iter()
-            .map(|p| PREFIX_BITS + p.payload_bits())
-            .sum();
+        let total: usize =
+            Fpc::classify_line(line).iter().map(|p| PREFIX_BITS + p.payload_bits()).sum();
         if total < LINE_BITS {
             Some(total)
         } else {
@@ -276,7 +274,10 @@ mod tests {
     fn random_looking_line_does_not_compress() {
         let mut line = MemoryLine::ZERO;
         for i in 0..8 {
-            line.set_word(i, 0x9234_5678_DEAD_BEEF ^ (i as u64).rotate_left(17).wrapping_mul(0x9E37));
+            line.set_word(
+                i,
+                0x9234_5678_DEAD_BEEF ^ (i as u64).rotate_left(17).wrapping_mul(0x9E37),
+            );
         }
         assert_eq!(Fpc::new().compressed_bits(&line), None);
     }
@@ -318,10 +319,8 @@ mod tests {
             let stream = fpc.encode_stream(&line);
             assert_eq!(fpc.decode_stream(&stream), line);
             // Reported size must match the stream length.
-            let expected: usize = Fpc::classify_line(&line)
-                .iter()
-                .map(|p| PREFIX_BITS + p.payload_bits())
-                .sum();
+            let expected: usize =
+                Fpc::classify_line(&line).iter().map(|p| PREFIX_BITS + p.payload_bits()).sum();
             assert_eq!(stream.len(), expected);
         }
     }

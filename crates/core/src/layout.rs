@@ -34,10 +34,7 @@ impl WordLayout {
             matches!(granularity_bits, 8 | 16 | 32 | 64),
             "WLC-integrated encodings support 8/16/32/64-bit granularities"
         );
-        assert!(
-            reclaimed_bits >= 1 && reclaimed_bits <= 32,
-            "reclaimed bits must be in 1..=32"
-        );
+        assert!((1..=32).contains(&reclaimed_bits), "reclaimed bits must be in 1..=32");
         WordLayout { granularity_bits, reclaimed_bits }
     }
 
@@ -105,10 +102,10 @@ impl WordLayout {
     /// Panics if the granularity is not 8, 16, 32 or 64 bits.
     pub fn restricted(granularity_bits: usize) -> WordLayout {
         let reclaimed = match granularity_bits {
-            8 => 8,   // 1 group bit + 7 block bits
-            16 => 5,  // 1 group bit + 4 block bits
-            32 => 3,  // 1 group bit + 2 block bits
-            64 => 2,  // 2-bit candidate selector (identical to 3cosets)
+            8 => 8,  // 1 group bit + 7 block bits
+            16 => 5, // 1 group bit + 4 block bits
+            32 => 3, // 1 group bit + 2 block bits
+            64 => 2, // 2-bit candidate selector (identical to 3cosets)
             other => panic!("unsupported WLCRC granularity: {other}"),
         };
         WordLayout::new(granularity_bits, reclaimed)

@@ -79,10 +79,7 @@ impl WlcCosetCodec {
                 }
             }
             CosetPolicy::Unrestricted(set) => {
-                assert!(
-                    set.len() <= 4,
-                    "unrestricted WLC+cosets supports at most four candidates"
-                );
+                assert!(set.len() <= 4, "unrestricted WLC+cosets supports at most four candidates");
                 let layout = WordLayout::unrestricted(granularity_bits);
                 let name = format!("WLC+{}-{granularity_bits}", set.name());
                 WlcCosetCodec {
@@ -144,9 +141,7 @@ impl WlcCosetCodec {
     /// `true` when `line` passes the WLC test for this codec's layout and can
     /// therefore be stored in the compressed, coset-encoded format.
     pub fn is_compressible(&self, line: &MemoryLine) -> bool {
-        line.words()
-            .iter()
-            .all(|&w| wordutil::msbs_identical(w, self.layout.wlc_k()))
+        line.words().iter().all(|&w| wordutil::msbs_identical(w, self.layout.wlc_k()))
     }
 
     fn flag_cell(&self) -> usize {
@@ -348,19 +343,21 @@ impl WlcCosetCodec {
         let blocks = self.layout.blocks();
         let (group_b, mut choices) = if self.restricted && self.layout.granularity_bits < 64 {
             // Algorithm 1: evaluate both groups, pick the cheaper.
-            let groups = [(&self.candidates[0], &self.candidates[1]),
-                          (&self.candidates[0], &self.candidates[2])];
+            let groups = [
+                (&self.candidates[0], &self.candidates[1]),
+                (&self.candidates[0], &self.candidates[2]),
+            ];
             let mut totals = [0.0f64; 2];
             let mut updates = [0usize; 2];
             let mut per_group_choices = [vec![0usize; blocks], vec![0usize; blocks]];
             for (g, (base, alt)) in groups.iter().enumerate() {
-                for j in 0..blocks {
+                for (j, choice) in per_group_choices[g].iter_mut().enumerate() {
                     let cells = self.layout.block_cells(j);
                     let (cost_base, upd_base) =
                         self.block_cost(data, old, word, cells.clone(), base, energy);
                     let (cost_alt, upd_alt) = self.block_cost(data, old, word, cells, alt, energy);
                     if cost_alt < cost_base {
-                        per_group_choices[g][j] = 1;
+                        *choice = 1;
                         totals[g] += cost_alt;
                         updates[g] += upd_alt;
                     } else {
@@ -368,8 +365,13 @@ impl WlcCosetCodec {
                         updates[g] += upd_base;
                     }
                 }
-                totals[g] +=
-                    self.aux_region_cost(data, old, word, &self.pack_aux_bits(g == 1, &per_group_choices[g]), energy);
+                totals[g] += self.aux_region_cost(
+                    data,
+                    old,
+                    word,
+                    &self.pack_aux_bits(g == 1, &per_group_choices[g]),
+                    energy,
+                );
             }
             let mut pick_b = totals[1] < totals[0];
             if let Some(mo) = self.multi_objective {
@@ -670,7 +672,8 @@ mod tests {
     fn multi_objective_reduces_updated_cells() {
         let energy = EnergyModel::paper_default();
         let plain = WlcCosetCodec::wlcrc16();
-        let mo = WlcCosetCodec::wlcrc16().with_multi_objective(MultiObjectiveConfig::paper_default());
+        let mo =
+            WlcCosetCodec::wlcrc16().with_multi_objective(MultiObjectiveConfig::paper_default());
         assert!(mo.name().contains("+MO"));
         let mut rng = StdRng::seed_from_u64(17);
         let mut plain_cells = 0usize;

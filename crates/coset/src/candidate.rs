@@ -143,10 +143,8 @@ impl CandidateSet {
         for a in 0..4u8 {
             for b in (a + 1)..4u8 {
                 let low = [Symbol::new(a), Symbol::new(b)];
-                let high: Vec<Symbol> = Symbol::ALL
-                    .into_iter()
-                    .filter(|s| s.value() != a && s.value() != b)
-                    .collect();
+                let high: Vec<Symbol> =
+                    Symbol::ALL.into_iter().filter(|s| s.value() != a && s.value() != b).collect();
                 // Keep the default-relative order within each pair so the
                 // encoding stays as close as possible to the original data.
                 let ordered = |pair: &[Symbol]| -> (Symbol, Symbol) {
@@ -220,13 +218,7 @@ mod tests {
         for (state, v1, v2, v3, v4) in table {
             let expect = [v1, v2, v3, v4];
             for (cand, val) in cands.iter().zip(expect) {
-                assert_eq!(
-                    cand.symbol_of(state),
-                    Symbol::new(val),
-                    "{} at {}",
-                    cand.name(),
-                    state
-                );
+                assert_eq!(cand.symbol_of(state), Symbol::new(val), "{} at {}", cand.name(), state);
             }
         }
     }
@@ -277,10 +269,7 @@ mod tests {
     #[test]
     fn six_cosets_contains_the_default_mapping() {
         let set = CandidateSet::six_cosets();
-        assert!(set
-            .candidates()
-            .iter()
-            .any(|c| c.mapping() == SymbolMapping::default_mapping()));
+        assert!(set.candidates().iter().any(|c| c.mapping() == SymbolMapping::default_mapping()));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Differential-write cost evaluation shared by the coset codecs.
 
 use crate::candidate::CosetCandidate;
+use std::ops::Range;
 use wlcrc_pcm::energy::EnergyModel;
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::physical::PhysicalLine;
-use std::ops::Range;
 
 /// The differential-write energy (pJ) of encoding the data cells in `cells`
 /// of `data` with `candidate`, given the currently stored states in `old`.

@@ -57,7 +57,7 @@ impl DinCodec {
         // Prefer FPC (self-terminating, always decodable), fall back to BDI.
         let fpc_stream = {
             let s = self.fpc.encode_stream(line);
-            if s.len() + 1 <= COMPRESSION_THRESHOLD_BITS {
+            if s.len() < COMPRESSION_THRESHOLD_BITS {
                 Some(s)
             } else {
                 None
@@ -69,7 +69,7 @@ impl DinCodec {
             return Some(out);
         }
         let bdi_stream = self.bdi.encode_stream(line)?;
-        if bdi_stream.len() + 1 <= COMPRESSION_THRESHOLD_BITS {
+        if bdi_stream.len() < COMPRESSION_THRESHOLD_BITS {
             let mut out = vec![true];
             out.extend(bdi_stream);
             Some(out)
@@ -100,10 +100,7 @@ impl DinCodec {
     /// Inverse of [`DinCodec::expand3to4`]. Unknown code words decode to 0.
     fn contract4to3(bits4: u8) -> u8 {
         const CODEWORDS: [u8; 8] = [0b0000, 0b0010, 0b1000, 0b1010, 0b0011, 0b1100, 0b1011, 0b1110];
-        CODEWORDS
-            .iter()
-            .position(|c| *c == bits4 & 0b1111)
-            .unwrap_or(0) as u8
+        CODEWORDS.iter().position(|c| *c == bits4 & 0b1111).unwrap_or(0) as u8
     }
 
     fn flag_cell(&self) -> usize {
@@ -251,10 +248,8 @@ mod tests {
             for s in [sym_lo, sym_hi] {
                 assert_ne!(default.state_of(s), CellState::S4, "codeword {code:04b}");
             }
-            let s3_count = [sym_lo, sym_hi]
-                .iter()
-                .filter(|s| default.state_of(**s) == CellState::S3)
-                .count();
+            let s3_count =
+                [sym_lo, sym_hi].iter().filter(|s| default.state_of(**s) == CellState::S3).count();
             assert!(s3_count <= 1, "codeword {code:04b}");
         }
     }

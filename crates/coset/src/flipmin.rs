@@ -38,10 +38,7 @@ impl FlipMinCodec {
 
     /// Creates a FlipMin codec whose masks are generated from `seed`.
     pub fn with_seed(seed: u64) -> FlipMinCodec {
-        let masks = coset_masks(CANDIDATES, seed)
-            .into_iter()
-            .map(MemoryLine::from_words)
-            .collect();
+        let masks = coset_masks(CANDIDATES, seed).into_iter().map(MemoryLine::from_words).collect();
         FlipMinCodec { masks, mapping: SymbolMapping::default_mapping() }
     }
 

@@ -208,7 +208,9 @@ mod tests {
             let new = codec.encode(&b, &old, &energy);
             let chosen = differential_write(&old, &new, &energy).data_energy_pj;
             let unflipped: f64 = (0..4)
-                .map(|blk| codec.flip_cost(&b, &old, codec.granularity().block_cells(blk), false, &energy))
+                .map(|blk| {
+                    codec.flip_cost(&b, &old, codec.granularity().block_cells(blk), false, &energy)
+                })
                 .sum();
             assert!(chosen <= unflipped + 1e-9);
         }

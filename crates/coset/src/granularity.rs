@@ -28,8 +28,11 @@ impl Granularity {
     ///
     /// Panics if `bits` is odd, zero, or does not divide 512.
     pub fn new(bits: usize) -> Granularity {
-        assert!(bits > 0 && bits % 2 == 0, "granularity must be a positive even number of bits");
-        assert!(LINE_BITS % bits == 0, "granularity must divide the 512-bit line");
+        assert!(
+            bits > 0 && bits.is_multiple_of(2),
+            "granularity must be a positive even number of bits"
+        );
+        assert!(LINE_BITS.is_multiple_of(bits), "granularity must divide the 512-bit line");
         Granularity(bits)
     }
 

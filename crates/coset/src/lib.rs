@@ -35,7 +35,7 @@ pub mod granularity;
 pub mod ncosets;
 pub mod restricted;
 
-pub use candidate::{CosetCandidate, CandidateSet};
+pub use candidate::{CandidateSet, CosetCandidate};
 pub use din::DinCodec;
 pub use flipmin::FlipMinCodec;
 pub use fnw::FnwCodec;

@@ -45,10 +45,7 @@ impl NCosetsCodec {
     /// Panics if the candidate set needs more than two auxiliary cells per
     /// block (more than 16 candidates).
     pub fn new(set: CandidateSet, granularity: Granularity) -> NCosetsCodec {
-        assert!(
-            set.len() <= 16,
-            "NCosetsCodec supports at most 16 candidates per block"
-        );
+        assert!(set.len() <= 16, "NCosetsCodec supports at most 16 candidates per block");
         if set.len() > 4 {
             assert!(
                 set.len() <= AUX_COMBOS.len(),
@@ -134,11 +131,7 @@ impl NCosetsCodec {
             stored.state(base).index().min(self.set.len() - 1)
         } else {
             let pair = (stored.state(base), stored.state(base + 1));
-            AUX_COMBOS
-                .iter()
-                .position(|c| *c == pair)
-                .unwrap_or(0)
-                .min(self.set.len() - 1)
+            AUX_COMBOS.iter().position(|c| *c == pair).unwrap_or(0).min(self.set.len() - 1)
         }
     }
 }
@@ -209,7 +202,9 @@ mod tests {
     #[test]
     fn round_trip_all_sets_and_granularities() {
         let mut rng = StdRng::seed_from_u64(1);
-        for set in [CandidateSet::three_cosets(), CandidateSet::four_cosets(), CandidateSet::six_cosets()] {
+        for set in
+            [CandidateSet::three_cosets(), CandidateSet::four_cosets(), CandidateSet::six_cosets()]
+        {
             for g in [8usize, 16, 32, 64, 128, 256, 512] {
                 let codec = NCosetsCodec::new(set.clone(), Granularity::new(g));
                 let old = codec.initial_line();
@@ -271,12 +266,7 @@ mod tests {
         let energy = EnergyModel::paper_default();
         let data = MemoryLine::ZERO.complement();
         let enc = codec.encode(&data, &codec.initial_line(), &energy);
-        let low = enc
-            .states()
-            .iter()
-            .take(LINE_CELLS)
-            .filter(|s| s.is_low_energy())
-            .count();
+        let low = enc.states().iter().take(LINE_CELLS).filter(|s| s.is_low_energy()).count();
         assert_eq!(low, LINE_CELLS);
     }
 

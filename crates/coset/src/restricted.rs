@@ -131,12 +131,12 @@ impl LineCodec for RestrictedCosetCodec {
         let mut group_choice = [vec![false; blocks], vec![false; blocks]];
         for (g, choices) in group_choice.iter_mut().enumerate() {
             let (base, alt) = self.group_candidates(g == 1);
-            for block in 0..blocks {
+            for (block, choice) in choices.iter_mut().enumerate() {
                 let cells = self.granularity.block_cells(block);
                 let cost_base = block_cost(data, old, cells.clone(), base, energy);
                 let cost_alt = block_cost(data, old, cells, alt, energy);
                 if cost_alt < cost_base {
-                    choices[block] = true;
+                    *choice = true;
                     group_cost[g] += cost_alt;
                 } else {
                     group_cost[g] += cost_base;
@@ -182,9 +182,9 @@ impl LineCodec for RestrictedCosetCodec {
         for cell in LINE_CELLS..self.encoded_cells() {
             out.set_class(cell, CellClass::Aux);
         }
-        for block in 0..blocks {
+        for (block, &choice) in choices.iter().enumerate().take(blocks) {
             let cells = self.granularity.block_cells(block);
-            let candidate = if choices[block] { alt } else { base };
+            let candidate = if choice { alt } else { base };
             write_block(data, &mut out, cells, candidate);
         }
         let mut aux_bits = Vec::with_capacity(self.aux_bits());

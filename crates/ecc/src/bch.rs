@@ -54,7 +54,7 @@ impl Bch {
         let m1 = gf.minimal_polynomial(1);
         let m3 = gf.minimal_polynomial(3);
         let generator_mask = poly_mul_gf2(m1, m3);
-        let parity_bits = (127 - generator_mask.leading_zeros() as usize) as usize;
+        let parity_bits = 127 - generator_mask.leading_zeros() as usize;
         let mut generator = BitVec::zeros(parity_bits + 1);
         for i in 0..=parity_bits {
             if (generator_mask >> i) & 1 == 1 {
@@ -86,10 +86,7 @@ impl Bch {
     ///
     /// Panics if the message is longer than [`Bch::max_message_bits`].
     pub fn parity(&self, message: &BitVec) -> BitVec {
-        assert!(
-            message.len() <= self.max_message_bits,
-            "message too long for this BCH code"
-        );
+        assert!(message.len() <= self.max_message_bits, "message too long for this BCH code");
         // Polynomial division of message * x^parity by the generator.
         // Work on a buffer of message followed by `parity_bits` zeros, with
         // index 0 being the highest-degree coefficient for the division.
@@ -139,7 +136,8 @@ impl Bch {
     /// parity, and [`BchError::TooManyErrors`] if more than two errors are
     /// detected (the word cannot be corrected).
     pub fn decode(&self, received: &BitVec) -> Result<BitVec, BchError> {
-        if received.len() < self.parity_bits || received.len() > self.max_message_bits + self.parity_bits
+        if received.len() < self.parity_bits
+            || received.len() > self.max_message_bits + self.parity_bits
         {
             return Err(BchError::LengthMismatch);
         }
@@ -199,10 +197,12 @@ impl Bch {
         let mut error_positions = Vec::new();
         for pos in 0..n {
             // sigma(alpha^{-pos}) == 0  <=> error at position pos.
-            let x = self.gf.alpha_pow((self.gf.order() - (pos % self.gf.order())) % self.gf.order());
-            let val = self
-                .gf
-                .add(self.gf.add(1, self.gf.mul(sigma1, x)), self.gf.mul(sigma2, self.gf.mul(x, x)));
+            let x =
+                self.gf.alpha_pow((self.gf.order() - (pos % self.gf.order())) % self.gf.order());
+            let val = self.gf.add(
+                self.gf.add(1, self.gf.mul(sigma1, x)),
+                self.gf.mul(sigma2, self.gf.mul(x, x)),
+            );
             if val == 0 {
                 error_positions.push(pos);
             }
@@ -223,22 +223,13 @@ impl Bch {
 
 impl fmt::Debug for Bch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Bch(t=2, m={}, parity_bits={})",
-            self.gf.degree(),
-            self.parity_bits
-        )
+        write!(f, "Bch(t=2, m={}, parity_bits={})", self.gf.degree(), self.parity_bits)
     }
 }
 
 /// Flips the bit whose codeword-polynomial degree is `pos`.
 fn flip_codeword_bit(word: &mut BitVec, pos: usize, message_len: usize, parity_bits: usize) {
-    let idx = if pos < parity_bits {
-        message_len + pos
-    } else {
-        pos - parity_bits
-    };
+    let idx = if pos < parity_bits { message_len + pos } else { pos - parity_bits };
     let cur = word.get(idx);
     word.set(idx, !cur);
 }

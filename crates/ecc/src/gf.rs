@@ -59,12 +59,9 @@ impl GaloisField {
         let mut exp = vec![0u32; 2 * size];
         let mut log = vec![0u32; size];
         let mut x = 1u32;
-        for i in 0..(size - 1) {
-            exp[i] = x;
-            assert!(
-                !(x == 1 && i != 0),
-                "polynomial {poly:#x} is not primitive for GF(2^{m})"
-            );
+        for (i, slot) in exp.iter_mut().enumerate().take(size - 1) {
+            *slot = x;
+            assert!(!(x == 1 && i != 0), "polynomial {poly:#x} is not primitive for GF(2^{m})");
             log[x as usize] = i as u32;
             x <<= 1;
             if x & (1 << m) != 0 {

@@ -70,8 +70,8 @@ impl Hamming7264 {
     pub fn encode(&self, data: u64) -> BitVec {
         let mut out = BitVec::from_u64(data, DATA_BITS);
         let mut check = [false; CHECK_BITS];
-        for j in 0..7 {
-            check[j] = ((data & self.parity_masks[j]).count_ones() & 1) == 1;
+        for (slot, mask) in check.iter_mut().zip(self.parity_masks.iter().take(7)) {
+            *slot = ((data & mask).count_ones() & 1) == 1;
         }
         let overall = (data.count_ones() as usize + check.iter().filter(|b| **b).count()) % 2 == 1;
         check[7] = overall;

@@ -23,9 +23,7 @@ impl ExperimentResult {
 
     /// The statistics for a specific scheme/workload pair, if present.
     pub fn get(&self, scheme: &str, workload: &str) -> Option<&SchemeStats> {
-        self.cells
-            .iter()
-            .find(|s| s.scheme == scheme && s.workload == workload)
+        self.cells.iter().find(|s| s.scheme == scheme && s.workload == workload)
     }
 
     /// Cross-workload average statistics for `scheme` (workloads are weighted
@@ -93,10 +91,7 @@ pub fn run_schemes_on_workloads(
 }
 
 fn max_intensity(workloads: &[WorkloadProfile]) -> f64 {
-    workloads
-        .iter()
-        .map(|w| w.write_intensity)
-        .fold(1.0, f64::max)
+    workloads.iter().map(|w| w.write_intensity).fold(1.0, f64::max)
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -113,10 +108,8 @@ mod tests {
 
     #[test]
     fn runs_every_combination() {
-        let schemes: Vec<(&str, Box<dyn LineCodec>)> = vec![
-            ("Baseline", Box::new(RawCodec::new())),
-            ("Baseline2", Box::new(RawCodec::new())),
-        ];
+        let schemes: Vec<(&str, Box<dyn LineCodec>)> =
+            vec![("Baseline", Box::new(RawCodec::new())), ("Baseline2", Box::new(RawCodec::new()))];
         let workloads = vec![Benchmark::Gcc.profile(), Benchmark::Mcf.profile()];
         let result = run_schemes_on_workloads(&schemes, &workloads, 50, 1);
         assert_eq!(result.cells.len(), 4);

@@ -52,8 +52,7 @@ impl MemoryOrganization {
         let line = address / self.line_bytes as u64;
         let channel = (line as usize) % self.channels;
         let dimm = (line as usize / self.channels) % self.dimms_per_channel;
-        let bank =
-            (line as usize / (self.channels * self.dimms_per_channel)) % self.banks_per_dimm;
+        let bank = (line as usize / (self.channels * self.dimms_per_channel)) % self.banks_per_dimm;
         let row = line / (self.total_banks() as u64);
         BankAddress { channel, dimm, bank, row }
     }

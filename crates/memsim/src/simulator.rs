@@ -73,19 +73,15 @@ impl Simulator {
         let energy = &self.config.energy;
 
         for record in trace.iter() {
-            let old = stored.remove(&record.address).unwrap_or_else(|| {
-                codec.encode(&record.old, &codec.initial_line(), energy)
-            });
+            let old = stored
+                .remove(&record.address)
+                .unwrap_or_else(|| codec.encode(&record.old, &codec.initial_line(), energy));
             let new = codec.encode(&record.new, &old, energy);
             let outcome = differential_write(&old, &new, energy);
-            let disturbance =
-                evaluate_disturbance(&old, &new, &self.config.disturbance, &mut rng);
+            let disturbance = evaluate_disturbance(&old, &new, &self.config.disturbance, &mut rng);
             let encoded = new.aux_cells() > 0 || codec.encoded_cells() == new.len();
-            let integrity_ok = if self.options.verify_integrity {
-                codec.decode(&new) == record.new
-            } else {
-                true
-            };
+            let integrity_ok =
+                if self.options.verify_integrity { codec.decode(&new) == record.new } else { true };
             stats.record(outcome, disturbance, encoded, integrity_ok);
             organization.record_write(record.address);
             stored.insert(record.address, new);
@@ -105,13 +101,9 @@ impl Simulator {
             let old = codec.encode(&record.old, &codec.initial_line(), energy);
             let new = codec.encode(&record.new, &old, energy);
             let outcome = differential_write(&old, &new, energy);
-            let disturbance =
-                evaluate_disturbance(&old, &new, &self.config.disturbance, &mut rng);
-            let integrity_ok = if self.options.verify_integrity {
-                codec.decode(&new) == record.new
-            } else {
-                true
-            };
+            let disturbance = evaluate_disturbance(&old, &new, &self.config.disturbance, &mut rng);
+            let integrity_ok =
+                if self.options.verify_integrity { codec.decode(&new) == record.new } else { true };
             stats.record(outcome, disturbance, true, integrity_ok);
         }
         stats

@@ -58,9 +58,8 @@ impl SchemeStats {
         self.data_disturb_errors += disturbance.data_errors as u64;
         self.aux_disturb_errors += disturbance.aux_errors as u64;
         self.expected_disturb_errors += disturbance.expected_total_errors();
-        self.max_disturb_errors_per_write = self
-            .max_disturb_errors_per_write
-            .max(disturbance.total_errors() as u64);
+        self.max_disturb_errors_per_write =
+            self.max_disturb_errors_per_write.max(disturbance.total_errors() as u64);
         if encoded {
             self.encoded_lines += 1;
         }

@@ -44,10 +44,7 @@ impl EnergyModel {
             "RESET energy must be a finite non-negative number"
         );
         for e in set_pj {
-            assert!(
-                e.is_finite() && e >= 0.0,
-                "SET energies must be finite non-negative numbers"
-            );
+            assert!(e.is_finite() && e >= 0.0, "SET energies must be finite non-negative numbers");
         }
         EnergyModel { reset_pj, set_pj }
     }

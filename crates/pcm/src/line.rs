@@ -167,11 +167,7 @@ impl MemoryLine {
 
     /// Number of bits that differ between `self` and `other`.
     pub fn hamming_distance(&self, other: &MemoryLine) -> u32 {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// Returns a line with every bit complemented.
@@ -291,7 +287,7 @@ pub mod word {
     /// Panics if `k == 0` or `k > 64`.
     #[inline]
     pub fn msbs_identical(word: u64, k: usize) -> bool {
-        assert!(k >= 1 && k <= 64, "k must be in 1..=64");
+        assert!((1..=64).contains(&k), "k must be in 1..=64");
         if k == 1 {
             return true;
         }

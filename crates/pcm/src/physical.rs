@@ -33,10 +33,7 @@ impl PhysicalLine {
     /// Creates a physical line of `len` cells, all in the RESET state `S1`,
     /// all classified as data. This models a freshly initialised (erased) line.
     pub fn all_reset(len: usize) -> PhysicalLine {
-        PhysicalLine {
-            cells: vec![CellState::S1; len],
-            classes: vec![CellClass::Data; len],
-        }
+        PhysicalLine { cells: vec![CellState::S1; len], classes: vec![CellClass::Data; len] }
     }
 
     /// Creates a physical line from explicit cell states, all classified as data.
@@ -51,11 +48,7 @@ impl PhysicalLine {
     ///
     /// Panics if the two vectors have different lengths.
     pub fn from_parts(cells: Vec<CellState>, classes: Vec<CellClass>) -> PhysicalLine {
-        assert_eq!(
-            cells.len(),
-            classes.len(),
-            "cells and classes must have the same length"
-        );
+        assert_eq!(cells.len(), classes.len(), "cells and classes must have the same length");
         PhysicalLine { cells, classes }
     }
 
@@ -146,20 +139,12 @@ impl PhysicalLine {
     /// Panics if the two lines have different lengths.
     pub fn changed_cells(&self, other: &PhysicalLine) -> usize {
         assert_eq!(self.len(), other.len(), "lines must have the same cell count");
-        self.cells
-            .iter()
-            .zip(other.cells.iter())
-            .filter(|(a, b)| a != b)
-            .count()
+        self.cells.iter().zip(other.cells.iter()).filter(|(a, b)| a != b).count()
     }
 
     /// Iterates over `(index, state, class)` for every cell.
     pub fn iter(&self) -> impl Iterator<Item = (usize, CellState, CellClass)> + '_ {
-        self.cells
-            .iter()
-            .zip(self.classes.iter())
-            .enumerate()
-            .map(|(i, (s, c))| (i, *s, *c))
+        self.cells.iter().zip(self.classes.iter()).enumerate().map(|(i, (s, c))| (i, *s, *c))
     }
 
     /// Histogram of stored states, indexed by state index.
@@ -174,12 +159,7 @@ impl PhysicalLine {
 
 impl fmt::Debug for PhysicalLine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "PhysicalLine {{ cells: {}, aux: {}, states: ",
-            self.len(),
-            self.aux_cells()
-        )?;
+        write!(f, "PhysicalLine {{ cells: {}, aux: {}, states: ", self.len(), self.aux_cells())?;
         for s in self.cells.iter().take(16) {
             write!(f, "{}", s.index() + 1)?;
         }

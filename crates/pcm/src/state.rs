@@ -79,7 +79,9 @@ impl fmt::Display for CellState {
 ///
 /// The value is in `0..=3` and is interpreted as the bit pair `(msb, lsb)`:
 /// `Symbol::new(0b10)` is the symbol `10`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Symbol(u8);
 
 impl Symbol {

@@ -61,11 +61,7 @@ pub fn differential_write(
     new: &PhysicalLine,
     energy: &EnergyModel,
 ) -> WriteOutcome {
-    assert_eq!(
-        old.len(),
-        new.len(),
-        "differential write requires lines of identical cell count"
-    );
+    assert_eq!(old.len(), new.len(), "differential write requires lines of identical cell count");
     let mut outcome = WriteOutcome::default();
     for (idx, new_state, class) in new.iter() {
         let old_state = old.state(idx);
@@ -94,9 +90,7 @@ pub fn differential_write(
 /// Panics if the two lines have a different number of cells.
 pub fn changed_cell_indices(old: &PhysicalLine, new: &PhysicalLine) -> Vec<usize> {
     assert_eq!(old.len(), new.len());
-    (0..new.len())
-        .filter(|&i| old.state(i) != new.state(i))
-        .collect()
+    (0..new.len()).filter(|&i| old.state(i) != new.state(i)).collect()
 }
 
 /// Computes only the total differential-write energy of writing `new` over

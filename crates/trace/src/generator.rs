@@ -48,10 +48,7 @@ impl TraceGenerator {
     pub fn next_record(&mut self) -> WriteRecord {
         let slot = self.rng.gen_range(0..self.profile.working_set_lines) as u64;
         let address = slot * 64;
-        let old = *self
-            .memory
-            .entry(address)
-            .or_insert_with_key(|_| MemoryLine::ZERO);
+        let old = *self.memory.entry(address).or_insert_with_key(|_| MemoryLine::ZERO);
         // First touch: synthesise an initial value so the very first write is
         // not artificially cheap (old value all zero would be).
         let old = if old == MemoryLine::ZERO && !self.memory.contains_key(&(address | 1)) {
@@ -411,10 +408,7 @@ mod tests {
     fn random_workload_is_rarely_compressible() {
         let mut generator = RandomTraceGenerator::new(3);
         let trace = generator.generate(300);
-        let compressible = trace
-            .iter()
-            .filter(|r| wlc_compressible(&r.new, 6))
-            .count();
+        let compressible = trace.iter().filter(|r| wlc_compressible(&r.new, 6)).count();
         assert!(compressible < 5);
     }
 
@@ -433,10 +427,7 @@ mod tests {
         }
         let biased = hist[0b00] + hist[0b11];
         let unbiased = hist[0b01] + hist[0b10];
-        assert!(
-            biased > 2 * unbiased,
-            "00/11 should dominate (biased {biased} vs {unbiased})"
-        );
+        assert!(biased > 2 * unbiased, "00/11 should dominate (biased {biased} vs {unbiased})");
     }
 
     #[test]

@@ -198,55 +198,187 @@ impl WorkloadProfile {
             // Scientific FP codes: the write traffic is dominated by zeroed
             // regions, index/integer data and small-magnitude values, with a
             // modest fraction of raw double arrays; high intensity.
-            Leslie3d => (10.0, 4096, 0.55, 0.45, LineClassMix {
-                zero: 0.32, small_positive: 0.36, small_negative: 0.08,
-                pointer: 0.12, float: 0.06, text: 0.01, random: 0.05,
-            }),
-            Milc => (9.0, 8192, 0.50, 0.50, LineClassMix {
-                zero: 0.30, small_positive: 0.36, small_negative: 0.07,
-                pointer: 0.12, float: 0.08, text: 0.01, random: 0.06,
-            }),
-            Wrf => (7.0, 4096, 0.60, 0.40, LineClassMix {
-                zero: 0.38, small_positive: 0.36, small_negative: 0.06,
-                pointer: 0.10, float: 0.05, text: 0.02, random: 0.03,
-            }),
-            Soplex => (6.5, 4096, 0.60, 0.35, LineClassMix {
-                zero: 0.33, small_positive: 0.36, small_negative: 0.08,
-                pointer: 0.14, float: 0.04, text: 0.02, random: 0.03,
-            }),
-            Zeusmp => (6.0, 4096, 0.62, 0.35, LineClassMix {
-                zero: 0.38, small_positive: 0.35, small_negative: 0.07,
-                pointer: 0.11, float: 0.04, text: 0.02, random: 0.03,
-            }),
-            Lbm => (5.5, 8192, 0.45, 0.55, LineClassMix {
-                zero: 0.28, small_positive: 0.36, small_negative: 0.08,
-                pointer: 0.10, float: 0.10, text: 0.02, random: 0.06,
-            }),
-            Gcc => (5.0, 2048, 0.65, 0.30, LineClassMix {
-                zero: 0.36, small_positive: 0.29, small_negative: 0.08,
-                pointer: 0.20, float: 0.02, text: 0.03, random: 0.02,
-            }),
+            Leslie3d => (
+                10.0,
+                4096,
+                0.55,
+                0.45,
+                LineClassMix {
+                    zero: 0.32,
+                    small_positive: 0.36,
+                    small_negative: 0.08,
+                    pointer: 0.12,
+                    float: 0.06,
+                    text: 0.01,
+                    random: 0.05,
+                },
+            ),
+            Milc => (
+                9.0,
+                8192,
+                0.50,
+                0.50,
+                LineClassMix {
+                    zero: 0.30,
+                    small_positive: 0.36,
+                    small_negative: 0.07,
+                    pointer: 0.12,
+                    float: 0.08,
+                    text: 0.01,
+                    random: 0.06,
+                },
+            ),
+            Wrf => (
+                7.0,
+                4096,
+                0.60,
+                0.40,
+                LineClassMix {
+                    zero: 0.38,
+                    small_positive: 0.36,
+                    small_negative: 0.06,
+                    pointer: 0.10,
+                    float: 0.05,
+                    text: 0.02,
+                    random: 0.03,
+                },
+            ),
+            Soplex => (
+                6.5,
+                4096,
+                0.60,
+                0.35,
+                LineClassMix {
+                    zero: 0.33,
+                    small_positive: 0.36,
+                    small_negative: 0.08,
+                    pointer: 0.14,
+                    float: 0.04,
+                    text: 0.02,
+                    random: 0.03,
+                },
+            ),
+            Zeusmp => (
+                6.0,
+                4096,
+                0.62,
+                0.35,
+                LineClassMix {
+                    zero: 0.38,
+                    small_positive: 0.35,
+                    small_negative: 0.07,
+                    pointer: 0.11,
+                    float: 0.04,
+                    text: 0.02,
+                    random: 0.03,
+                },
+            ),
+            Lbm => (
+                5.5,
+                8192,
+                0.45,
+                0.55,
+                LineClassMix {
+                    zero: 0.28,
+                    small_positive: 0.36,
+                    small_negative: 0.08,
+                    pointer: 0.10,
+                    float: 0.10,
+                    text: 0.02,
+                    random: 0.06,
+                },
+            ),
+            Gcc => (
+                5.0,
+                2048,
+                0.65,
+                0.30,
+                LineClassMix {
+                    zero: 0.36,
+                    small_positive: 0.29,
+                    small_negative: 0.08,
+                    pointer: 0.20,
+                    float: 0.02,
+                    text: 0.03,
+                    random: 0.02,
+                },
+            ),
             // LMI group.
-            Astar => (2.0, 2048, 0.70, 0.25, LineClassMix {
-                zero: 0.30, small_positive: 0.35, small_negative: 0.08,
-                pointer: 0.22, float: 0.02, text: 0.02, random: 0.01,
-            }),
-            Mcf => (2.5, 4096, 0.60, 0.35, LineClassMix {
-                zero: 0.26, small_positive: 0.33, small_negative: 0.10,
-                pointer: 0.24, float: 0.02, text: 0.02, random: 0.03,
-            }),
-            Canneal => (2.2, 8192, 0.55, 0.40, LineClassMix {
-                zero: 0.24, small_positive: 0.32, small_negative: 0.08,
-                pointer: 0.28, float: 0.03, text: 0.02, random: 0.03,
-            }),
-            Libquantum => (1.8, 1024, 0.75, 0.20, LineClassMix {
-                zero: 0.40, small_positive: 0.36, small_negative: 0.06,
-                pointer: 0.10, float: 0.04, text: 0.02, random: 0.02,
-            }),
-            Omnetpp => (1.5, 2048, 0.68, 0.28, LineClassMix {
-                zero: 0.31, small_positive: 0.30, small_negative: 0.08,
-                pointer: 0.24, float: 0.02, text: 0.03, random: 0.02,
-            }),
+            Astar => (
+                2.0,
+                2048,
+                0.70,
+                0.25,
+                LineClassMix {
+                    zero: 0.30,
+                    small_positive: 0.35,
+                    small_negative: 0.08,
+                    pointer: 0.22,
+                    float: 0.02,
+                    text: 0.02,
+                    random: 0.01,
+                },
+            ),
+            Mcf => (
+                2.5,
+                4096,
+                0.60,
+                0.35,
+                LineClassMix {
+                    zero: 0.26,
+                    small_positive: 0.33,
+                    small_negative: 0.10,
+                    pointer: 0.24,
+                    float: 0.02,
+                    text: 0.02,
+                    random: 0.03,
+                },
+            ),
+            Canneal => (
+                2.2,
+                8192,
+                0.55,
+                0.40,
+                LineClassMix {
+                    zero: 0.24,
+                    small_positive: 0.32,
+                    small_negative: 0.08,
+                    pointer: 0.28,
+                    float: 0.03,
+                    text: 0.02,
+                    random: 0.03,
+                },
+            ),
+            Libquantum => (
+                1.8,
+                1024,
+                0.75,
+                0.20,
+                LineClassMix {
+                    zero: 0.40,
+                    small_positive: 0.36,
+                    small_negative: 0.06,
+                    pointer: 0.10,
+                    float: 0.04,
+                    text: 0.02,
+                    random: 0.02,
+                },
+            ),
+            Omnetpp => (
+                1.5,
+                2048,
+                0.68,
+                0.28,
+                LineClassMix {
+                    zero: 0.31,
+                    small_positive: 0.30,
+                    small_negative: 0.08,
+                    pointer: 0.24,
+                    float: 0.02,
+                    text: 0.03,
+                    random: 0.02,
+                },
+            ),
         };
         let profile = WorkloadProfile {
             name: benchmark.short_name().to_string(),

@@ -4,10 +4,10 @@
 //! Run with `cargo run --release --example custom_energy_model`.
 
 use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+use wlcrc_repro::pcm::codec::RawCodec;
 use wlcrc_repro::pcm::config::PcmConfig;
 use wlcrc_repro::pcm::disturb::DisturbanceModel;
 use wlcrc_repro::pcm::energy::EnergyModel;
-use wlcrc_repro::pcm::codec::RawCodec;
 use wlcrc_repro::trace::{Benchmark, TraceGenerator};
 use wlcrc_repro::wlcrc::WlcCosetCodec;
 

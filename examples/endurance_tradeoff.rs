@@ -13,7 +13,9 @@ use wlcrc_repro::wlcrc::{MultiObjectiveConfig, WlcCosetCodec};
 fn run(threshold: Option<f64>) -> SchemeStats {
     let codec = match threshold {
         None => WlcCosetCodec::wlcrc16(),
-        Some(t) => WlcCosetCodec::wlcrc16().with_multi_objective(MultiObjectiveConfig { threshold: t }),
+        Some(t) => {
+            WlcCosetCodec::wlcrc16().with_multi_objective(MultiObjectiveConfig { threshold: t })
+        }
     };
     let simulator = Simulator::with_config(PcmConfig::table_ii())
         .with_options(SimulationOptions { seed: 11, verify_integrity: false });
@@ -27,7 +29,10 @@ fn run(threshold: Option<f64>) -> SchemeStats {
 }
 
 fn main() {
-    println!("{:<12} {:>14} {:>16} {:>16}", "threshold T", "energy (pJ)", "updated cells", "vs plain");
+    println!(
+        "{:<12} {:>14} {:>16} {:>16}",
+        "threshold T", "energy (pJ)", "updated cells", "vs plain"
+    );
     let plain = run(None);
     println!(
         "{:<12} {:>14.1} {:>16.2} {:>16}",

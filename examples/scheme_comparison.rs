@@ -11,10 +11,8 @@ use wlcrc_repro::wlcrc::schemes::standard_schemes;
 
 fn main() {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
-    let benchmark = Benchmark::ALL
-        .into_iter()
-        .find(|b| b.short_name() == wanted)
-        .unwrap_or(Benchmark::Gcc);
+    let benchmark =
+        Benchmark::ALL.into_iter().find(|b| b.short_name() == wanted).unwrap_or(Benchmark::Gcc);
 
     let mut generator = TraceGenerator::new(benchmark.profile(), 2024);
     let trace = generator.generate(3000);

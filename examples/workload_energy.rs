@@ -14,7 +14,16 @@ use wlcrc_repro::wlcrc::WlcCosetCodec;
 fn main() {
     println!(
         "{:<6} {:>6} {:>6} {:>6} {:>6}  {:>8} {:>8}  {:>10} {:>10} {:>8}",
-        "bench", "%00", "%01", "%10", "%11", "WLC k=6", "WLC k=9", "base (pJ)", "wlcrc (pJ)", "saving"
+        "bench",
+        "%00",
+        "%01",
+        "%10",
+        "%11",
+        "WLC k=6",
+        "WLC k=9",
+        "base (pJ)",
+        "wlcrc (pJ)",
+        "saving"
     );
     for benchmark in Benchmark::ALL {
         let mut generator = TraceGenerator::new(benchmark.profile(), 99);

@@ -105,3 +105,33 @@ fn rewriting_identical_data_is_free_for_every_scheme() {
         );
     }
 }
+
+#[test]
+fn wlcrc16_round_trips_through_the_simulator() {
+    // Cross-crate check spanning core (WlcCosetCodec), trace (TraceGenerator)
+    // and memsim (Simulator): with integrity verification on, every write the
+    // simulator performs is decoded again and compared with the original
+    // data, so a single lossy encode anywhere in the stack fails this test.
+    use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+    use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+    use wlcrc_repro::wlcrc::WlcCosetCodec;
+
+    let codec = WlcCosetCodec::wlcrc16();
+    let simulator =
+        Simulator::new().with_options(SimulationOptions { seed: 0xD15C, verify_integrity: true });
+    for benchmark in [Benchmark::Milc, Benchmark::Gcc, Benchmark::Canneal] {
+        let mut generator = TraceGenerator::new(benchmark.profile(), 0xBEEF);
+        let trace = generator.generate(300);
+        let stats = simulator.run(&codec, &trace);
+        assert_eq!(stats.writes, 300, "{benchmark:?}: every record must be simulated");
+        assert_eq!(
+            stats.integrity_failures, 0,
+            "{benchmark:?}: WLCRC-16 must decode every stored line losslessly"
+        );
+        assert!(stats.total_energy_pj() > 0.0, "{benchmark:?}: writes must cost energy");
+        assert!(
+            stats.encoded_fraction() > 0.0,
+            "{benchmark:?}: some lines must take the compressed path"
+        );
+    }
+}

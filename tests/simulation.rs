@@ -8,10 +8,8 @@ use wlcrc_repro::trace::{Benchmark, TraceGenerator, WorkloadProfile};
 use wlcrc_repro::wlcrc::schemes::{standard_schemes, SchemeId};
 
 fn small_experiment() -> wlcrc_repro::memsim::ExperimentResult {
-    let schemes: Vec<(&str, Box<dyn LineCodec>)> = standard_schemes()
-        .into_iter()
-        .map(|(id, codec)| (id.label(), codec))
-        .collect();
+    let schemes: Vec<(&str, Box<dyn LineCodec>)> =
+        standard_schemes().into_iter().map(|(id, codec)| (id.label(), codec)).collect();
     run_schemes_on_workloads(&schemes, &WorkloadProfile::all_benchmarks(), 150, 99)
 }
 
@@ -44,10 +42,7 @@ fn wlcrc16_improves_endurance_over_baseline() {
     let result = small_experiment();
     let baseline = result.average_for_scheme("Baseline").mean_updated_cells();
     let wlcrc = result.average_for_scheme("WLCRC-16").mean_updated_cells();
-    assert!(
-        wlcrc < baseline,
-        "updated cells must drop (baseline {baseline:.1}, WLCRC {wlcrc:.1})"
-    );
+    assert!(wlcrc < baseline, "updated cells must drop (baseline {baseline:.1}, WLCRC {wlcrc:.1})");
 }
 
 #[test]
@@ -81,10 +76,7 @@ fn no_scheme_ever_corrupts_data_in_simulation() {
 fn hmi_workloads_consume_more_total_energy_than_lmi() {
     let result = small_experiment();
     let total_for = |bench: Benchmark| -> f64 {
-        result
-            .get("Baseline", bench.short_name())
-            .map(|s| s.total_energy_pj())
-            .unwrap_or(0.0)
+        result.get("Baseline", bench.short_name()).map(|s| s.total_energy_pj()).unwrap_or(0.0)
     };
     let hmi: f64 = Benchmark::ALL
         .iter()

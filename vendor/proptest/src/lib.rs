@@ -1,0 +1,492 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The hermetic build environment has no crates.io access, so this shim
+//! implements the subset of the proptest surface the workspace's property
+//! tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), [`Strategy`] with `prop_map`,
+//! `any::<T>()`, integer-range strategies, tuple strategies,
+//! `prop::array::uniform8`, `prop::collection::vec`, `prop::sample::select`,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the case number and seed so it can be reproduced, but is not minimised.
+//! Each test function derives a deterministic seed from its own name, so runs
+//! are reproducible without a persistence file. Swap this path dependency for
+//! the real crates.io `proptest` once the build environment has registry
+//! access.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestRng,
+    };
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving strategy generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    /// Builds an RNG whose seed is derived from `name` (typically the test
+    /// function's name), so every run of that test sees the same cases.
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this RNG started from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        self.rng.gen_range(lo..hi_exclusive)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, whence }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.inner.generate(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring `Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let draw = u128::from(rng.next_u64()) % span;
+                    ((self.start as u128).wrapping_add(draw)) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    let draw = u128::from(rng.next_u64()) % span;
+                    ((start as u128).wrapping_add(draw)) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Combinator namespaces, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// A strategy for `[S::Value; N]` from one element strategy.
+        #[derive(Debug, Clone)]
+        pub struct UniformArray<S, const N: usize> {
+            elem: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+                core::array::from_fn(|_| self.elem.generate(rng))
+            }
+        }
+
+        macro_rules! uniform_fn {
+            ($(#[$doc:meta] $name:ident => $n:literal),+ $(,)?) => {
+                $(
+                    #[$doc]
+                    pub fn $name<S: Strategy>(elem: S) -> UniformArray<S, $n> {
+                        UniformArray { elem }
+                    }
+                )+
+            };
+        }
+
+        uniform_fn! {
+            /// Strategy for `[V; 4]` arrays.
+            uniform4 => 4,
+            /// Strategy for `[V; 8]` arrays.
+            uniform8 => 8,
+            /// Strategy for `[V; 16]` arrays.
+            uniform16 => 16,
+            /// Strategy for `[V; 32]` arrays.
+            uniform32 => 32,
+        }
+    }
+
+    /// Variable-size collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// A strategy for `Vec<S::Value>` with a length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose length falls in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.usize_in(self.len.start, self.len.end);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling from fixed sets.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// A strategy that picks one element of a fixed vector.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// Picks uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty option set");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.usize_in(0, self.options.len())].clone()
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests.
+///
+/// Each `#[test] fn name(binding in strategy, ...) { body }` item expands to
+/// a plain `#[test]` that draws `config.cases` random inputs from the listed
+/// strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                $(let $arg = ($strat);)+
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} (seed {:#x})",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            rng.seed(),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::deterministic("map_and_tuple_compose");
+        let strat = (0u8..5, any::<u64>()).prop_map(|(class, raw)| (class as u64) + (raw & 1));
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) <= 5);
+        }
+    }
+
+    #[test]
+    fn uniform8_fills_all_lanes() {
+        let mut rng = TestRng::deterministic("uniform8_fills_all_lanes");
+        let arr = prop::array::uniform8(any::<u64>()).generate(&mut rng);
+        assert_eq!(arr.len(), 8);
+    }
+
+    #[test]
+    fn select_only_picks_listed_values() {
+        let mut rng = TestRng::deterministic("select_only_picks_listed_values");
+        let strat = prop::sample::select(vec![8usize, 16, 32]);
+        for _ in 0..50 {
+            assert!([8, 16, 32].contains(&strat.generate(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(x in any::<u64>(), shift in 0usize..64) {
+            let rotated = x.rotate_left(shift as u32);
+            prop_assert_eq!(rotated.rotate_right(shift as u32), x);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<bool>(), 4..9)) {
+            prop_assert!((4..9).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Only the derive macros are consumed by this workspace (structs opt in to
+//! `#[derive(Serialize, Deserialize)]` so that a future wire format can be
+//! added without touching every type), so this shim simply re-exports the
+//! no-op derives. Swap this path dependency for the real crates.io `serde`
+//! once the build environment has registry access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

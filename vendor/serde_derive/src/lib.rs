@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in a hermetic environment with no crates.io
+//! access, and the codebase only ever *derives* `Serialize`/`Deserialize`
+//! (no code calls serde's runtime APIs). These derive macros therefore
+//! accept the usual syntax — including `#[serde(...)]` helper attributes —
+//! and expand to nothing, which is enough for every current use site.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
