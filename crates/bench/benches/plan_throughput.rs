@@ -1,0 +1,39 @@
+//! Criterion bench for the parallel experiment engine: the same
+//! (8 schemes × 4 workloads) ExperimentPlan grid at 1, 2 and 4 workers, so
+//! future PRs can track parallel speedup (BENCH_*.json). On a single-core
+//! runner the three points collapse to the sharding overhead, which should
+//! stay small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wlcrc::schemes::standard_factories;
+use wlcrc_memsim::ExperimentPlan;
+use wlcrc_trace::Benchmark;
+
+fn plan(workers: usize) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new()
+        .seed(1)
+        .lines_per_workload(40)
+        .threads(workers)
+        .workload(Benchmark::Gcc.profile())
+        .workload(Benchmark::Lbm.profile())
+        .workload(Benchmark::Mcf.profile())
+        .workload(Benchmark::Omnetpp.profile());
+    for (id, factory) in standard_factories() {
+        plan = plan.scheme_factory(id.label(), factory);
+    }
+    plan
+}
+
+fn plan_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| plan(std::hint::black_box(workers)).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, plan_throughput);
+criterion_main!(benches);

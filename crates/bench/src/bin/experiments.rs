@@ -12,9 +12,12 @@ use wlcrc_bench::table::Table;
 
 fn main() {
     let args = RunArgs::from_env();
+    let started = std::time::Instant::now();
     println!(
-        "WLCRC reproduction: running all experiments with {} lines per workload (seed {})\n",
-        args.lines, args.seed
+        "WLCRC reproduction: running all experiments with {} lines per workload (seed {}, {} workers)\n",
+        args.lines,
+        args.seed,
+        wlcrc_memsim::resolve_worker_count(None)
     );
 
     // Figure 1.
@@ -176,4 +179,12 @@ fn main() {
         ]);
     }
     t.print();
+
+    // Wall-clock summary: compare runs with WLCRC_THREADS=1 vs =N to see the
+    // parallel engine's speedup on this grid (results are byte-identical).
+    println!(
+        "all experiments finished in {:.2} s with {} workers",
+        started.elapsed().as_secs_f64(),
+        wlcrc_memsim::resolve_worker_count(None)
+    );
 }

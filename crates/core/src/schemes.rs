@@ -1,8 +1,17 @@
 //! Registry of every scheme evaluated in the paper (Figure 8 onwards).
 
 use crate::{CocCosetCodec, WlcCosetCodec};
+use std::sync::Arc;
 use wlcrc_coset::{DinCodec, FlipMinCodec, FnwCodec, Granularity, NCosetsCodec};
 use wlcrc_pcm::codec::{LineCodec, RawCodec};
+
+/// A shareable constructor for a [`LineCodec`].
+///
+/// The parallel experiment engine (`wlcrc_memsim`'s `ExperimentPlan`) hands a
+/// factory to every worker thread so each worker owns its codec instance
+/// instead of contending on a shared one; construction is cheap for every
+/// scheme in this workspace.
+pub type CodecFactory = Arc<dyn Fn() -> Box<dyn LineCodec> + Send + Sync>;
 
 /// Identifier for the schemes compared in the paper's evaluation section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,11 +75,25 @@ impl SchemeId {
             SchemeId::Wlcrc16 => Box::new(WlcCosetCodec::wlcrc16()),
         }
     }
+
+    /// A factory that builds this scheme on demand; workers of the parallel
+    /// experiment engine call it once each so every thread owns its codec.
+    pub fn factory(self) -> CodecFactory {
+        Arc::new(move || self.build())
+    }
 }
 
 /// Builds every scheme of the paper's main comparison, in figure order.
 pub fn standard_schemes() -> Vec<(SchemeId, Box<dyn LineCodec>)> {
     SchemeId::ALL.iter().map(|id| (*id, id.build())).collect()
+}
+
+/// Factories for every scheme of the paper's main comparison, in figure
+/// order. Unlike [`standard_schemes`], nothing is constructed up front: each
+/// worker of an `ExperimentPlan` builds its own codec through
+/// [`SchemeId::build`].
+pub fn standard_factories() -> Vec<(SchemeId, CodecFactory)> {
+    SchemeId::ALL.iter().map(|id| (*id, id.factory())).collect()
 }
 
 #[cfg(test)]
@@ -120,5 +143,24 @@ mod tests {
         assert_eq!(SchemeId::ALL[0], SchemeId::Baseline);
         assert_eq!(SchemeId::ALL[7], SchemeId::Wlcrc16);
         assert_eq!(standard_schemes().len(), 8);
+    }
+
+    #[test]
+    fn factories_build_the_same_codec_as_build() {
+        for (id, factory) in standard_factories() {
+            let from_factory = factory();
+            let direct = id.build();
+            assert_eq!(from_factory.name(), direct.name(), "{id:?}");
+            assert_eq!(from_factory.encoded_cells(), direct.encoded_cells(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn factories_are_shareable_across_threads() {
+        let (_, factory) = standard_factories().remove(7);
+        let clone = Arc::clone(&factory);
+        let name =
+            std::thread::spawn(move || clone().name().to_string()).join().expect("factory thread");
+        assert_eq!(name, factory().name());
     }
 }

@@ -1,0 +1,607 @@
+//! The parallel sharded experiment engine.
+//!
+//! [`ExperimentPlan`] declares a grid of experiment cells — every combination
+//! of *scheme × workload × config × seed* — and executes them on a pool of
+//! scoped worker threads. The paper's evaluation (and every figure binary in
+//! this workspace) is exactly this shape: a large set of mutually independent
+//! simulations followed by a deterministic merge.
+//!
+//! # Determinism guarantee
+//!
+//! Results are **bit-identical for any worker count**. Three rules make that
+//! hold:
+//!
+//! 1. every cell derives its disturbance-sampling RNG seed purely from
+//!    `(base seed, config index, scheme label, workload name)` — never from
+//!    thread identity or scheduling order;
+//! 2. each trace is generated once per `(workload, base seed)` pair, from a
+//!    seed derived only from the base seed and the workload name, and shared
+//!    across schemes behind an [`Arc`] (so comparisons stay paired, exactly
+//!    as in the paper);
+//! 3. cell results are written into a slot indexed by their grid position and
+//!    merged in grid order, so floating-point accumulation order never
+//!    depends on which worker finished first.
+//!
+//! # Worker count
+//!
+//! The pool size is taken from, in order: an explicit
+//! [`ExperimentPlan::threads`] override, the `WLCRC_THREADS` environment
+//! variable, and finally [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use wlcrc_memsim::ExperimentPlan;
+//! use wlcrc_pcm::codec::RawCodec;
+//! use wlcrc_trace::Benchmark;
+//!
+//! let result = ExperimentPlan::new()
+//!     .seed(7)
+//!     .lines_per_workload(50)
+//!     .workload(Benchmark::Gcc.profile())
+//!     .workload(Benchmark::Mcf.profile())
+//!     .scheme("Baseline", || Box::new(RawCodec::new()))
+//!     .run();
+//! assert_eq!(result.cells.len(), 2);
+//! ```
+
+use crate::experiment::{ExperimentResult, RunMetadata};
+use crate::simulator::{SimulationOptions, Simulator};
+use crate::stats::SchemeStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::config::PcmConfig;
+use wlcrc_trace::{Trace, TraceGenerator, WorkloadProfile};
+
+/// Environment variable overriding the worker-pool size (a positive integer).
+pub const THREADS_ENV: &str = "WLCRC_THREADS";
+
+type CodecFactoryFn = Arc<dyn Fn() -> Box<dyn LineCodec> + Send + Sync>;
+
+/// How a worker obtains the codec for a cell: either it builds a private
+/// instance through a factory, or it borrows a pre-built shared instance
+/// (possible because [`LineCodec`] is `Send + Sync`).
+enum CodecSource {
+    Factory(CodecFactoryFn),
+    Shared(Arc<dyn LineCodec>),
+}
+
+impl CodecSource {
+    /// Runs `f` with a codec reference for this cell.
+    fn with_codec<T>(&self, f: impl FnOnce(&dyn LineCodec) -> T) -> T {
+        match self {
+            CodecSource::Factory(factory) => f(factory().as_ref()),
+            CodecSource::Shared(codec) => f(codec.as_ref()),
+        }
+    }
+}
+
+/// A workload axis entry: either a profile the plan turns into a synthetic
+/// trace (scaled by write intensity, like the paper's `Ave.` weighting), or a
+/// caller-provided trace replayed verbatim.
+enum WorkloadSource {
+    Profile(WorkloadProfile),
+    Trace(Arc<Trace>),
+}
+
+/// Declarative description of an experiment grid, executed by a worker pool.
+///
+/// See the [module documentation](self) for the determinism rules. Build a
+/// plan with the chained setters, then call [`ExperimentPlan::run`] (single
+/// config) or [`ExperimentPlan::run_grid`] (one [`ExperimentResult`] per
+/// config).
+pub struct ExperimentPlan {
+    schemes: Vec<(String, CodecSource)>,
+    workloads: Vec<WorkloadSource>,
+    configs: Vec<PcmConfig>,
+    seeds: Vec<u64>,
+    lines_per_workload: usize,
+    verify_integrity: bool,
+    isolated: bool,
+    threads: Option<usize>,
+}
+
+impl Default for ExperimentPlan {
+    fn default() -> ExperimentPlan {
+        ExperimentPlan::new()
+    }
+}
+
+impl ExperimentPlan {
+    /// Creates an empty plan: Table II config, seed 0, 1000 lines per
+    /// workload, integrity verification on.
+    pub fn new() -> ExperimentPlan {
+        ExperimentPlan {
+            schemes: Vec::new(),
+            workloads: Vec::new(),
+            configs: vec![PcmConfig::table_ii()],
+            seeds: vec![0],
+            lines_per_workload: 1000,
+            verify_integrity: true,
+            isolated: false,
+            threads: None,
+        }
+    }
+
+    /// Adds a scheme built per worker by `factory` (each worker owns its
+    /// codec; construction must be cheap and deterministic).
+    pub fn scheme<F>(mut self, label: impl Into<String>, factory: F) -> ExperimentPlan
+    where
+        F: Fn() -> Box<dyn LineCodec> + Send + Sync + 'static,
+    {
+        self.schemes.push((label.into(), CodecSource::Factory(Arc::new(factory))));
+        self
+    }
+
+    /// Adds a scheme built per worker by an already-shared factory, e.g. a
+    /// `CodecFactory` from `wlcrc::schemes::standard_factories` — no
+    /// re-wrapping closure needed.
+    pub fn scheme_factory(
+        mut self,
+        label: impl Into<String>,
+        factory: Arc<dyn Fn() -> Box<dyn LineCodec> + Send + Sync>,
+    ) -> ExperimentPlan {
+        self.schemes.push((label.into(), CodecSource::Factory(factory)));
+        self
+    }
+
+    /// Adds a pre-built codec, shared read-only by all workers.
+    pub fn scheme_boxed(
+        mut self,
+        label: impl Into<String>,
+        codec: Box<dyn LineCodec>,
+    ) -> ExperimentPlan {
+        self.schemes.push((label.into(), CodecSource::Shared(Arc::from(codec))));
+        self
+    }
+
+    /// Adds a workload profile; the plan generates its trace (once per base
+    /// seed), scaled by relative write intensity like the paper's grids.
+    pub fn workload(mut self, profile: WorkloadProfile) -> ExperimentPlan {
+        self.workloads.push(WorkloadSource::Profile(profile));
+        self
+    }
+
+    /// Adds several workload profiles.
+    pub fn workloads(
+        mut self,
+        profiles: impl IntoIterator<Item = WorkloadProfile>,
+    ) -> ExperimentPlan {
+        for profile in profiles {
+            self.workloads.push(WorkloadSource::Profile(profile));
+        }
+        self
+    }
+
+    /// Adds a pre-generated trace, replayed verbatim (no intensity scaling).
+    pub fn trace(mut self, trace: Arc<Trace>) -> ExperimentPlan {
+        self.workloads.push(WorkloadSource::Trace(trace));
+        self
+    }
+
+    /// Adds several pre-generated traces.
+    pub fn traces(mut self, traces: impl IntoIterator<Item = Arc<Trace>>) -> ExperimentPlan {
+        for trace in traces {
+            self.workloads.push(WorkloadSource::Trace(trace));
+        }
+        self
+    }
+
+    /// Sets the single PCM configuration of the grid.
+    pub fn config(mut self, config: PcmConfig) -> ExperimentPlan {
+        self.configs = vec![config];
+        self
+    }
+
+    /// Sets the configuration axis of the grid (one [`ExperimentResult`] per
+    /// entry; use [`ExperimentPlan::run_grid`]).
+    pub fn configs(mut self, configs: impl IntoIterator<Item = PcmConfig>) -> ExperimentPlan {
+        self.configs = configs.into_iter().collect();
+        self
+    }
+
+    /// Sets the single base seed of the grid.
+    pub fn seed(mut self, seed: u64) -> ExperimentPlan {
+        self.seeds = vec![seed];
+        self
+    }
+
+    /// Sets the seed axis of the grid; per-cell statistics are merged across
+    /// seeds in seed order, so the result shape stays scheme × workload.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> ExperimentPlan {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the unscaled trace length per profile workload.
+    pub fn lines_per_workload(mut self, lines: usize) -> ExperimentPlan {
+        self.lines_per_workload = lines;
+        self
+    }
+
+    /// Enables or disables decode-vs-original integrity verification.
+    pub fn verify_integrity(mut self, verify: bool) -> ExperimentPlan {
+        self.verify_integrity = verify;
+        self
+    }
+
+    /// When `true`, records are simulated without address tracking (each
+    /// write is differenced against its record's encoded old value), like the
+    /// random-data studies of Figures 1 and 2.
+    pub fn isolated(mut self, isolated: bool) -> ExperimentPlan {
+        self.isolated = isolated;
+        self
+    }
+
+    /// Overrides the worker count (otherwise `WLCRC_THREADS`, otherwise
+    /// [`std::thread::available_parallelism`]).
+    pub fn threads(mut self, workers: usize) -> ExperimentPlan {
+        self.threads = Some(workers);
+        self
+    }
+
+    /// The worker count this plan will run with.
+    pub fn worker_count(&self) -> usize {
+        resolve_worker_count(self.threads)
+    }
+
+    /// Executes a single-config plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no schemes or workloads, or if more than one
+    /// config was set (use [`ExperimentPlan::run_grid`] for a config axis).
+    pub fn run(&self) -> ExperimentResult {
+        assert_eq!(
+            self.configs.len(),
+            1,
+            "plan has {} configs; use run_grid() for a config axis",
+            self.configs.len()
+        );
+        self.run_grid().remove(0)
+    }
+
+    /// Executes the full grid and returns one [`ExperimentResult`] per
+    /// config, each holding one merged cell per (workload, scheme) pair in
+    /// declaration order (workload-major, matching the sequential layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no schemes, workloads, configs or seeds.
+    pub fn run_grid(&self) -> Vec<ExperimentResult> {
+        assert!(!self.schemes.is_empty(), "plan declares no schemes");
+        assert!(!self.workloads.is_empty(), "plan declares no workloads");
+        assert!(!self.configs.is_empty(), "plan declares no configs");
+        assert!(!self.seeds.is_empty(), "plan declares no seeds");
+        let workers = self.worker_count();
+        let n_workloads = self.workloads.len();
+        let n_schemes = self.schemes.len();
+        let n_seeds = self.seeds.len();
+
+        // Phase 1: materialise every (workload, seed) trace exactly once, in
+        // parallel; schemes then share each trace behind an Arc so every
+        // comparison is paired.
+        let max_intensity = self.max_intensity();
+        let traces: Vec<Arc<Trace>> = parallel_tasks(n_workloads * n_seeds, workers, |task| {
+            let (workload, seed) = (task / n_seeds, task % n_seeds);
+            self.materialise_trace(&self.workloads[workload], self.seeds[seed], max_intensity)
+        });
+
+        // Phase 2: simulate every grid cell. The slot index fixes the merge
+        // order regardless of which worker computes which cell.
+        let cell_count = self.configs.len() * n_workloads * n_schemes * n_seeds;
+        let cells: Vec<SchemeStats> = parallel_tasks(cell_count, workers, |index| {
+            let seed = index % n_seeds;
+            let scheme = (index / n_seeds) % n_schemes;
+            let workload = (index / (n_seeds * n_schemes)) % n_workloads;
+            let config = index / (n_seeds * n_schemes * n_workloads);
+            self.run_cell(config, scheme, &traces[workload * n_seeds + seed], self.seeds[seed])
+        });
+
+        // Phase 3: deterministic merge, seed-minor so replicate order is
+        // fixed by the plan, not by scheduling.
+        let mut results = Vec::with_capacity(self.configs.len());
+        for config in 0..self.configs.len() {
+            let mut result = ExperimentResult {
+                meta: RunMetadata {
+                    seeds: self.seeds.clone(),
+                    lines_per_workload: self.lines_per_workload,
+                    config_index: config,
+                    grid_cells: n_workloads * n_schemes * n_seeds,
+                },
+                ..ExperimentResult::default()
+            };
+            for workload in 0..n_workloads {
+                for scheme in 0..n_schemes {
+                    let base = ((config * n_workloads + workload) * n_schemes + scheme) * n_seeds;
+                    let mut merged = cells[base].clone();
+                    for replicate in &cells[base + 1..base + n_seeds] {
+                        merged.merge(replicate);
+                    }
+                    result.cells.push(merged);
+                }
+            }
+            results.push(result);
+        }
+        results
+    }
+
+    /// Highest write intensity among the profile workloads (1.0 minimum,
+    /// matching the sequential harness's scaling rule).
+    fn max_intensity(&self) -> f64 {
+        self.workloads
+            .iter()
+            .filter_map(|w| match w {
+                WorkloadSource::Profile(profile) => Some(profile.write_intensity),
+                WorkloadSource::Trace(_) => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    fn materialise_trace(
+        &self,
+        source: &WorkloadSource,
+        seed: u64,
+        max_intensity: f64,
+    ) -> Arc<Trace> {
+        match source {
+            WorkloadSource::Trace(trace) => Arc::clone(trace),
+            WorkloadSource::Profile(profile) => {
+                let scaled = ((self.lines_per_workload as f64) * profile.write_intensity
+                    / max_intensity)
+                    .ceil()
+                    .max(1.0) as usize;
+                let mut generator =
+                    TraceGenerator::new(profile.clone(), seed ^ hash_name(&profile.name));
+                Arc::new(generator.generate(scaled))
+            }
+        }
+    }
+
+    fn run_cell(
+        &self,
+        config_index: usize,
+        scheme_index: usize,
+        trace: &Trace,
+        base_seed: u64,
+    ) -> SchemeStats {
+        let (label, source) = &self.schemes[scheme_index];
+        let simulator = Simulator::with_config(self.configs[config_index].clone()).with_options(
+            SimulationOptions {
+                seed: derive_cell_seed(base_seed, config_index, label, &trace.workload),
+                verify_integrity: self.verify_integrity,
+            },
+        );
+        let mut stats = source.with_codec(|codec| {
+            if self.isolated {
+                simulator.run_isolated(codec, trace.records())
+            } else {
+                simulator.run(codec, trace)
+            }
+        });
+        stats.scheme = label.clone();
+        stats.workload = trace.workload.clone();
+        stats
+    }
+}
+
+/// Resolves the worker count: explicit override, then `WLCRC_THREADS`, then
+/// the machine's available parallelism (1 if unknown).
+pub fn resolve_worker_count(explicit: Option<usize>) -> usize {
+    if let Some(workers) = explicit {
+        return workers.max(1);
+    }
+    if let Some(workers) = std::env::var(THREADS_ENV).ok().as_deref().and_then(parse_thread_count) {
+        return workers;
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Parses a `WLCRC_THREADS` value; zero, empty and garbage are rejected so
+/// the caller falls back to auto-detection.
+fn parse_thread_count(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|workers| *workers >= 1)
+}
+
+/// Runs `count` independent tasks on `workers` scoped threads and returns the
+/// results in task order. Workers claim task indices from a shared atomic
+/// counter (work stealing), but each result lands in its own slot, so output
+/// order — and therefore any later floating-point merge — is deterministic.
+fn parallel_tasks<T, F>(count: usize, workers: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, count);
+    if workers == 1 {
+        return (0..count).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(count).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let value = task(index);
+                slots.lock().expect("result mutex poisoned")[index] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every claimed task stores a result"))
+        .collect()
+}
+
+/// FNV-style hash of a workload name, used to give every workload its own
+/// trace-generation seed. (Kept identical to the historical sequential
+/// harness so migrated callers reproduce the same traces.)
+pub(crate) fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Derives a cell's disturbance-sampling seed from the grid coordinates only
+/// — never from worker identity — so parallelism cannot change any figure.
+fn derive_cell_seed(base: u64, config_index: usize, scheme: &str, workload: &str) -> u64 {
+    let mut h = 0x517c_c1b7_2722_0a95u64
+        ^ base.rotate_left(17)
+        ^ (config_index as u64).wrapping_mul(0xa24b_aed4_963e_e407);
+    for b in scheme.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    h = h.rotate_left(29) ^ 0xff;
+    for b in workload.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    // SplitMix64 finaliser for avalanche.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlcrc_pcm::codec::RawCodec;
+    use wlcrc_pcm::energy::EnergyModel;
+    use wlcrc_trace::Benchmark;
+
+    fn small_plan() -> ExperimentPlan {
+        ExperimentPlan::new()
+            .seed(3)
+            .lines_per_workload(40)
+            .workload(Benchmark::Gcc.profile())
+            .workload(Benchmark::Mcf.profile())
+            .workload(Benchmark::Omnetpp.profile())
+            .scheme("Baseline", || Box::new(RawCodec::new()))
+            .scheme_boxed("Shared", Box::new(RawCodec::new()))
+    }
+
+    #[test]
+    fn results_are_identical_for_one_and_four_workers() {
+        let sequential = small_plan().threads(1).run();
+        let parallel = small_plan().threads(4).run();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.cells.len(), 6);
+    }
+
+    #[test]
+    fn cells_are_ordered_workload_major() {
+        let result = small_plan().threads(2).run();
+        let keys: Vec<(&str, &str)> =
+            result.cells.iter().map(|c| (c.workload.as_str(), c.scheme.as_str())).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("gcc", "Baseline"),
+                ("gcc", "Shared"),
+                ("mcf", "Baseline"),
+                ("mcf", "Shared"),
+                ("omne", "Baseline"),
+                ("omne", "Shared"),
+            ]
+        );
+    }
+
+    #[test]
+    fn traces_are_shared_across_schemes() {
+        // Two instances of the same codec must see the same trace: identical
+        // writes and identical (deterministic) energy.
+        let result = small_plan().threads(3).run();
+        for workload in result.workloads() {
+            let a = result.get("Baseline", &workload).unwrap();
+            let b = result.get("Shared", &workload).unwrap();
+            assert_eq!(a.writes, b.writes);
+            assert_eq!(a.data_energy_pj, b.data_energy_pj);
+        }
+    }
+
+    #[test]
+    fn seed_axis_merges_replicates() {
+        let single = small_plan().run();
+        let double = small_plan().seeds([3, 4]).run();
+        assert_eq!(double.cells.len(), single.cells.len());
+        let one = single.get("Baseline", "gcc").unwrap();
+        let two = double.get("Baseline", "gcc").unwrap();
+        assert_eq!(two.writes, 2 * one.writes);
+        assert_eq!(double.meta.seeds, vec![3, 4]);
+    }
+
+    #[test]
+    fn run_grid_returns_one_result_per_config() {
+        let mut cheap = PcmConfig::table_ii();
+        cheap.energy = EnergyModel::figure14_configurations().last().unwrap().clone();
+        let results = small_plan().configs([PcmConfig::table_ii(), cheap]).run_grid();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].meta.config_index, 0);
+        assert_eq!(results[1].meta.config_index, 1);
+        let default_energy = results[0].get("Baseline", "gcc").unwrap().total_energy_pj();
+        let cheap_energy = results[1].get("Baseline", "gcc").unwrap().total_energy_pj();
+        assert!(cheap_energy < default_energy, "{cheap_energy} vs {default_energy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_grid()")]
+    fn run_rejects_config_axes() {
+        small_plan().configs([PcmConfig::table_ii(), PcmConfig::table_ii()]).run();
+    }
+
+    #[test]
+    fn isolated_mode_skips_address_tracking() {
+        let trace = {
+            let mut generator = TraceGenerator::new(Benchmark::Gcc.profile(), 5);
+            Arc::new(generator.generate(30))
+        };
+        let plan = ExperimentPlan::new()
+            .seed(5)
+            .trace(Arc::clone(&trace))
+            .scheme("Baseline", || Box::new(RawCodec::new()))
+            .isolated(true);
+        let result = plan.run();
+        assert_eq!(result.cells[0].writes, 30);
+        assert_eq!(result.cells[0].workload, "gcc");
+    }
+
+    #[test]
+    fn thread_count_parsing_rejects_garbage() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 16 "), Some(16));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("many"), None);
+        assert_eq!(resolve_worker_count(Some(0)), 1);
+        assert_eq!(resolve_worker_count(Some(8)), 8);
+    }
+
+    #[test]
+    fn parallel_tasks_preserve_task_order() {
+        let out = parallel_tasks(100, 7, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert!(parallel_tasks(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn cell_seeds_separate_grid_coordinates() {
+        let base = derive_cell_seed(1, 0, "A", "w");
+        assert_ne!(base, derive_cell_seed(2, 0, "A", "w"), "base seed must matter");
+        assert_ne!(base, derive_cell_seed(1, 1, "A", "w"), "config must matter");
+        assert_ne!(base, derive_cell_seed(1, 0, "B", "w"), "scheme must matter");
+        assert_ne!(base, derive_cell_seed(1, 0, "A", "x"), "workload must matter");
+        // Concatenation ambiguity: ("AB", "C") vs ("A", "BC").
+        assert_ne!(derive_cell_seed(1, 0, "AB", "C"), derive_cell_seed(1, 0, "A", "BC"));
+    }
+}

@@ -1,18 +1,39 @@
-//! Convenience harness shared by the figure-regeneration binaries: run a set
-//! of schemes over a set of workloads and collect the per-cell statistics.
+//! Experiment results: the per-cell statistics grid every figure is derived
+//! from, plus the historical sequential entry point (now a thin wrapper over
+//! the parallel [`ExperimentPlan`](crate::engine::ExperimentPlan) engine).
 
-use crate::simulator::{SimulationOptions, Simulator};
+use crate::engine::ExperimentPlan;
 use crate::stats::SchemeStats;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use wlcrc_pcm::codec::LineCodec;
-use wlcrc_pcm::config::PcmConfig;
-use wlcrc_trace::{TraceGenerator, WorkloadProfile};
+use wlcrc_trace::WorkloadProfile;
+
+/// Provenance of an [`ExperimentResult`]: which grid produced it.
+///
+/// Deliberately excludes anything scheduling-related (worker count, timing):
+/// two runs of the same plan must produce byte-identical results whatever the
+/// parallelism.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetadata {
+    /// Base seeds of the grid (cells are merged across them, in this order).
+    pub seeds: Vec<u64>,
+    /// Unscaled trace length per profile workload.
+    pub lines_per_workload: usize,
+    /// Index of this result's config on the plan's config axis.
+    pub config_index: usize,
+    /// Number of simulated cells behind this result
+    /// (workloads × schemes × seeds).
+    pub grid_cells: usize,
+}
 
 /// The result of evaluating a set of schemes across a set of workloads.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
-    /// One entry per (scheme, workload) pair, in run order.
+    /// One entry per (scheme, workload) pair, in run order (workload-major).
     pub cells: Vec<SchemeStats>,
+    /// Provenance of the run that produced the cells.
+    pub meta: RunMetadata,
 }
 
 impl ExperimentResult {
@@ -38,25 +59,25 @@ impl ExperimentResult {
 
     /// The distinct scheme names, in first-seen order.
     pub fn schemes(&self) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        for cell in &self.cells {
-            if !out.contains(&cell.scheme) {
-                out.push(cell.scheme.clone());
-            }
-        }
-        out
+        distinct(self.cells.iter().map(|cell| cell.scheme.as_str()))
     }
 
     /// The distinct workload names, in first-seen order.
     pub fn workloads(&self) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        for cell in &self.cells {
-            if !out.contains(&cell.workload) {
-                out.push(cell.workload.clone());
-            }
-        }
-        out
+        distinct(self.cells.iter().map(|cell| cell.workload.as_str()))
     }
+}
+
+/// First-seen-order dedup in O(n) (a seen-set instead of a `contains` scan).
+fn distinct<'a>(names: impl Iterator<Item = &'a str>) -> Vec<String> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut out = Vec::new();
+    for name in names {
+        if seen.insert(name) {
+            out.push(name.to_string());
+        }
+    }
+    out
 }
 
 /// Runs every `(scheme, workload)` combination: for each workload a synthetic
@@ -64,40 +85,32 @@ impl ExperimentResult {
 /// write intensity) is generated from its profile and fed to every scheme.
 ///
 /// The same trace (same seed) is used for all schemes of a workload so the
-/// comparison is paired, exactly as in the paper.
+/// comparison is paired, exactly as in the paper. Execution is delegated to
+/// [`ExperimentPlan`], so the grid is sharded across the worker pool
+/// (`WLCRC_THREADS`) with deterministic results; prefer building a plan
+/// directly in new code.
+///
+/// Seeding note: traces are derived exactly as the historical sequential
+/// harness derived them, so the written data — and every energy/endurance
+/// metric, which is RNG-free — is unchanged. The *disturbance-sampling* RNG,
+/// however, is now seeded per (scheme, workload) cell instead of reusing the
+/// raw base seed everywhere (the engine's cross-worker determinism rule), so
+/// sampled disturbance counts differ from pre-engine releases for the same
+/// `seed`.
 pub fn run_schemes_on_workloads(
-    schemes: &[(&str, Box<dyn LineCodec>)],
+    schemes: Vec<(&str, Box<dyn LineCodec>)>,
     workloads: &[WorkloadProfile],
     lines_per_workload: usize,
     seed: u64,
 ) -> ExperimentResult {
-    let mut result = ExperimentResult::default();
-    for profile in workloads {
-        let scaled = ((lines_per_workload as f64) * profile.write_intensity
-            / max_intensity(workloads))
-        .ceil()
-        .max(1.0) as usize;
-        let mut generator = TraceGenerator::new(profile.clone(), seed ^ hash_name(&profile.name));
-        let trace = generator.generate(scaled);
-        for (label, codec) in schemes {
-            let simulator = Simulator::with_config(PcmConfig::table_ii())
-                .with_options(SimulationOptions { seed, verify_integrity: true });
-            let mut stats = simulator.run(codec.as_ref(), &trace);
-            stats.scheme = (*label).to_string();
-            result.cells.push(stats);
-        }
+    let mut plan = ExperimentPlan::new()
+        .seed(seed)
+        .lines_per_workload(lines_per_workload)
+        .workloads(workloads.iter().cloned());
+    for (label, codec) in schemes {
+        plan = plan.scheme_boxed(label, codec);
     }
-    result
-}
-
-fn max_intensity(workloads: &[WorkloadProfile]) -> f64 {
-    workloads.iter().map(|w| w.write_intensity).fold(1.0, f64::max)
-}
-
-fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
-        (acc ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-    })
+    plan.run()
 }
 
 #[cfg(test)]
@@ -106,16 +119,20 @@ mod tests {
     use wlcrc_pcm::codec::RawCodec;
     use wlcrc_trace::Benchmark;
 
+    fn baseline_pair() -> Vec<(&'static str, Box<dyn LineCodec>)> {
+        vec![("Baseline", Box::new(RawCodec::new())), ("Baseline2", Box::new(RawCodec::new()))]
+    }
+
     #[test]
     fn runs_every_combination() {
-        let schemes: Vec<(&str, Box<dyn LineCodec>)> =
-            vec![("Baseline", Box::new(RawCodec::new())), ("Baseline2", Box::new(RawCodec::new()))];
         let workloads = vec![Benchmark::Gcc.profile(), Benchmark::Mcf.profile()];
-        let result = run_schemes_on_workloads(&schemes, &workloads, 50, 1);
+        let result = run_schemes_on_workloads(baseline_pair(), &workloads, 50, 1);
         assert_eq!(result.cells.len(), 4);
         assert_eq!(result.schemes().len(), 2);
         assert_eq!(result.workloads(), vec!["gcc".to_string(), "mcf".to_string()]);
         assert!(result.get("Baseline", "gcc").is_some());
+        assert_eq!(result.meta.seeds, vec![1]);
+        assert_eq!(result.meta.grid_cells, 4);
     }
 
     #[test]
@@ -123,7 +140,7 @@ mod tests {
         let schemes: Vec<(&str, Box<dyn LineCodec>)> =
             vec![("Baseline", Box::new(RawCodec::new()))];
         let workloads = vec![Benchmark::Leslie3d.profile(), Benchmark::Omnetpp.profile()];
-        let result = run_schemes_on_workloads(&schemes, &workloads, 100, 2);
+        let result = run_schemes_on_workloads(schemes, &workloads, 100, 2);
         let hmi = result.get("Baseline", "lesl").unwrap().writes;
         let lmi = result.get("Baseline", "omne").unwrap().writes;
         assert!(hmi > lmi, "HMI workloads must issue more writes ({hmi} vs {lmi})");
@@ -134,10 +151,17 @@ mod tests {
         let schemes: Vec<(&str, Box<dyn LineCodec>)> =
             vec![("Baseline", Box::new(RawCodec::new()))];
         let workloads = vec![Benchmark::Gcc.profile(), Benchmark::Mcf.profile()];
-        let result = run_schemes_on_workloads(&schemes, &workloads, 30, 3);
+        let result = run_schemes_on_workloads(schemes, &workloads, 30, 3);
         let avg = result.average_for_scheme("Baseline");
         let total: u64 = result.for_scheme("Baseline").iter().map(|s| s.writes).sum();
         assert_eq!(avg.writes, total);
         assert_eq!(avg.workload, "Ave.");
+    }
+
+    #[test]
+    fn distinct_preserves_first_seen_order() {
+        let names = ["b", "a", "b", "c", "a", "c", "d"];
+        assert_eq!(distinct(names.into_iter()), vec!["b", "a", "c", "d"]);
+        assert!(distinct(std::iter::empty()).is_empty());
     }
 }

@@ -18,16 +18,23 @@
 //! The memory organisation of Table II (channels, DIMMs, banks) is modelled
 //! in [`memory::MemoryOrganization`] for address mapping and per-bank
 //! accounting; it does not affect the energy metrics, matching the paper.
+//!
+//! Experiment grids (scheme × workload × config × seed) are executed by the
+//! parallel sharded engine in [`engine`]: declare the grid with
+//! [`engine::ExperimentPlan`], and the cells are spread over a scoped worker
+//! pool (`WLCRC_THREADS`) with bit-identical results for any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiment;
 pub mod memory;
 pub mod simulator;
 pub mod stats;
 
-pub use experiment::{run_schemes_on_workloads, ExperimentResult};
+pub use engine::{resolve_worker_count, ExperimentPlan, THREADS_ENV};
+pub use experiment::{run_schemes_on_workloads, ExperimentResult, RunMetadata};
 pub use memory::MemoryOrganization;
 pub use simulator::{SimulationOptions, Simulator};
 pub use stats::SchemeStats;

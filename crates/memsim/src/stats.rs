@@ -191,6 +191,47 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative_and_order_independent() {
+        // The parallel engine merges per-cell stats in grid order; this pins
+        // down that merge is associative so sharding cannot change a result.
+        // Integer-valued energies are exactly representable as f64, so the
+        // floating-point sums below are exact and the comparison is strict.
+        let cell = |energy: f64, cells: usize, enc: bool| {
+            let mut s = SchemeStats::new("X", "w");
+            s.record(outcome(energy, energy / 2.0, cells, cells / 2), d_errors(cells), enc, true);
+            s
+        };
+        let (a, b, c) = (cell(128.0, 6, true), cell(512.0, 3, false), cell(64.0, 9, true));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c); // (a ⊕ b) ⊕ c
+
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail); // a ⊕ (b ⊕ c)
+
+        assert_eq!(left, right);
+        assert_eq!(left.writes, 3);
+        assert_eq!(left.total_energy_pj(), (128.0 + 512.0 + 64.0) * 1.5);
+        assert_eq!(left.max_disturb_errors_per_write, 9);
+    }
+
+    fn d_errors(n: usize) -> DisturbanceOutcome {
+        DisturbanceOutcome { data_errors: n, aux_errors: 0, ..Default::default() }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = SchemeStats::new("X", "w");
+        a.record(outcome(100.0, 10.0, 5, 1), DisturbanceOutcome::default(), true, true);
+        let before = a.clone();
+        a.merge(&SchemeStats::new("X", "w2"));
+        assert_eq!(a, before);
+    }
+
+    #[test]
     fn disturbance_maximum_is_tracked() {
         let mut stats = SchemeStats::new("X", "w");
         let d1 = DisturbanceOutcome { data_errors: 3, aux_errors: 1, ..Default::default() };

@@ -45,7 +45,12 @@ impl std::error::Error for CodecError {}
 ///   `old` produced by the same codec (lossless round trip);
 /// * the codec never relies on the *data* content of `old`, only on its cell
 ///   states (it is what is physically stored, possibly from a different write).
-pub trait LineCodec {
+///
+/// Codecs are `Send + Sync`: `encode`/`decode` take `&self` and must not rely
+/// on interior mutability, so one codec instance can be shared by the
+/// parallel experiment engine's worker threads (`wlcrc_memsim`'s
+/// `ExperimentPlan`) or rebuilt cheaply per worker.
+pub trait LineCodec: Send + Sync {
     /// Human-readable scheme name used in reports ("WLCRC-16", "6cosets", ...).
     fn name(&self) -> &str;
 

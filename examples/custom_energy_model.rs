@@ -3,7 +3,8 @@
 //!
 //! Run with `cargo run --release --example custom_energy_model`.
 
-use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+use std::sync::Arc;
+use wlcrc_repro::memsim::ExperimentPlan;
 use wlcrc_repro::pcm::codec::RawCodec;
 use wlcrc_repro::pcm::config::PcmConfig;
 use wlcrc_repro::pcm::disturb::DisturbanceModel;
@@ -23,21 +24,27 @@ fn main() {
 
     println!("custom device: {}", config.energy);
 
-    let simulator = Simulator::with_config(config)
-        .with_options(SimulationOptions { seed: 3, verify_integrity: true });
-
-    let baseline = RawCodec::new();
-    let wlcrc = WlcCosetCodec::wlcrc16();
+    // The custom device plugs straight into an ExperimentPlan: the grid
+    // (2 schemes × 4 workloads) runs on the worker pool against it.
+    let benchmarks = [Benchmark::Leslie3d, Benchmark::Gcc, Benchmark::Mcf, Benchmark::Libquantum];
+    let result = ExperimentPlan::new()
+        .seed(3)
+        .config(config)
+        .traces(benchmarks.iter().map(|benchmark| {
+            let mut generator = TraceGenerator::new(benchmark.profile(), 17);
+            Arc::new(generator.generate(1500))
+        }))
+        .scheme("Baseline", || Box::new(RawCodec::new()))
+        .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
+        .run();
 
     println!(
         "\n{:<6} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "bench", "base (pJ)", "wlcrc (pJ)", "saving", "base dist", "wlcrc dist"
     );
-    for benchmark in [Benchmark::Leslie3d, Benchmark::Gcc, Benchmark::Mcf, Benchmark::Libquantum] {
-        let mut generator = TraceGenerator::new(benchmark.profile(), 17);
-        let trace = generator.generate(1500);
-        let base = simulator.run(&baseline, &trace);
-        let ours = simulator.run(&wlcrc, &trace);
+    for benchmark in benchmarks {
+        let base = result.get("Baseline", benchmark.short_name()).expect("cell present");
+        let ours = result.get("WLCRC-16", benchmark.short_name()).expect("cell present");
         println!(
             "{:<6} {:>12.1} {:>12.1} {:>8.1}% {:>12.2} {:>12.2}",
             benchmark.short_name(),

@@ -4,36 +4,42 @@
 //!
 //! Run with `cargo run --release --example endurance_tradeoff`.
 
-use wlcrc_repro::memsim::{SchemeStats, SimulationOptions, Simulator};
-use wlcrc_repro::pcm::codec::LineCodec;
-use wlcrc_repro::pcm::config::PcmConfig;
-use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use std::sync::Arc;
+use wlcrc_repro::memsim::{ExperimentPlan, SchemeStats};
+use wlcrc_repro::trace::{Benchmark, Trace, TraceGenerator};
 use wlcrc_repro::wlcrc::{MultiObjectiveConfig, WlcCosetCodec};
 
-fn run(threshold: Option<f64>) -> SchemeStats {
-    let codec = match threshold {
-        None => WlcCosetCodec::wlcrc16(),
-        Some(t) => {
-            WlcCosetCodec::wlcrc16().with_multi_objective(MultiObjectiveConfig { threshold: t })
-        }
-    };
-    let simulator = Simulator::with_config(PcmConfig::table_ii())
-        .with_options(SimulationOptions { seed: 11, verify_integrity: false });
-    let mut merged = SchemeStats::new(codec.name(), "all");
-    for benchmark in Benchmark::ALL {
-        let mut generator = TraceGenerator::new(benchmark.profile(), 31);
-        let trace = generator.generate(800);
-        merged.merge(&simulator.run(&codec, &trace));
-    }
-    merged
+fn run(traces: &[Arc<Trace>], threshold: Option<f64>) -> SchemeStats {
+    // One plan per threshold: 12 workloads sharded over the worker pool, all
+    // replaying the same shared traces so the sweep stays paired.
+    let result = ExperimentPlan::new()
+        .seed(11)
+        .verify_integrity(false)
+        .traces(traces.iter().map(Arc::clone))
+        .scheme("WLCRC-16", move || match threshold {
+            None => Box::new(WlcCosetCodec::wlcrc16()),
+            Some(t) => Box::new(
+                WlcCosetCodec::wlcrc16()
+                    .with_multi_objective(MultiObjectiveConfig { threshold: t }),
+            ),
+        })
+        .run();
+    result.average_for_scheme("WLCRC-16")
 }
 
 fn main() {
+    let traces: Vec<Arc<Trace>> = Benchmark::ALL
+        .iter()
+        .map(|benchmark| {
+            let mut generator = TraceGenerator::new(benchmark.profile(), 31);
+            Arc::new(generator.generate(800))
+        })
+        .collect();
     println!(
         "{:<12} {:>14} {:>16} {:>16}",
         "threshold T", "energy (pJ)", "updated cells", "vs plain"
     );
-    let plain = run(None);
+    let plain = run(&traces, None);
     println!(
         "{:<12} {:>14.1} {:>16.2} {:>16}",
         "off",
@@ -42,7 +48,7 @@ fn main() {
         "-"
     );
     for t in [0.005, 0.01, 0.02, 0.05, 0.10] {
-        let stats = run(Some(t));
+        let stats = run(&traces, Some(t));
         println!(
             "{:<12} {:>14.1} {:>16.2} {:>15.1}%",
             format!("{:.1}%", t * 100.0),

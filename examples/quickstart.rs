@@ -5,8 +5,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wlcrc_repro::memsim::ExperimentPlan;
 use wlcrc_repro::pcm::disturb::evaluate_disturbance;
 use wlcrc_repro::pcm::prelude::*;
+use wlcrc_repro::trace::Benchmark;
 use wlcrc_repro::wlcrc::WlcCosetCodec;
 
 fn main() {
@@ -58,5 +60,21 @@ fn main() {
         "baseline energy       : {:.1} pJ  ({:.0}% saved by WLCRC-16)",
         outcome_b.total_energy_pj(),
         (1.0 - outcome.total_energy_pj() / outcome_b.total_energy_pj()) * 100.0
+    );
+
+    // Scaling up: whole scheme × workload grids run through the parallel
+    // ExperimentPlan engine (worker count from WLCRC_THREADS, results
+    // byte-identical for any worker count).
+    let grid = ExperimentPlan::new()
+        .seed(1)
+        .lines_per_workload(200)
+        .workload(Benchmark::Gcc.profile())
+        .scheme("Baseline", || Box::new(RawCodec::new()))
+        .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
+        .run();
+    println!(
+        "grid (gcc, 200 writes): baseline {:.1} pJ vs WLCRC-16 {:.1} pJ per line",
+        grid.average_for_scheme("Baseline").mean_energy_pj(),
+        grid.average_for_scheme("WLCRC-16").mean_energy_pj()
     );
 }

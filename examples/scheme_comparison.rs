@@ -4,10 +4,10 @@
 //! Run with `cargo run --release --example scheme_comparison [-- <benchmark>]`
 //! where `<benchmark>` is one of the paper's short names (default: `gcc`).
 
-use wlcrc_repro::memsim::{SimulationOptions, Simulator};
-use wlcrc_repro::pcm::config::PcmConfig;
+use std::sync::Arc;
+use wlcrc_repro::memsim::ExperimentPlan;
 use wlcrc_repro::trace::{Benchmark, TraceGenerator};
-use wlcrc_repro::wlcrc::schemes::standard_schemes;
+use wlcrc_repro::wlcrc::schemes::standard_factories;
 
 fn main() {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
@@ -15,7 +15,7 @@ fn main() {
         Benchmark::ALL.into_iter().find(|b| b.short_name() == wanted).unwrap_or(Benchmark::Gcc);
 
     let mut generator = TraceGenerator::new(benchmark.profile(), 2024);
-    let trace = generator.generate(3000);
+    let trace = Arc::new(generator.generate(3000));
     println!(
         "workload {} ({}): {} writes, {:.1} changed bits per write on average\n",
         benchmark.short_name(),
@@ -24,16 +24,21 @@ fn main() {
         trace.mean_changed_bits()
     );
 
-    let simulator = Simulator::with_config(PcmConfig::table_ii())
-        .with_options(SimulationOptions { seed: 7, verify_integrity: true });
+    // All eight schemes run as one ExperimentPlan grid sharded across the
+    // worker pool (WLCRC_THREADS); every scheme sees the same shared trace.
+    let mut plan = ExperimentPlan::new().seed(7).trace(trace);
+    for (id, factory) in standard_factories() {
+        plan = plan.scheme_factory(id.label(), factory);
+    }
+    let result = plan.run();
 
     println!(
         "{:<14} {:>12} {:>14} {:>12} {:>10}",
         "scheme", "energy (pJ)", "updated cells", "disturb/line", "integrity"
     );
     let mut baseline_energy = None;
-    for (id, codec) in standard_schemes() {
-        let stats = simulator.run(codec.as_ref(), &trace);
+    for label in result.schemes() {
+        let stats = result.get(&label, benchmark.short_name()).expect("cell present");
         if baseline_energy.is_none() {
             baseline_energy = Some(stats.mean_energy_pj());
         }
@@ -42,7 +47,7 @@ fn main() {
             .unwrap_or_default();
         println!(
             "{:<14} {:>12.1} {:>14.1} {:>12.2} {:>10}   saving {}",
-            id.label(),
+            label,
             stats.mean_energy_pj(),
             stats.mean_updated_cells(),
             stats.mean_disturb_errors(),

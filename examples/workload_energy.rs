@@ -4,14 +4,32 @@
 //!
 //! Run with `cargo run --release --example workload_energy`.
 
+use std::sync::Arc;
 use wlcrc_repro::compress::{Compressor, Wlc};
-use wlcrc_repro::memsim::{SimulationOptions, Simulator};
+use wlcrc_repro::memsim::ExperimentPlan;
 use wlcrc_repro::pcm::codec::RawCodec;
-use wlcrc_repro::pcm::config::PcmConfig;
-use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use wlcrc_repro::trace::{Benchmark, Trace, TraceGenerator};
 use wlcrc_repro::wlcrc::WlcCosetCodec;
 
 fn main() {
+    // Generate every benchmark's trace once and run the whole
+    // (2 schemes × 12 workloads) grid through the parallel ExperimentPlan
+    // engine before printing the per-benchmark breakdown.
+    let traces: Vec<Arc<Trace>> = Benchmark::ALL
+        .iter()
+        .map(|benchmark| {
+            let mut generator = TraceGenerator::new(benchmark.profile(), 99);
+            Arc::new(generator.generate(1500))
+        })
+        .collect();
+    let result = ExperimentPlan::new()
+        .seed(5)
+        .verify_integrity(false)
+        .traces(traces.iter().map(Arc::clone))
+        .scheme("Baseline", || Box::new(RawCodec::new()))
+        .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
+        .run();
+
     println!(
         "{:<6} {:>6} {:>6} {:>6} {:>6}  {:>8} {:>8}  {:>10} {:>10} {:>8}",
         "bench",
@@ -25,10 +43,7 @@ fn main() {
         "wlcrc (pJ)",
         "saving"
     );
-    for benchmark in Benchmark::ALL {
-        let mut generator = TraceGenerator::new(benchmark.profile(), 99);
-        let trace = generator.generate(1500);
-
+    for (benchmark, trace) in Benchmark::ALL.into_iter().zip(&traces) {
         // Symbol histogram of the written data.
         let mut hist = [0usize; 4];
         let mut wlc6 = 0usize;
@@ -48,10 +63,8 @@ fn main() {
         let total: usize = hist.iter().sum();
         let pct = |v: usize| v as f64 / total as f64 * 100.0;
 
-        let simulator = Simulator::with_config(PcmConfig::table_ii())
-            .with_options(SimulationOptions { seed: 5, verify_integrity: false });
-        let base = simulator.run(&RawCodec::new(), &trace);
-        let wlcrc = simulator.run(&WlcCosetCodec::wlcrc16(), &trace);
+        let base = result.get("Baseline", benchmark.short_name()).expect("cell present");
+        let wlcrc = result.get("WLCRC-16", benchmark.short_name()).expect("cell present");
 
         println!(
             "{:<6} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%  {:>7.1}% {:>7.1}%  {:>10.1} {:>10.1} {:>7.1}%",

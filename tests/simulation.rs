@@ -10,7 +10,7 @@ use wlcrc_repro::wlcrc::schemes::{standard_schemes, SchemeId};
 fn small_experiment() -> wlcrc_repro::memsim::ExperimentResult {
     let schemes: Vec<(&str, Box<dyn LineCodec>)> =
         standard_schemes().into_iter().map(|(id, codec)| (id.label(), codec)).collect();
-    run_schemes_on_workloads(&schemes, &WorkloadProfile::all_benchmarks(), 150, 99)
+    run_schemes_on_workloads(schemes, &WorkloadProfile::all_benchmarks(), 150, 99)
 }
 
 #[test]
@@ -89,6 +89,29 @@ fn hmi_workloads_consume_more_total_energy_than_lmi() {
         .map(|b| total_for(*b))
         .sum();
     assert!(hmi > lmi, "HMI total {hmi:.0} should exceed LMI total {lmi:.0}");
+}
+
+#[test]
+fn experiment_plan_is_deterministic_across_worker_counts() {
+    // The parallel engine must produce byte-identical results whatever the
+    // worker count: per-cell seeds derive from grid coordinates, never from
+    // thread identity or completion order.
+    let build = || {
+        let mut plan = wlcrc_repro::memsim::ExperimentPlan::new()
+            .seed(99)
+            .lines_per_workload(60)
+            .workload(Benchmark::Gcc.profile())
+            .workload(Benchmark::Lbm.profile())
+            .workload(Benchmark::Omnetpp.profile());
+        for (id, factory) in wlcrc_repro::wlcrc::schemes::standard_factories() {
+            plan = plan.scheme_factory(id.label(), factory);
+        }
+        plan
+    };
+    let single = build().threads(1).run();
+    let sharded = build().threads(4).run();
+    assert_eq!(single, sharded);
+    assert_eq!(single.cells.len(), 3 * 8);
 }
 
 #[test]
