@@ -130,6 +130,10 @@ fn main() {
         t.print();
     }
 
+    // Bank write balance of the streamed Figure 8-10 traces: skew here means
+    // intra-trace (per-bank) shard workers are loaded unevenly.
+    wlcrc_bench::figures::bank_balance_table(&result).print();
+
     // Section VIII-D.
     let rows = multi_objective_study(args.lines, args.seed);
     let mut t = Table::new(

@@ -57,4 +57,7 @@ fn main() {
     let args = RunArgs::from_env();
     let result = figure8_9_10(args.lines, args.seed);
     print_metric(&result, "Figure 8: write energy per line write", "pJ", |s| s.mean_energy_pj());
+    // How evenly each streamed trace spreads over banks — and therefore over
+    // intra-trace shard workers (WLCRC_INTRA_SHARDS).
+    wlcrc_bench::figures::bank_balance_table(&result).print();
 }

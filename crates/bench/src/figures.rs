@@ -3,8 +3,8 @@
 //! Each function returns plain data (rows of numbers); the `src/bin/figNN`
 //! binaries print them as tables and the Criterion benches time them.
 
-use crate::workloads::{benchmark_profiles, biased_traces, random_trace};
-use std::sync::Arc;
+use crate::table::Table;
+use crate::workloads::{benchmark_profiles, biased_sources, biased_streams, random_source};
 use wlcrc::schemes::standard_factories;
 use wlcrc::{MultiObjectiveConfig, WlcCosetCodec};
 use wlcrc_compress::{Bdi, Coc, Compressor, Fpc, Wlc};
@@ -90,12 +90,14 @@ fn sweep_label(scheme: &str, granularity: usize) -> String {
 type SweepScheme = (&'static str, fn(usize) -> Box<dyn LineCodec>);
 
 /// Runs a (granularity × scheme) sweep as one ExperimentPlan grid over
-/// either the twelve biased benchmark traces (tracked simulation) or one
-/// random trace (isolated simulation), and returns one merged
+/// either the twelve biased benchmark streams (tracked simulation) or one
+/// random stream (isolated simulation), and returns one merged
 /// [`EnergyBreakdownRow`] per sweep point in (granularity, scheme) order.
 ///
-/// Registration and row extraction both walk the same `schemes` slice, so a
-/// sweep point can never silently drop out of the output.
+/// Workloads enter as lazy [`TraceSource`](wlcrc_trace::TraceSource) streams,
+/// so the sweep's peak memory is independent of `lines`. Registration and
+/// row extraction both walk the same `schemes` slice, so a sweep point can
+/// never silently drop out of the output.
 fn run_sweep(
     lines: usize,
     seed: u64,
@@ -105,9 +107,10 @@ fn run_sweep(
 ) -> Vec<EnergyBreakdownRow> {
     let mut plan = ExperimentPlan::new().seed(seed).verify_integrity(false);
     plan = if biased {
-        plan.traces(biased_traces(lines / 4, seed).into_iter().map(Arc::new))
+        plan.sources(biased_sources(lines / 4, seed))
     } else {
-        plan.isolated(true).trace(Arc::new(random_trace(lines, seed)))
+        let (name, factory) = random_source(lines, seed);
+        plan.isolated(true).source_factory(name, factory)
     };
     for &g in granularities {
         for &(label, build) in schemes {
@@ -159,19 +162,19 @@ pub struct CompressionCoverageRow {
 }
 
 /// Figure 4: percentage of memory lines compressed by WLC (k = 4..9), COC and
-/// FPC+BDI, per benchmark.
+/// FPC+BDI, per benchmark. Consumes each benchmark's trace as a lazy stream.
 pub fn figure4(lines: usize, seed: u64) -> Vec<CompressionCoverageRow> {
-    let traces = biased_traces(lines, seed);
     let coc = Coc::new();
     let fpc_bdi = wlcrc_compress::bdi::FpcBdi::new();
     let wlcs: Vec<Wlc> = (4..=9).map(Wlc::new).collect();
     let mut rows = Vec::new();
-    for (bench, trace) in Benchmark::ALL.iter().zip(traces.iter()) {
-        let total = trace.len().max(1) as f64;
+    for (bench, stream) in Benchmark::ALL.iter().zip(biased_streams(lines, seed)) {
+        let mut total = 0usize;
         let mut wlc_counts = [0usize; 6];
         let mut coc_count = 0usize;
         let mut fpc_bdi_count = 0usize;
-        for record in trace.iter() {
+        for record in stream {
+            total += 1;
             for (i, wlc) in wlcs.iter().enumerate() {
                 if wlc.is_compressible(&record.new) {
                     wlc_counts[i] += 1;
@@ -184,6 +187,7 @@ pub fn figure4(lines: usize, seed: u64) -> Vec<CompressionCoverageRow> {
                 fpc_bdi_count += 1;
             }
         }
+        let total = total.max(1) as f64;
         let mut wlc_coverage = [0.0; 6];
         for (i, c) in wlc_counts.iter().enumerate() {
             wlc_coverage[i] = *c as f64 / total;
@@ -270,7 +274,7 @@ pub fn figure14(lines: usize, seed: u64) -> Vec<SensitivityRow> {
     let results = ExperimentPlan::new()
         .seed(seed)
         .verify_integrity(false)
-        .traces(biased_traces(lines / 4, seed).into_iter().map(Arc::new))
+        .sources(biased_sources(lines / 4, seed))
         .scheme("Baseline", || Box::new(RawCodec::new()))
         .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
         .configs(models.iter().map(|model| {
@@ -351,7 +355,7 @@ pub fn headline_comparison(lines: usize, seed: u64) -> (f64, f64) {
     let result = ExperimentPlan::new()
         .seed(seed)
         .verify_integrity(false)
-        .traces(biased_traces(lines / 4, seed).into_iter().map(Arc::new))
+        .sources(biased_sources(lines / 4, seed))
         .scheme("Baseline", || Box::new(RawCodec::new()))
         .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
         .run();
@@ -361,15 +365,33 @@ pub fn headline_comparison(lines: usize, seed: u64) -> (f64, f64) {
     )
 }
 
+/// Per-workload bank-write balance of a result's streamed traces: how evenly
+/// each trace spreads over the memory banks — and therefore over intra-trace
+/// shard workers (`WLCRC_INTRA_SHARDS`). Every scheme replays the same
+/// records, so the first cell per workload is representative; the table is
+/// identical for any worker/shard count.
+pub fn bank_balance_table(result: &ExperimentResult) -> Table {
+    let mut table =
+        Table::new("Bank write balance (per-bank sharding)", &["workload", "banks hit", "max/min"]);
+    for workload in result.workloads() {
+        let stats = result.cells.iter().find(|s| s.workload == workload).expect("cell present");
+        table.push_row(vec![
+            workload,
+            stats.banks_touched().to_string(),
+            format!("{:.2}", stats.write_imbalance()),
+        ]);
+    }
+    table
+}
+
 /// Compression-only statistic used by Figure 4's average bar and by tests:
-/// the average WLC(k) line coverage across all benchmarks.
+/// the average WLC(k) line coverage across all benchmarks (streamed).
 pub fn average_wlc_coverage(lines: usize, seed: u64, k: usize) -> f64 {
-    let traces = biased_traces(lines, seed);
     let wlc = Wlc::new(k);
     let mut total = 0usize;
     let mut covered = 0usize;
-    for trace in &traces {
-        for record in trace.iter() {
+    for stream in biased_streams(lines, seed) {
+        for record in stream {
             total += 1;
             if wlc.is_compressible(&record.new) {
                 covered += 1;
@@ -379,15 +401,15 @@ pub fn average_wlc_coverage(lines: usize, seed: u64, k: usize) -> f64 {
     covered as f64 / total.max(1) as f64
 }
 
-/// Average FPC+BDI-to-369-bit coverage across benchmarks (the DIN gate).
+/// Average FPC+BDI-to-369-bit coverage across benchmarks (the DIN gate),
+/// computed over the lazy benchmark streams.
 pub fn average_fpc_bdi_coverage(lines: usize, seed: u64) -> f64 {
-    let traces = biased_traces(lines, seed);
     let fpc = Fpc::new();
     let bdi = Bdi::new();
     let mut total = 0usize;
     let mut covered = 0usize;
-    for trace in &traces {
-        for record in trace.iter() {
+    for stream in biased_streams(lines, seed) {
+        for record in stream {
             total += 1;
             let best = [fpc.compressed_bits(&record.new), bdi.compressed_bits(&record.new)]
                 .into_iter()

@@ -6,21 +6,48 @@
 //! this workspace) is exactly this shape: a large set of mutually independent
 //! simulations followed by a deterministic merge.
 //!
+//! # Streaming pipeline
+//!
+//! Workloads are consumed as [`TraceSource`] streams: profile workloads are
+//! generated lazily (O(working-set) memory, never O(trace-length)), and
+//! custom bounded-memory streams plug in through
+//! [`ExperimentPlan::source`]. The historical materialise-then-run pipeline
+//! survives as an opt-in ([`ExperimentPlan::materialise_traces`], or the
+//! `WLCRC_MATERIALISE` environment variable) and produces byte-identical
+//! results — the CI smoke step diffs the two modes.
+//!
+//! # Intra-trace (per-bank) sharding
+//!
+//! Besides sharding the grid across cells, the engine shards *within* each
+//! trace: records partition by [`MemoryOrganization::bank_index`] (writes to
+//! different banks are independent in the cost model), each bank-partition
+//! shard replays the stream and simulates only the banks with
+//! `bank % shards == shard`, and the per-bank statistics merge in ascending
+//! bank order. The shard count comes from
+//! [`ExperimentPlan::intra_trace_shards`], the `WLCRC_INTRA_SHARDS`
+//! environment variable, or a policy that uses spare workers when the grid
+//! has fewer cells than the pool — and never affects any result, so a single
+//! huge workload can use the whole machine.
+//!
+//! [`MemoryOrganization::bank_index`]: crate::memory::MemoryOrganization::bank_index
+//!
 //! # Determinism guarantee
 //!
-//! Results are **bit-identical for any worker count**. Three rules make that
-//! hold:
+//! Results are **bit-identical for any worker count, shard count and
+//! materialisation mode**. Three rules make that hold:
 //!
-//! 1. every cell derives its disturbance-sampling RNG seed purely from
-//!    `(base seed, config index, scheme label, workload name)` — never from
-//!    thread identity or scheduling order;
-//! 2. each trace is generated once per `(workload, base seed)` pair, from a
-//!    seed derived only from the base seed and the workload name, and shared
-//!    across schemes behind an [`Arc`] (so comparisons stay paired, exactly
-//!    as in the paper);
-//! 3. cell results are written into a slot indexed by their grid position and
-//!    merged in grid order, so floating-point accumulation order never
-//!    depends on which worker finished first.
+//! 1. every cell derives its disturbance-sampling seed purely from
+//!    `(base seed, config index, scheme label, workload name)`, and every
+//!    bank lane derives its RNG stream from `(cell seed, bank index)` —
+//!    never from thread identity, scheduling order or shard count;
+//! 2. trace streams are deterministic: a cell's stream derives only from the
+//!    base seed and the workload, so every scheme and every shard replays
+//!    the identical record sequence (comparisons stay paired, exactly as in
+//!    the paper);
+//! 3. per-bank partials merge in ascending bank order, cell results land in
+//!    slots indexed by their grid position and merge in grid order, so
+//!    floating-point accumulation order never depends on which worker
+//!    finished first.
 //!
 //! # Worker count
 //!
@@ -46,18 +73,31 @@
 //! ```
 
 use crate::experiment::{ExperimentResult, RunMetadata};
-use crate::simulator::{SimulationOptions, Simulator};
+use crate::simulator::{merge_bank_stats, BankStats, SimulationOptions, Simulator};
 use crate::stats::SchemeStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::config::PcmConfig;
-use wlcrc_trace::{Trace, TraceGenerator, WorkloadProfile};
+use wlcrc_trace::{Trace, TraceSource, TraceStream, WorkloadProfile};
 
 /// Environment variable overriding the worker-pool size (a positive integer).
 pub const THREADS_ENV: &str = "WLCRC_THREADS";
 
+/// Environment variable overriding the intra-trace (per-bank) shard count
+/// per cell (a positive integer). Results are byte-identical for any value.
+pub const INTRA_SHARDS_ENV: &str = "WLCRC_INTRA_SHARDS";
+
+/// Environment variable forcing the opt-in materialise-then-run pipeline
+/// (`1`/`true`). Results are byte-identical to streaming; peak memory is not.
+pub const MATERIALISE_ENV: &str = "WLCRC_MATERIALISE";
+
 type CodecFactoryFn = Arc<dyn Fn() -> Box<dyn LineCodec> + Send + Sync>;
+
+/// A factory building one replayable [`TraceSource`] per invocation; the
+/// argument is the plan's base seed for the cell. Must be deterministic —
+/// the engine replays the stream once per bank-partition shard.
+pub type TraceSourceFactory = Arc<dyn Fn(u64) -> Box<dyn TraceSource + Send> + Send + Sync>;
 
 /// How a worker obtains the codec for a cell: either it builds a private
 /// instance through a factory, or it borrows a pre-built shared instance
@@ -77,12 +117,24 @@ impl CodecSource {
     }
 }
 
-/// A workload axis entry: either a profile the plan turns into a synthetic
-/// trace (scaled by write intensity, like the paper's `Ave.` weighting), or a
-/// caller-provided trace replayed verbatim.
+/// A workload axis entry: a profile the plan streams lazily (scaled by write
+/// intensity, like the paper's `Ave.` weighting), a caller-provided
+/// materialised trace replayed verbatim, or a custom stream factory.
 enum WorkloadSource {
     Profile(WorkloadProfile),
     Trace(Arc<Trace>),
+    Stream { name: String, factory: TraceSourceFactory },
+}
+
+impl WorkloadSource {
+    /// The workload name used for result labels and cell-seed derivation.
+    fn name(&self) -> &str {
+        match self {
+            WorkloadSource::Profile(profile) => &profile.name,
+            WorkloadSource::Trace(trace) => &trace.workload,
+            WorkloadSource::Stream { name, .. } => name,
+        }
+    }
 }
 
 /// Declarative description of an experiment grid, executed by a worker pool.
@@ -100,6 +152,8 @@ pub struct ExperimentPlan {
     verify_integrity: bool,
     isolated: bool,
     threads: Option<usize>,
+    intra_shards: Option<usize>,
+    materialise: Option<bool>,
 }
 
 impl Default for ExperimentPlan {
@@ -110,7 +164,7 @@ impl Default for ExperimentPlan {
 
 impl ExperimentPlan {
     /// Creates an empty plan: Table II config, seed 0, 1000 lines per
-    /// workload, integrity verification on.
+    /// workload, integrity verification on, streaming pipeline.
     pub fn new() -> ExperimentPlan {
         ExperimentPlan {
             schemes: Vec::new(),
@@ -121,6 +175,8 @@ impl ExperimentPlan {
             verify_integrity: true,
             isolated: false,
             threads: None,
+            intra_shards: None,
+            materialise: None,
         }
     }
 
@@ -156,8 +212,8 @@ impl ExperimentPlan {
         self
     }
 
-    /// Adds a workload profile; the plan generates its trace (once per base
-    /// seed), scaled by relative write intensity like the paper's grids.
+    /// Adds a workload profile; the plan streams its trace lazily (scaled by
+    /// relative write intensity like the paper's grids).
     pub fn workload(mut self, profile: WorkloadProfile) -> ExperimentPlan {
         self.workloads.push(WorkloadSource::Profile(profile));
         self
@@ -184,6 +240,39 @@ impl ExperimentPlan {
     pub fn traces(mut self, traces: impl IntoIterator<Item = Arc<Trace>>) -> ExperimentPlan {
         for trace in traces {
             self.workloads.push(WorkloadSource::Trace(trace));
+        }
+        self
+    }
+
+    /// Adds a custom streaming workload: `factory` builds one replayable
+    /// [`TraceSource`] per invocation from the plan's base seed (no intensity
+    /// scaling). `name` labels the results and feeds cell-seed derivation;
+    /// the factory must be deterministic because the stream is replayed once
+    /// per bank-partition shard.
+    pub fn source<F>(self, name: impl Into<String>, factory: F) -> ExperimentPlan
+    where
+        F: Fn(u64) -> Box<dyn TraceSource + Send> + Send + Sync + 'static,
+    {
+        self.source_factory(name, Arc::new(factory))
+    }
+
+    /// Adds a custom streaming workload from an already-shared factory.
+    pub fn source_factory(
+        mut self,
+        name: impl Into<String>,
+        factory: TraceSourceFactory,
+    ) -> ExperimentPlan {
+        self.workloads.push(WorkloadSource::Stream { name: name.into(), factory });
+        self
+    }
+
+    /// Adds several named streaming workloads.
+    pub fn sources(
+        mut self,
+        sources: impl IntoIterator<Item = (String, TraceSourceFactory)>,
+    ) -> ExperimentPlan {
+        for (name, factory) in sources {
+            self.workloads.push(WorkloadSource::Stream { name, factory });
         }
         self
     }
@@ -241,9 +330,34 @@ impl ExperimentPlan {
         self
     }
 
+    /// Overrides the intra-trace (per-bank) shard count per cell (otherwise
+    /// `WLCRC_INTRA_SHARDS`, otherwise spare-worker policy). Results are
+    /// byte-identical for any value; more shards let one huge trace use more
+    /// cores at the cost of replaying its stream once per shard.
+    pub fn intra_trace_shards(mut self, shards: usize) -> ExperimentPlan {
+        self.intra_shards = Some(shards);
+        self
+    }
+
+    /// Opts in or out of the historical materialise-then-run pipeline
+    /// (otherwise `WLCRC_MATERIALISE`, otherwise streaming). Materialising
+    /// builds each (workload, seed) trace once and shares it across schemes
+    /// and shards — byte-identical results, O(trace-length) peak memory.
+    pub fn materialise_traces(mut self, materialise: bool) -> ExperimentPlan {
+        self.materialise = Some(materialise);
+        self
+    }
+
     /// The worker count this plan will run with.
     pub fn worker_count(&self) -> usize {
         resolve_worker_count(self.threads)
+    }
+
+    /// The intra-trace shard count this plan will run with.
+    pub fn intra_shard_count(&self) -> usize {
+        let cells =
+            self.configs.len() * self.workloads.len() * self.schemes.len() * self.seeds.len();
+        self.resolve_intra_shards(cells)
     }
 
     /// Executes a single-config plan.
@@ -278,26 +392,60 @@ impl ExperimentPlan {
         let n_workloads = self.workloads.len();
         let n_schemes = self.schemes.len();
         let n_seeds = self.seeds.len();
-
-        // Phase 1: materialise every (workload, seed) trace exactly once, in
-        // parallel; schemes then share each trace behind an Arc so every
-        // comparison is paired.
-        let max_intensity = self.max_intensity();
-        let traces: Vec<Arc<Trace>> = parallel_tasks(n_workloads * n_seeds, workers, |task| {
-            let (workload, seed) = (task / n_seeds, task % n_seeds);
-            self.materialise_trace(&self.workloads[workload], self.seeds[seed], max_intensity)
-        });
-
-        // Phase 2: simulate every grid cell. The slot index fixes the merge
-        // order regardless of which worker computes which cell.
         let cell_count = self.configs.len() * n_workloads * n_schemes * n_seeds;
-        let cells: Vec<SchemeStats> = parallel_tasks(cell_count, workers, |index| {
-            let seed = index % n_seeds;
-            let scheme = (index / n_seeds) % n_schemes;
-            let workload = (index / (n_seeds * n_schemes)) % n_workloads;
-            let config = index / (n_seeds * n_schemes * n_workloads);
-            self.run_cell(config, scheme, &traces[workload * n_seeds + seed], self.seeds[seed])
+        let shards = self.resolve_intra_shards(cell_count);
+        let max_intensity = self.max_intensity();
+
+        // Optional phase 0 (opt-in): materialise every (workload, seed) trace
+        // exactly once and share it behind an Arc — the historical pipeline,
+        // byte-identical to streaming but O(trace-length) in memory.
+        let shared: Option<Vec<Arc<Trace>>> = self.resolve_materialise().then(|| {
+            parallel_tasks(n_workloads * n_seeds, workers, |task| {
+                let (workload, seed) = (task / n_seeds, task % n_seeds);
+                let source =
+                    self.make_source(&self.workloads[workload], self.seeds[seed], max_intensity);
+                Arc::new(source.collect_trace())
+            })
         });
+
+        // Phase 1: simulate every (cell, intra-trace shard) task. Each shard
+        // replays the cell's stream and simulates only its banks; the slot
+        // index fixes the merge order regardless of which worker runs what.
+        let partials: Vec<Vec<BankStats>> = parallel_tasks(cell_count * shards, workers, |index| {
+            let shard = index % shards;
+            let cell = index / shards;
+            let seed = cell % n_seeds;
+            let scheme = (cell / n_seeds) % n_schemes;
+            let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
+            let config = cell / (n_seeds * n_schemes * n_workloads);
+            self.run_cell_shard(
+                config,
+                scheme,
+                workload,
+                seed,
+                shard,
+                shards,
+                max_intensity,
+                shared.as_deref(),
+            )
+        });
+
+        // Phase 2: merge each cell's bank partials in ascending bank order —
+        // the one canonical order, whatever the shard count.
+        let cells: Vec<SchemeStats> = (0..cell_count)
+            .map(|cell| {
+                let scheme = (cell / n_seeds) % n_schemes;
+                let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
+                let config = cell / (n_seeds * n_schemes * n_workloads);
+                let lanes = partials[cell * shards..(cell + 1) * shards].iter().flatten().cloned();
+                merge_bank_stats(
+                    &self.schemes[scheme].0,
+                    self.workloads[workload].name(),
+                    self.configs[config].total_banks(),
+                    lanes,
+                )
+            })
+            .collect();
 
         // Phase 3: deterministic merge, seed-minor so replicate order is
         // fixed by the plan, not by scheduling.
@@ -334,55 +482,105 @@ impl ExperimentPlan {
             .iter()
             .filter_map(|w| match w {
                 WorkloadSource::Profile(profile) => Some(profile.write_intensity),
-                WorkloadSource::Trace(_) => None,
+                _ => None,
             })
             .fold(1.0, f64::max)
     }
 
-    fn materialise_trace(
-        &self,
-        source: &WorkloadSource,
+    /// Builds a fresh replayable stream for one workload at one base seed.
+    /// Deterministic: the stream derives only from the plan and `seed`, so
+    /// every scheme and every shard sees the identical record sequence.
+    fn make_source<'a>(
+        &'a self,
+        source: &'a WorkloadSource,
         seed: u64,
         max_intensity: f64,
-    ) -> Arc<Trace> {
+    ) -> Box<dyn TraceSource + Send + 'a> {
         match source {
-            WorkloadSource::Trace(trace) => Arc::clone(trace),
+            WorkloadSource::Trace(trace) => Box::new(trace.source()),
+            WorkloadSource::Stream { factory, .. } => factory(seed),
             WorkloadSource::Profile(profile) => {
                 let scaled = ((self.lines_per_workload as f64) * profile.write_intensity
                     / max_intensity)
                     .ceil()
                     .max(1.0) as usize;
-                let mut generator =
-                    TraceGenerator::new(profile.clone(), seed ^ hash_name(&profile.name));
-                Arc::new(generator.generate(scaled))
+                Box::new(TraceStream::new(profile.clone(), seed ^ hash_name(&profile.name), scaled))
             }
         }
     }
 
-    fn run_cell(
+    /// Runs one intra-trace shard of one grid cell, returning the per-bank
+    /// partial statistics of the banks this shard owns.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cell_shard(
         &self,
         config_index: usize,
         scheme_index: usize,
-        trace: &Trace,
-        base_seed: u64,
-    ) -> SchemeStats {
-        let (label, source) = &self.schemes[scheme_index];
+        workload_index: usize,
+        seed_index: usize,
+        shard: usize,
+        shards: usize,
+        max_intensity: f64,
+        shared: Option<&[Arc<Trace>]>,
+    ) -> Vec<BankStats> {
+        let (label, codec_source) = &self.schemes[scheme_index];
+        let workload = &self.workloads[workload_index];
+        let base_seed = self.seeds[seed_index];
         let simulator = Simulator::with_config(self.configs[config_index].clone()).with_options(
             SimulationOptions {
-                seed: derive_cell_seed(base_seed, config_index, label, &trace.workload),
+                seed: derive_cell_seed(base_seed, config_index, label, workload.name()),
                 verify_integrity: self.verify_integrity,
             },
         );
-        let mut stats = source.with_codec(|codec| {
-            if self.isolated {
-                simulator.run_isolated(codec, trace.records())
-            } else {
-                simulator.run(codec, trace)
+        codec_source.with_codec(|codec| {
+            let run = |source: Box<dyn TraceSource + Send + '_>| {
+                if self.isolated {
+                    simulator.run_isolated_shard(codec, source, shard, shards)
+                } else {
+                    simulator.run_shard(codec, source, shard, shards)
+                }
+            };
+            match shared {
+                Some(traces) => {
+                    let trace = &traces[workload_index * self.seeds.len() + seed_index];
+                    run(Box::new(trace.source()))
+                }
+                None => run(self.make_source(workload, base_seed, max_intensity)),
             }
-        });
-        stats.scheme = label.clone();
-        stats.workload = trace.workload.clone();
-        stats
+        })
+    }
+
+    /// Resolves the intra-trace shard count: explicit override, then
+    /// `WLCRC_INTRA_SHARDS`, then spare-worker policy (idle workers divided
+    /// over the grid's cells, 1 when the grid alone fills the pool). Always
+    /// clamped to the largest bank count on the config axis — a shard that
+    /// owns no bank would replay its stream only to discard every record.
+    fn resolve_intra_shards(&self, cell_count: usize) -> usize {
+        let max_banks = self.configs.iter().map(PcmConfig::total_banks).max().unwrap_or(1).max(1);
+        if let Some(shards) = self.intra_shards {
+            return shards.clamp(1, max_banks);
+        }
+        if let Some(shards) =
+            std::env::var(INTRA_SHARDS_ENV).ok().as_deref().and_then(parse_thread_count)
+        {
+            return shards.min(max_banks);
+        }
+        if cell_count == 0 {
+            return 1;
+        }
+        (self.worker_count() / cell_count).clamp(1, max_banks)
+    }
+
+    /// Resolves the materialisation mode: explicit override, then
+    /// `WLCRC_MATERIALISE`, then streaming (off).
+    fn resolve_materialise(&self) -> bool {
+        if let Some(materialise) = self.materialise {
+            return materialise;
+        }
+        std::env::var(MATERIALISE_ENV).is_ok_and(|value| {
+            let value = value.trim();
+            ["1", "true", "yes", "on"].iter().any(|accepted| value.eq_ignore_ascii_case(accepted))
+        })
     }
 }
 
@@ -398,8 +596,8 @@ pub fn resolve_worker_count(explicit: Option<usize>) -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Parses a `WLCRC_THREADS` value; zero, empty and garbage are rejected so
-/// the caller falls back to auto-detection.
+/// Parses a `WLCRC_THREADS`-style value; zero, empty and garbage are rejected
+/// so the caller falls back to auto-detection.
 fn parse_thread_count(value: &str) -> Option<usize> {
     value.trim().parse::<usize>().ok().filter(|workers| *workers >= 1)
 }
@@ -478,7 +676,8 @@ mod tests {
     use super::*;
     use wlcrc_pcm::codec::RawCodec;
     use wlcrc_pcm::energy::EnergyModel;
-    use wlcrc_trace::Benchmark;
+    use wlcrc_pcm::line::MemoryLine;
+    use wlcrc_trace::{from_fn, Benchmark, TraceGenerator, WriteRecord};
 
     fn small_plan() -> ExperimentPlan {
         ExperimentPlan::new()
@@ -497,6 +696,68 @@ mod tests {
         let parallel = small_plan().threads(4).run();
         assert_eq!(sequential, parallel);
         assert_eq!(sequential.cells.len(), 6);
+    }
+
+    #[test]
+    fn results_are_identical_for_one_and_four_intra_trace_shards() {
+        let unsharded = small_plan().threads(2).intra_trace_shards(1).run();
+        let sharded = small_plan().threads(2).intra_trace_shards(4).run();
+        assert_eq!(unsharded, sharded);
+    }
+
+    #[test]
+    fn streamed_and_materialised_pipelines_are_byte_identical() {
+        // All twelve standard workloads, streamed vs materialised, sharded
+        // and not: four executions of the same grid, one result.
+        let plan = || {
+            ExperimentPlan::new()
+                .seed(5)
+                .lines_per_workload(30)
+                .workloads(Benchmark::ALL.iter().map(|b| b.profile()))
+                .scheme("Baseline", || Box::new(RawCodec::new()))
+        };
+        let streamed = plan().materialise_traces(false).run();
+        let materialised = plan().materialise_traces(true).run();
+        let streamed_sharded = plan().materialise_traces(false).intra_trace_shards(4).run();
+        let materialised_sharded = plan().materialise_traces(true).intra_trace_shards(4).run();
+        assert_eq!(streamed, materialised);
+        assert_eq!(streamed, streamed_sharded);
+        assert_eq!(streamed, materialised_sharded);
+        assert_eq!(streamed.cells.len(), 12);
+    }
+
+    #[test]
+    fn bounded_memory_source_streams_long_traces() {
+        // A custom bounded-memory source: every record is computed from its
+        // index, so peak memory stays O(working-set) however long the trace.
+        // (At 64 lines the working set spans every bank of the Table II
+        // organisation.)
+        let count = 20_000u64;
+        let source_factory = |seed: u64| {
+            Arc::new(move |_base: u64| {
+                Box::new(from_fn("endless", count, move |i| {
+                    let address = (i % 64) * 64;
+                    let old = MemoryLine::from_words([i ^ seed; 8]);
+                    let new = MemoryLine::from_words([(i + 1) ^ seed; 8]);
+                    WriteRecord::new(address, old, new)
+                })) as Box<dyn TraceSource + Send>
+            }) as TraceSourceFactory
+        };
+        let plan = || {
+            ExperimentPlan::new()
+                .seed(1)
+                .verify_integrity(false)
+                .source_factory("endless", source_factory(9))
+                .scheme("Baseline", || Box::new(RawCodec::new()))
+                .threads(2)
+        };
+        let sharded = plan().intra_trace_shards(4).run();
+        let stats = &sharded.cells[0];
+        assert_eq!(stats.writes, count);
+        assert_eq!(stats.workload, "endless");
+        assert_eq!(stats.bank_writes.iter().sum::<u64>(), count);
+        assert_eq!(stats.banks_touched(), 64, "64-line stride touches every bank");
+        assert_eq!(sharded, plan().intra_trace_shards(1).run());
     }
 
     #[test]
@@ -585,6 +846,17 @@ mod tests {
         assert_eq!(parse_thread_count("many"), None);
         assert_eq!(resolve_worker_count(Some(0)), 1);
         assert_eq!(resolve_worker_count(Some(8)), 8);
+    }
+
+    #[test]
+    fn intra_shard_policy_uses_spare_workers() {
+        // 6 cells on a 1-worker pool: no spare parallelism, 1 shard.
+        assert_eq!(small_plan().threads(1).intra_shard_count(), 1);
+        // 6 cells on a 24-worker pool: 4 shards per cell soak up the slack.
+        assert_eq!(small_plan().threads(24).intra_shard_count(), 4);
+        // Explicit override wins; zero clamps to 1.
+        assert_eq!(small_plan().threads(24).intra_trace_shards(2).intra_shard_count(), 2);
+        assert_eq!(small_plan().intra_trace_shards(0).intra_shard_count(), 1);
     }
 
     #[test]

@@ -19,10 +19,18 @@
 //! in [`memory::MemoryOrganization`] for address mapping and per-bank
 //! accounting; it does not affect the energy metrics, matching the paper.
 //!
+//! Simulation is *streaming*: the simulator consumes any
+//! [`wlcrc_trace::TraceSource`] one record at a time and routes each write to
+//! a per-bank lane (own stored state, statistics and RNG stream), so peak
+//! memory is O(working-set) — never O(trace-length) — and the per-bank lanes
+//! merge in a canonical bank order whatever the parallelism.
+//!
 //! Experiment grids (scheme × workload × config × seed) are executed by the
 //! parallel sharded engine in [`engine`]: declare the grid with
-//! [`engine::ExperimentPlan`], and the cells are spread over a scoped worker
-//! pool (`WLCRC_THREADS`) with bit-identical results for any worker count.
+//! [`engine::ExperimentPlan`], and the cells — and, within each cell, the
+//! per-bank partitions of its trace — are spread over a scoped worker pool
+//! (`WLCRC_THREADS`, `WLCRC_INTRA_SHARDS`) with bit-identical results for
+//! any worker or shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +41,11 @@ pub mod memory;
 pub mod simulator;
 pub mod stats;
 
-pub use engine::{resolve_worker_count, ExperimentPlan, THREADS_ENV};
+pub use engine::{
+    resolve_worker_count, ExperimentPlan, TraceSourceFactory, INTRA_SHARDS_ENV, MATERIALISE_ENV,
+    THREADS_ENV,
+};
 pub use experiment::{run_schemes_on_workloads, ExperimentResult, RunMetadata};
 pub use memory::MemoryOrganization;
-pub use simulator::{SimulationOptions, Simulator};
+pub use simulator::{merge_bank_stats, BankStats, SimulationOptions, Simulator};
 pub use stats::SchemeStats;

@@ -77,17 +77,26 @@ impl MemoryOrganization {
     /// The ratio between the most- and least-written banks (1.0 = perfectly
     /// balanced); a quick check that address interleaving spreads the load.
     pub fn write_imbalance(&self) -> f64 {
-        let max = self.writes_per_bank.iter().copied().max().unwrap_or(0);
-        let min = self.writes_per_bank.iter().copied().min().unwrap_or(0);
-        if min == 0 {
-            if max == 0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
+        imbalance_of(&self.writes_per_bank)
+    }
+}
+
+/// Max/min ratio of a per-bank write-count vector: 1.0 means perfectly
+/// balanced, infinity means at least one bank saw writes while another saw
+/// none. Shared by [`MemoryOrganization::write_imbalance`] and the per-cell
+/// [`SchemeStats::write_imbalance`](crate::stats::SchemeStats::write_imbalance)
+/// the experiment engine surfaces for shard-count tuning.
+pub fn imbalance_of(writes_per_bank: &[u64]) -> f64 {
+    let max = writes_per_bank.iter().copied().max().unwrap_or(0);
+    let min = writes_per_bank.iter().copied().min().unwrap_or(0);
+    if min == 0 {
+        if max == 0 {
+            1.0
         } else {
-            max as f64 / min as f64
+            f64::INFINITY
         }
+    } else {
+        max as f64 / min as f64
     }
 }
 

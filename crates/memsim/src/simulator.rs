@@ -1,4 +1,18 @@
-//! The trace-driven simulator core.
+//! The trace-driven simulator core: a streaming, bank-partitioned pipeline.
+//!
+//! Records are consumed from any [`TraceSource`] one at a time (peak memory
+//! is O(working-set), never O(trace-length)) and routed to a *lane* per
+//! memory bank. Each lane owns its stored-line map, its statistics
+//! accumulator and its own disturbance-sampling RNG whose seed derives only
+//! from `(options.seed, bank index)`. Because writes to different banks are
+//! independent in the cost model, the lanes never interact; the final result
+//! merges the lane accumulators in ascending bank order.
+//!
+//! This structure is what makes intra-trace sharding deterministic: a shard
+//! worker that processes only the banks with `bank % shards == shard` (see
+//! [`Simulator::run_shard`]) computes exactly the lanes the sequential run
+//! would have computed, so merging all shards' lanes in bank order is
+//! byte-identical to [`Simulator::run`] for any shard count.
 
 use crate::memory::MemoryOrganization;
 use crate::stats::SchemeStats;
@@ -10,12 +24,13 @@ use wlcrc_pcm::config::PcmConfig;
 use wlcrc_pcm::disturb::evaluate_disturbance;
 use wlcrc_pcm::physical::PhysicalLine;
 use wlcrc_pcm::write::differential_write;
-use wlcrc_trace::{Trace, WriteRecord};
+use wlcrc_trace::{IntoTraceSource, TraceSource, WriteRecord};
 
 /// Options controlling a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationOptions {
-    /// Seed for the disturbance-sampling RNG.
+    /// Base seed for the disturbance-sampling RNGs; each bank lane derives
+    /// its own stream from `(seed, bank index)`.
     pub seed: u64,
     /// When `true`, every write is decoded again and compared with the
     /// original data; mismatches are counted as integrity failures.
@@ -27,6 +42,12 @@ impl Default for SimulationOptions {
         SimulationOptions { seed: 0xC0DE, verify_integrity: true }
     }
 }
+
+/// The statistics of one bank's lane, labelled with its flat bank index.
+/// Produced by [`Simulator::run_shard`]; merge shards' lanes with
+/// [`merge_bank_stats`] in ascending bank order to obtain the run's
+/// [`SchemeStats`].
+pub type BankStats = (usize, SchemeStats);
 
 /// A trace-driven simulator evaluating one encoding scheme at a time against
 /// the stored state of the simulated PCM array.
@@ -58,35 +79,52 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs `codec` over `trace` and returns the aggregated statistics.
+    /// Runs `codec` over `trace` — a streaming [`TraceSource`] or a
+    /// materialised `&Trace` — and returns the aggregated statistics.
     ///
     /// The simulator maintains the physically stored content of every line it
     /// has seen. The first write to an address initialises the stored content
     /// by encoding the record's *old* value (this initialisation write is not
     /// accounted, mirroring how the paper's traces provide the overwritten
     /// value for every transaction).
-    pub fn run(&self, codec: &dyn LineCodec, trace: &Trace) -> SchemeStats {
-        let mut stats = SchemeStats::new(codec.name(), trace.workload.clone());
-        let mut stored: HashMap<u64, PhysicalLine> = HashMap::new();
-        let mut organization = MemoryOrganization::new(&self.config);
-        let mut rng = StdRng::seed_from_u64(self.options.seed);
-        let energy = &self.config.energy;
+    pub fn run(&self, codec: &dyn LineCodec, trace: impl IntoTraceSource) -> SchemeStats {
+        let source = trace.into_trace_source();
+        let scheme = codec.name().to_string();
+        let workload = source.workload().to_string();
+        let lanes = self.run_lanes(codec, source, 0, 1, Tracking::Stored);
+        merge_bank_stats(&scheme, &workload, self.config.total_banks(), lanes)
+    }
 
-        for record in trace.iter() {
-            let old = stored
-                .remove(&record.address)
-                .unwrap_or_else(|| codec.encode(&record.old, &codec.initial_line(), energy));
-            let new = codec.encode(&record.new, &old, energy);
-            let outcome = differential_write(&old, &new, energy);
-            let disturbance = evaluate_disturbance(&old, &new, &self.config.disturbance, &mut rng);
-            let encoded = new.aux_cells() > 0 || codec.encoded_cells() == new.len();
-            let integrity_ok =
-                if self.options.verify_integrity { codec.decode(&new) == record.new } else { true };
-            stats.record(outcome, disturbance, encoded, integrity_ok);
-            organization.record_write(record.address);
-            stored.insert(record.address, new);
-        }
-        stats
+    /// Runs one intra-trace shard: streams `trace`, simulating only the
+    /// records whose bank satisfies `bank % shards == shard` and discarding
+    /// the rest, and returns the per-bank partial statistics in ascending
+    /// bank order.
+    ///
+    /// Concatenating the output of all `shards` shards, sorting by bank and
+    /// merging with [`merge_bank_stats`] is byte-identical to
+    /// [`Simulator::run`] — per-lane RNG streams, stored state and
+    /// accumulation order do not depend on the shard count. Sources must be
+    /// deterministic: each shard replays its own copy of the stream, which
+    /// keeps shards embarrassingly parallel at O(working-set) memory each.
+    pub fn run_shard(
+        &self,
+        codec: &dyn LineCodec,
+        trace: impl IntoTraceSource,
+        shard: usize,
+        shards: usize,
+    ) -> Vec<BankStats> {
+        self.run_lanes(codec, trace.into_trace_source(), shard, shards, Tracking::Stored)
+    }
+
+    /// Shard variant of [`Simulator::run_isolated`]; see [`Simulator::run_shard`].
+    pub fn run_isolated_shard(
+        &self,
+        codec: &dyn LineCodec,
+        trace: impl IntoTraceSource,
+        shard: usize,
+        shards: usize,
+    ) -> Vec<BankStats> {
+        self.run_lanes(codec, trace.into_trace_source(), shard, shards, Tracking::Isolated)
     }
 
     /// Runs `codec` over a slice of raw `(old, new)` records without address
@@ -94,19 +132,43 @@ impl Simulator {
     /// content is the encoding of the old value. Used by the random-data
     /// studies (Figures 1, 2) where there is no reuse.
     pub fn run_isolated(&self, codec: &dyn LineCodec, records: &[WriteRecord]) -> SchemeStats {
-        let mut stats = SchemeStats::new(codec.name(), "isolated");
-        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let source = wlcrc_trace::from_fn("isolated", records.len() as u64, |i| {
+            records[usize::try_from(i).expect("record index fits usize")]
+        });
+        let scheme = codec.name().to_string();
+        let lanes = self.run_lanes(codec, source, 0, 1, Tracking::Isolated);
+        merge_bank_stats(&scheme, "isolated", self.config.total_banks(), lanes)
+    }
+
+    /// The lane engine behind every entry point: streams the source, routes
+    /// each record to its bank lane (creating lanes on demand), and returns
+    /// the non-empty lanes of this shard in ascending bank order.
+    fn run_lanes(
+        &self,
+        codec: &dyn LineCodec,
+        mut source: impl TraceSource,
+        shard: usize,
+        shards: usize,
+        tracking: Tracking,
+    ) -> Vec<BankStats> {
+        let shards = shards.max(1);
+        let organization = MemoryOrganization::new(&self.config);
+        let mut lanes: Vec<Option<BankLane>> = Vec::new();
+        lanes.resize_with(organization.total_banks(), || None);
         let energy = &self.config.energy;
-        for record in records {
-            let old = codec.encode(&record.old, &codec.initial_line(), energy);
-            let new = codec.encode(&record.new, &old, energy);
-            let outcome = differential_write(&old, &new, energy);
-            let disturbance = evaluate_disturbance(&old, &new, &self.config.disturbance, &mut rng);
-            let integrity_ok =
-                if self.options.verify_integrity { codec.decode(&new) == record.new } else { true };
-            stats.record(outcome, disturbance, true, integrity_ok);
+        for record in &mut source {
+            let bank = organization.bank_index(record.address);
+            if bank % shards != shard {
+                continue;
+            }
+            let lane = lanes[bank].get_or_insert_with(|| BankLane::new(self.options.seed, bank));
+            lane.feed(codec, &record, energy, &self.config, &self.options, tracking);
         }
-        stats
+        lanes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(bank, lane)| lane.map(|lane| (bank, lane.stats)))
+            .collect()
     }
 }
 
@@ -116,12 +178,105 @@ impl Default for Simulator {
     }
 }
 
+/// Whether lanes track physically stored lines across writes or treat every
+/// record as an isolated write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tracking {
+    Stored,
+    Isolated,
+}
+
+/// One bank's private simulation state: stored lines, statistics and RNG.
+#[derive(Debug)]
+struct BankLane {
+    stats: SchemeStats,
+    rng: StdRng,
+    stored: HashMap<u64, PhysicalLine>,
+}
+
+impl BankLane {
+    fn new(base_seed: u64, bank: usize) -> BankLane {
+        BankLane {
+            stats: SchemeStats::default(),
+            rng: StdRng::seed_from_u64(derive_bank_seed(base_seed, bank)),
+            stored: HashMap::new(),
+        }
+    }
+
+    fn feed(
+        &mut self,
+        codec: &dyn LineCodec,
+        record: &WriteRecord,
+        energy: &wlcrc_pcm::energy::EnergyModel,
+        config: &PcmConfig,
+        options: &SimulationOptions,
+        tracking: Tracking,
+    ) {
+        let old = match tracking {
+            Tracking::Stored => self
+                .stored
+                .remove(&record.address)
+                .unwrap_or_else(|| codec.encode(&record.old, &codec.initial_line(), energy)),
+            Tracking::Isolated => codec.encode(&record.old, &codec.initial_line(), energy),
+        };
+        let new = codec.encode(&record.new, &old, energy);
+        let outcome = differential_write(&old, &new, energy);
+        let disturbance = evaluate_disturbance(&old, &new, &config.disturbance, &mut self.rng);
+        let encoded = match tracking {
+            Tracking::Stored => new.aux_cells() > 0 || codec.encoded_cells() == new.len(),
+            Tracking::Isolated => true,
+        };
+        let integrity_ok =
+            if options.verify_integrity { codec.decode(&new) == record.new } else { true };
+        self.stats.record(outcome, disturbance, encoded, integrity_ok);
+        if tracking == Tracking::Stored {
+            self.stored.insert(record.address, new);
+        }
+    }
+}
+
+/// Derives a bank lane's disturbance-sampling seed from the run seed and the
+/// flat bank index only (SplitMix64 finaliser for avalanche), so the stream a
+/// bank sees is independent of which shard — or how many shards — process the
+/// trace.
+fn derive_bank_seed(base: u64, bank: usize) -> u64 {
+    let mut h = base ^ (bank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Merges per-bank partial statistics (from one or many shards of the same
+/// run) into the run's [`SchemeStats`]: lanes are merged in ascending bank
+/// order — the one canonical order, whatever the shard count — and the
+/// per-bank write counts are recorded in
+/// [`bank_writes`](SchemeStats::bank_writes) (length `total_banks`).
+pub fn merge_bank_stats(
+    scheme: &str,
+    workload: &str,
+    total_banks: usize,
+    lanes: impl IntoIterator<Item = BankStats>,
+) -> SchemeStats {
+    let mut lanes: Vec<BankStats> = lanes.into_iter().collect();
+    lanes.sort_by_key(|(bank, _)| *bank);
+    let mut merged = SchemeStats::new(scheme, workload);
+    merged.bank_writes = vec![0; total_banks];
+    for (bank, stats) in &lanes {
+        debug_assert!(*bank < total_banks, "bank {bank} out of range {total_banks}");
+        merged.merge(stats);
+        merged.bank_writes[*bank] += stats.writes;
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wlcrc_pcm::codec::RawCodec;
     use wlcrc_pcm::line::MemoryLine;
-    use wlcrc_trace::{Benchmark, TraceGenerator};
+    use wlcrc_trace::{Benchmark, Trace, TraceGenerator, TraceStream};
 
     #[test]
     fn identical_rewrite_costs_nothing() {
@@ -201,5 +356,51 @@ mod tests {
         let a = Simulator::new().run(&codec, &trace);
         let b = Simulator::new().run(&codec, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_run_is_byte_identical_to_materialised_run() {
+        let codec = RawCodec::new();
+        for b in [Benchmark::Gcc, Benchmark::Lbm, Benchmark::Canneal] {
+            let trace = TraceGenerator::new(b.profile(), 3).generate(150);
+            let materialised = Simulator::new().run(&codec, &trace);
+            let streamed = Simulator::new().run(&codec, TraceStream::new(b.profile(), 3, 150));
+            assert_eq!(materialised, streamed, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn shard_union_is_byte_identical_to_sequential_run() {
+        let codec = RawCodec::new();
+        let trace = TraceGenerator::new(Benchmark::Soplex.profile(), 11).generate(250);
+        let sim = Simulator::new();
+        let sequential = sim.run(&codec, &trace);
+        for shards in [1usize, 3, 4, 7] {
+            let mut lanes: Vec<BankStats> = Vec::new();
+            for shard in 0..shards {
+                lanes.extend(sim.run_shard(&codec, &trace, shard, shards));
+            }
+            let merged =
+                merge_bank_stats(codec.name(), &trace.workload, sim.config().total_banks(), lanes);
+            assert_eq!(sequential, merged, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn bank_writes_cover_the_whole_trace() {
+        let codec = RawCodec::new();
+        let trace = TraceGenerator::new(Benchmark::Astar.profile(), 2).generate(300);
+        let stats = Simulator::new().run(&codec, &trace);
+        assert_eq!(stats.bank_writes.len(), Simulator::new().config().total_banks());
+        assert_eq!(stats.bank_writes.iter().sum::<u64>(), stats.writes);
+        assert!(stats.banks_touched() > 1, "writes must spread over banks");
+        assert!(stats.write_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn bank_seeds_separate_banks_and_base_seeds() {
+        let base = derive_bank_seed(1, 0);
+        assert_ne!(base, derive_bank_seed(1, 1), "bank must matter");
+        assert_ne!(base, derive_bank_seed(2, 0), "base seed must matter");
     }
 }

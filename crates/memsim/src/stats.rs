@@ -34,6 +34,11 @@ pub struct SchemeStats {
     pub encoded_lines: u64,
     /// Number of decode-vs-original mismatches (must stay zero).
     pub integrity_failures: u64,
+    /// Writes per memory bank (flat bank index), filled in by the streaming
+    /// simulator; empty for hand-built accumulators. Exposes how evenly the
+    /// trace spreads over banks — and therefore over intra-trace shard
+    /// workers — via [`SchemeStats::write_imbalance`].
+    pub bank_writes: Vec<u64>,
 }
 
 impl SchemeStats {
@@ -119,6 +124,19 @@ impl SchemeStats {
         self.per_write(self.encoded_lines as f64)
     }
 
+    /// Max/min ratio over [`SchemeStats::bank_writes`] (1.0 = perfectly
+    /// balanced, infinity = some bank untouched, 1.0 when no per-bank data
+    /// was collected). High values mean intra-trace bank-sharding will load
+    /// workers unevenly.
+    pub fn write_imbalance(&self) -> f64 {
+        crate::memory::imbalance_of(&self.bank_writes)
+    }
+
+    /// Number of banks that received at least one write.
+    pub fn banks_touched(&self) -> usize {
+        self.bank_writes.iter().filter(|&&w| w > 0).count()
+    }
+
     fn per_write(&self, total: f64) -> f64 {
         if self.writes == 0 {
             0.0
@@ -142,6 +160,12 @@ impl SchemeStats {
             self.max_disturb_errors_per_write.max(other.max_disturb_errors_per_write);
         self.encoded_lines += other.encoded_lines;
         self.integrity_failures += other.integrity_failures;
+        if self.bank_writes.len() < other.bank_writes.len() {
+            self.bank_writes.resize(other.bank_writes.len(), 0);
+        }
+        for (mine, theirs) in self.bank_writes.iter_mut().zip(&other.bank_writes) {
+            *mine += theirs;
+        }
     }
 }
 
@@ -229,6 +253,25 @@ mod tests {
         let before = a.clone();
         a.merge(&SchemeStats::new("X", "w2"));
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn bank_writes_merge_elementwise_and_drive_imbalance() {
+        let mut a = SchemeStats::new("X", "w");
+        a.bank_writes = vec![2, 0, 4];
+        let mut b = SchemeStats::new("X", "w");
+        b.bank_writes = vec![2, 4, 0, 8];
+        a.merge(&b);
+        assert_eq!(a.bank_writes, vec![4, 4, 4, 8]);
+        assert_eq!(a.write_imbalance(), 2.0);
+        assert_eq!(a.banks_touched(), 4);
+        // No per-bank data at all reads as perfectly balanced.
+        assert_eq!(SchemeStats::new("X", "w").write_imbalance(), 1.0);
+        // An untouched bank next to a touched one is infinitely imbalanced.
+        let mut c = SchemeStats::new("X", "w");
+        c.bank_writes = vec![3, 0];
+        assert_eq!(c.write_imbalance(), f64::INFINITY);
+        assert_eq!(c.banks_touched(), 1);
     }
 
     #[test]

