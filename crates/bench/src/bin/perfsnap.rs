@@ -1,0 +1,518 @@
+//! `perfsnap` — the repository's performance-trajectory snapshot.
+//!
+//! Runs the codec, plan and stream throughput suites on deterministic
+//! workloads and **appends** one JSON entry (git revision, wall clock,
+//! writes/sec per scheme, kernel-vs-scalar speedups) to `BENCH_codec.json`,
+//! so every PR can diff its throughput against the recorded trajectory:
+//!
+//! ```text
+//! cargo run --release --bin perfsnap                  # full snapshot
+//! cargo run --release --bin perfsnap -- --quick       # CI smoke (tiny grid)
+//! cargo run --release --bin perfsnap -- --out my.json # alternative file
+//! ```
+//!
+//! For every coset-style scheme the snapshot measures both the production
+//! bit-parallel kernel (`encode`) and the retained scalar oracle
+//! (`encode_scalar`), recording the speedup — this is the number the
+//! "≥2× on coset-heavy schemes" acceptance gate reads. No thresholds are
+//! enforced here; the snapshot records trajectory only.
+
+use std::time::Instant;
+use wlcrc::schemes::standard_factories;
+use wlcrc::{CocCosetCodec, WlcCosetCodec};
+use wlcrc_coset::{FlipMinCodec, FnwCodec, Granularity, NCosetsCodec, RestrictedCosetCodec};
+use wlcrc_memsim::ExperimentPlan;
+use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::line::MemoryLine;
+use wlcrc_pcm::physical::PhysicalLine;
+use wlcrc_trace::Benchmark;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scalar-oracle encode closure (`encode_scalar` of a concrete codec).
+type ScalarEncode = Box<dyn Fn(&MemoryLine, &PhysicalLine, &EnergyModel) -> PhysicalLine>;
+
+/// The restricted coset encoder exactly as it existed before the kernel PR:
+/// both groups re-evaluate the shared C1 block costs, and every refinement
+/// trial re-sums the full auxiliary bit vector through heap-allocated
+/// `Vec<bool>` scratch. Kept here verbatim (over the public scalar cost
+/// routines) so the snapshot's restricted speedup is measured against the
+/// true pre-PR scalar path, not against the modernised shared-logic oracle.
+mod legacy_restricted {
+    use wlcrc_coset::candidate::{c1, c2, c3, CosetCandidate};
+    use wlcrc_coset::cost::{block_cost, write_block};
+    use wlcrc_coset::Granularity;
+    use wlcrc_pcm::energy::EnergyModel;
+    use wlcrc_pcm::line::MemoryLine;
+    use wlcrc_pcm::mapping::SymbolMapping;
+    use wlcrc_pcm::physical::{CellClass, PhysicalLine};
+    use wlcrc_pcm::state::Symbol;
+    use wlcrc_pcm::LINE_CELLS;
+
+    pub struct LegacyRestricted {
+        granularity: Granularity,
+        base: CosetCandidate,
+        alt_a: CosetCandidate,
+        alt_b: CosetCandidate,
+        aux_mapping: SymbolMapping,
+    }
+
+    impl LegacyRestricted {
+        pub fn new(granularity: Granularity) -> LegacyRestricted {
+            LegacyRestricted {
+                granularity,
+                base: c1(),
+                alt_a: c2(),
+                alt_b: c3(),
+                aux_mapping: SymbolMapping::default_mapping(),
+            }
+        }
+
+        fn aux_bits(&self) -> usize {
+            1 + self.granularity.blocks_per_line()
+        }
+
+        fn aux_cells(&self) -> usize {
+            self.aux_bits().div_ceil(2)
+        }
+
+        pub fn encoded_cells(&self) -> usize {
+            LINE_CELLS + self.aux_cells()
+        }
+
+        fn group_candidates(&self, group_b: bool) -> (&CosetCandidate, &CosetCandidate) {
+            if group_b {
+                (&self.base, &self.alt_b)
+            } else {
+                (&self.base, &self.alt_a)
+            }
+        }
+
+        fn write_aux_bits(&self, out: &mut PhysicalLine, bits: &[bool]) {
+            for (i, pair) in bits.chunks(2).enumerate() {
+                let msb = pair.first().copied().unwrap_or(false);
+                let lsb = pair.get(1).copied().unwrap_or(false);
+                let symbol = Symbol::from_bits(msb, lsb);
+                out.set_state(LINE_CELLS + i, self.aux_mapping.state_of(symbol));
+            }
+        }
+
+        fn aux_cost(&self, old: &PhysicalLine, bits: &[bool], energy: &EnergyModel) -> f64 {
+            let mut cost = 0.0;
+            for (i, pair) in bits.chunks(2).enumerate() {
+                let msb = pair.first().copied().unwrap_or(false);
+                let lsb = pair.get(1).copied().unwrap_or(false);
+                let target = self.aux_mapping.state_of(Symbol::from_bits(msb, lsb));
+                cost += energy.transition_energy_pj(old.state(LINE_CELLS + i), target);
+            }
+            cost
+        }
+
+        pub fn encode(
+            &self,
+            data: &MemoryLine,
+            old: &PhysicalLine,
+            energy: &EnergyModel,
+        ) -> PhysicalLine {
+            assert_eq!(old.len(), self.encoded_cells());
+            let blocks = self.granularity.blocks_per_line();
+            let mut group_cost = [0.0f64; 2];
+            let mut group_choice = [vec![false; blocks], vec![false; blocks]];
+            for (g, choices) in group_choice.iter_mut().enumerate() {
+                let (base, alt) = self.group_candidates(g == 1);
+                for (block, choice) in choices.iter_mut().enumerate() {
+                    let cells = self.granularity.block_cells(block);
+                    let cost_base = block_cost(data, old, cells.clone(), base, energy);
+                    let cost_alt = block_cost(data, old, cells, alt, energy);
+                    if cost_alt < cost_base {
+                        *choice = true;
+                        group_cost[g] += cost_alt;
+                    } else {
+                        group_cost[g] += cost_base;
+                    }
+                }
+                let mut aux_bits = Vec::with_capacity(self.aux_bits());
+                aux_bits.push(g == 1);
+                aux_bits.extend(choices.iter().copied());
+                group_cost[g] += self.aux_cost(old, &aux_bits, energy);
+            }
+            let group_b = group_cost[1] < group_cost[0];
+            let mut choices = group_choice[usize::from(group_b)].clone();
+            let (base, alt) = self.group_candidates(group_b);
+            for block in 0..blocks {
+                let cells = self.granularity.block_cells(block);
+                let cost_base = block_cost(data, old, cells.clone(), base, energy);
+                let cost_alt = block_cost(data, old, cells, alt, energy);
+                let mut best_flag = choices[block];
+                let mut best_total = f64::INFINITY;
+                for flag in [false, true] {
+                    let mut trial_bits = Vec::with_capacity(self.aux_bits());
+                    trial_bits.push(group_b);
+                    let mut trial_choices = choices.clone();
+                    trial_choices[block] = flag;
+                    trial_bits.extend(trial_choices.iter().copied());
+                    let total = if flag { cost_alt } else { cost_base }
+                        + self.aux_cost(old, &trial_bits, energy);
+                    if total < best_total {
+                        best_total = total;
+                        best_flag = flag;
+                    }
+                }
+                choices[block] = best_flag;
+            }
+            let mut out = PhysicalLine::all_reset(self.encoded_cells());
+            for cell in LINE_CELLS..self.encoded_cells() {
+                out.set_class(cell, CellClass::Aux);
+            }
+            for (block, &choice) in choices.iter().enumerate().take(blocks) {
+                let cells = self.granularity.block_cells(block);
+                let candidate = if choice { alt } else { base };
+                write_block(data, &mut out, cells, candidate);
+            }
+            let mut aux_bits = Vec::with_capacity(self.aux_bits());
+            aux_bits.push(group_b);
+            aux_bits.extend(choices.iter().copied());
+            self.write_aux_bits(&mut out, &aux_bits);
+            out
+        }
+    }
+}
+
+/// One codec measured by the snapshot.
+struct Target {
+    name: &'static str,
+    codec: Box<dyn LineCodec>,
+    scalar: Option<ScalarEncode>,
+}
+
+fn targets() -> Vec<Target> {
+    let g16 = Granularity::new(16);
+    let mut out: Vec<Target> = Vec::new();
+    // The paper's Figure 8 scheme set.
+    for (id, factory) in standard_factories() {
+        let scalar: Option<ScalarEncode> = match id.label() {
+            "FlipMin" => {
+                let c = FlipMinCodec::new();
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            "FNW" => {
+                let c = FnwCodec::paper_default();
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            "6cosets" => {
+                let c = NCosetsCodec::six_cosets(Granularity::new(512));
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            "COC+4cosets" => {
+                let c = CocCosetCodec::new();
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            "WLC+4cosets" => {
+                let c = WlcCosetCodec::wlc_four_cosets(32);
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            "WLCRC-16" => {
+                let c = WlcCosetCodec::wlcrc16();
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            _ => None,
+        };
+        out.push(Target { name: id.label(), codec: factory(), scalar });
+    }
+    // The coset-heavy schemes the tentpole targets, not part of the Figure 8
+    // registry but central to figures 1-5.
+    let three = NCosetsCodec::three_cosets(g16);
+    let three_scalar = NCosetsCodec::three_cosets(g16);
+    out.push(Target {
+        name: "3cosets-16",
+        codec: Box::new(three),
+        scalar: Some(Box::new(move |d, o, e| three_scalar.encode_scalar(d, o, e))),
+    });
+    // For the restricted codec the shared-logic oracle already benefits from
+    // this PR's precomputed block costs and incremental refinement, so the
+    // snapshot measures the verbatim pre-PR implementation instead.
+    let restricted = RestrictedCosetCodec::new(g16);
+    let restricted_legacy = legacy_restricted::LegacyRestricted::new(g16);
+    out.push(Target {
+        name: "3-r-cosets-16",
+        codec: Box::new(restricted),
+        scalar: Some(Box::new(move |d, o, e| restricted_legacy.encode(d, o, e))),
+    });
+    out
+}
+
+/// The legacy (pre-PR) restricted encoder must agree byte-for-byte with the
+/// kernel path; checked once on real content before anything is timed.
+fn verify_legacy_restricted(lines: &[MemoryLine], energy: &EnergyModel) {
+    let kernel = RestrictedCosetCodec::new(Granularity::new(16));
+    let legacy = legacy_restricted::LegacyRestricted::new(Granularity::new(16));
+    let mut old = kernel.initial_line();
+    for line in lines.iter().take(64) {
+        let a = kernel.encode(line, &old, energy);
+        let b = legacy.encode(line, &old, energy);
+        assert_eq!(a, b, "legacy restricted encoder diverged from the kernel path");
+        old = a;
+    }
+}
+
+/// A deterministic mix of biased, compressible and random lines — shared
+/// with `benches/codec_throughput.rs` so the interactive bench and the
+/// recorded trajectory measure the same workload.
+fn workload_lines(count: usize, seed: u64) -> Vec<MemoryLine> {
+    wlcrc_bench::workloads::mixed_lines(count, seed)
+}
+
+/// Lines whose words all pass the WLC test for `k = 6` (sign-extended small
+/// values): the favourable content of the paper's WLC-integrated schemes,
+/// where every write takes the coset-encoded path.
+fn wlc_compressible_lines(count: usize, seed: u64) -> Vec<MemoryLine> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut words = [0u64; 8];
+            for w in &mut words {
+                let magnitude: u64 = rng.gen::<u64>() & ((1u64 << 58) - 1);
+                *w = if rng.gen::<bool>() { magnitude } else { (-(magnitude as i64)) as u64 };
+            }
+            MemoryLine::from_words(words)
+        })
+        .collect()
+}
+
+/// Times `iters` chained encodes (each write's `old` is the previous result)
+/// and returns writes per second.
+fn measure_encode<F>(
+    lines: &[MemoryLine],
+    initial: PhysicalLine,
+    iters: usize,
+    mut encode: F,
+) -> f64
+where
+    F: FnMut(&MemoryLine, &PhysicalLine) -> PhysicalLine,
+{
+    let mut old = initial;
+    // Warm-up pass over the workload.
+    for line in lines.iter().take(iters.min(lines.len())) {
+        old = encode(line, &old);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        old = encode(&lines[i % lines.len()], &old);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&old);
+    iters as f64 / secs
+}
+
+/// Times `iters` decodes over pre-encoded content, returning reads/sec.
+fn measure_decode(codec: &dyn LineCodec, stored: &[PhysicalLine], iters: usize) -> f64 {
+    for line in stored.iter().take(iters.min(stored.len())) {
+        std::hint::black_box(codec.decode(line));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(codec.decode(&stored[i % stored.len()]));
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn git_describe() -> (String, bool) {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    let rev = run(&["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
+    let dirty = run(&["status", "--porcelain"]).map(|s| !s.is_empty()).unwrap_or(false);
+    (rev, dirty)
+}
+
+/// Appends `entry` (a JSON object) to the JSON array in `path`, creating the
+/// file when missing. The trajectory file stays a plain array so future PRs
+/// can diff entries without a parser.
+fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let content = if trimmed.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else if let Some(body) = trimmed.strip_suffix(']') {
+        let body = body.trim_end().trim_end_matches(',');
+        if body.trim() == "[" {
+            // An empty array (possibly pretty-printed): start fresh.
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("{body},\n{entry}\n]\n")
+        }
+    } else {
+        // Not an array: refuse to clobber it, write alongside instead.
+        return std::fs::write(format!("{path}.new"), format!("[\n{entry}\n]\n"));
+    };
+    std::fs::write(path, content)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_codec.json".to_string());
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let default_iters = if quick { 300 } else { 4000 };
+    let iters: usize = flag("--iters").and_then(|v| v.parse().ok()).unwrap_or(default_iters);
+    let plan_lines: usize =
+        flag("--lines").and_then(|v| v.parse().ok()).unwrap_or(if quick { 40 } else { 400 });
+
+    let energy = EnergyModel::paper_default();
+    let lines = workload_lines(256, seed);
+    verify_legacy_restricted(&lines, &energy);
+
+    println!("perfsnap: codec suite ({iters} writes per scheme)");
+    let mut codec_rows = Vec::new();
+    for target in targets() {
+        let codec = target.codec.as_ref();
+        let encode_wps =
+            measure_encode(&lines, codec.initial_line(), iters, |d, o| codec.encode(d, o, &energy));
+        let stored: Vec<PhysicalLine> = {
+            let mut old = codec.initial_line();
+            lines
+                .iter()
+                .map(|l| {
+                    old = codec.encode(l, &old, &energy);
+                    old.clone()
+                })
+                .collect()
+        };
+        let decode_rps = measure_decode(codec, &stored, iters);
+        let scalar_wps = target.scalar.as_ref().map(|scalar| {
+            measure_encode(&lines, codec.initial_line(), iters, |d, o| scalar(d, o, &energy))
+        });
+        let speedup = scalar_wps.map(|s| encode_wps / s);
+        match (scalar_wps, speedup) {
+            (Some(s), Some(x)) => println!(
+                "  {:<14} encode {:>12.0} w/s   decode {:>12.0} r/s   scalar {:>12.0} w/s   kernel speedup {x:.2}x",
+                target.name, encode_wps, decode_rps, s
+            ),
+            _ => println!(
+                "  {:<14} encode {:>12.0} w/s   decode {:>12.0} r/s",
+                target.name, encode_wps, decode_rps
+            ),
+        }
+        codec_rows.push((target.name, encode_wps, decode_rps, scalar_wps, speedup));
+    }
+
+    // The WLC-integrated schemes take their encoded path only on
+    // WLC-compressible content; the mixed corpus above dilutes them with
+    // raw-format writes, so they are additionally measured on the paper's
+    // favourable content (every line compressible, suffix "@wlc").
+    println!("perfsnap: WLC-compressible corpus ({iters} writes per scheme)");
+    let wlc_lines = wlc_compressible_lines(256, seed.wrapping_add(1));
+    let wlc_targets: Vec<(&'static str, Box<dyn LineCodec>, ScalarEncode)> = vec![
+        ("WLCRC-16@wlc", Box::new(WlcCosetCodec::wlcrc16()), {
+            let c = WlcCosetCodec::wlcrc16();
+            Box::new(move |d: &MemoryLine, o: &PhysicalLine, e: &EnergyModel| {
+                c.encode_scalar(d, o, e)
+            })
+        }),
+        ("WLC+4cosets@wlc", Box::new(WlcCosetCodec::wlc_four_cosets(32)), {
+            let c = WlcCosetCodec::wlc_four_cosets(32);
+            Box::new(move |d: &MemoryLine, o: &PhysicalLine, e: &EnergyModel| {
+                c.encode_scalar(d, o, e)
+            })
+        }),
+    ];
+    for (name, codec, scalar) in &wlc_targets {
+        let codec = codec.as_ref();
+        let encode_wps = measure_encode(&wlc_lines, codec.initial_line(), iters, |d, o| {
+            codec.encode(d, o, &energy)
+        });
+        let scalar_wps =
+            measure_encode(&wlc_lines, codec.initial_line(), iters, |d, o| scalar(d, o, &energy));
+        let speedup = encode_wps / scalar_wps;
+        println!(
+            "  {name:<14} encode {encode_wps:>12.0} w/s   scalar {scalar_wps:>12.0} w/s   kernel speedup {speedup:.2}x"
+        );
+        codec_rows.push((name, encode_wps, f64::NAN, Some(scalar_wps), Some(speedup)));
+    }
+
+    // Plan + stream suites: the full scheme registry over two workloads,
+    // streamed (the default pipeline) and materialised.
+    println!("perfsnap: plan suite ({plan_lines} lines x 2 workloads x 8 schemes)");
+    let build_plan = || {
+        let mut plan = ExperimentPlan::new()
+            .seed(seed)
+            .lines_per_workload(plan_lines)
+            .workload(Benchmark::Gcc.profile())
+            .workload(Benchmark::Lbm.profile());
+        for (id, factory) in standard_factories() {
+            plan = plan.scheme_factory(id.label(), factory);
+        }
+        plan
+    };
+    let streamed_start = Instant::now();
+    let streamed = build_plan().run();
+    let streamed_ms = streamed_start.elapsed().as_secs_f64() * 1e3;
+    let materialised_start = Instant::now();
+    let materialised = build_plan().materialise_traces(true).run();
+    let materialised_ms = materialised_start.elapsed().as_secs_f64() * 1e3;
+    let grid_writes: u64 = streamed.cells.iter().map(|s| s.writes).sum();
+    assert_eq!(
+        grid_writes,
+        materialised.cells.iter().map(|s| s.writes).sum::<u64>(),
+        "streamed and materialised runs must process the same writes"
+    );
+    let stream_wps = grid_writes as f64 / (streamed_ms / 1e3);
+    println!(
+        "  streamed {streamed_ms:.0} ms ({stream_wps:.0} w/s)   materialised {materialised_ms:.0} ms"
+    );
+
+    let (git_rev, dirty) = git_describe();
+    let timestamp =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs());
+    let mut entry = String::new();
+    entry.push_str("  {\n");
+    entry.push_str(&format!(
+        "    \"git_rev\": \"{git_rev}{}\",\n",
+        if dirty { "+dirty" } else { "" }
+    ));
+    entry.push_str(&format!("    \"timestamp_unix\": {},\n", timestamp.unwrap_or(0)));
+    entry.push_str(&format!(
+        "    \"config\": {{\"iters\": {iters}, \"plan_lines\": {plan_lines}, \"seed\": {seed}, \"quick\": {quick}}},\n"
+    ));
+    entry.push_str("    \"codecs\": [\n");
+    for (i, (name, enc, dec, scalar, speedup)) in codec_rows.iter().enumerate() {
+        let mut row = format!("      {{\"name\": \"{name}\", \"encode_writes_per_sec\": {enc:.0}");
+        if dec.is_finite() {
+            row.push_str(&format!(", \"decode_reads_per_sec\": {dec:.0}"));
+        }
+        if let (Some(s), Some(x)) = (scalar, speedup) {
+            row.push_str(&format!(
+                ", \"scalar_encode_writes_per_sec\": {s:.0}, \"kernel_speedup\": {x:.2}"
+            ));
+        }
+        row.push('}');
+        if i + 1 < codec_rows.len() {
+            row.push(',');
+        }
+        entry.push_str(&row);
+        entry.push('\n');
+    }
+    entry.push_str("    ],\n");
+    entry.push_str(&format!(
+        "    \"plan\": {{\"schemes\": 8, \"workloads\": 2, \"lines\": {plan_lines}, \"writes\": {grid_writes}, \"streamed_wall_ms\": {streamed_ms:.1}, \"materialised_wall_ms\": {materialised_ms:.1}, \"streamed_writes_per_sec\": {stream_wps:.0}}}\n"
+    ));
+    entry.push_str("  }");
+
+    match append_entry(&out_path, &entry) {
+        Ok(()) => println!("perfsnap: appended snapshot to {out_path}"),
+        Err(err) => {
+            eprintln!("perfsnap: could not write {out_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

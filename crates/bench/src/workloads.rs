@@ -14,6 +14,33 @@ use wlcrc_trace::{
     TraceStream, WorkloadProfile,
 };
 
+/// A deterministic mixed corpus of memory lines — zero words, all-ones
+/// words, small values, small negatives and random words — the content mix
+/// the throughput measurements (`benches/codec_throughput.rs` and the
+/// `perfsnap` bin) chain their writes over. Keeping it in one place
+/// guarantees the interactive bench and the recorded `BENCH_codec.json`
+/// trajectory measure the same workload.
+pub fn mixed_lines(count: usize, seed: u64) -> Vec<wlcrc_pcm::line::MemoryLine> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut words = [0u64; 8];
+            for w in &mut words {
+                *w = match rng.gen_range(0..5) {
+                    0 => 0,
+                    1 => u64::MAX,
+                    2 => u64::from(rng.gen::<u16>()),
+                    3 => (-(i64::from(rng.gen::<u16>()))) as u64,
+                    _ => rng.gen(),
+                };
+            }
+            wlcrc_pcm::line::MemoryLine::from_words(words)
+        })
+        .collect()
+}
+
 /// Generates one synthetic trace per benchmark, `lines` writes each
 /// (unscaled), using deterministic per-benchmark seeds derived from `seed`.
 pub fn biased_traces(lines: usize, seed: u64) -> Vec<Trace> {

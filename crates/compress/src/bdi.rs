@@ -7,6 +7,7 @@
 //! decide whether a line can be encoded.
 
 use crate::Compressor;
+use wlcrc_ecc::BitBuf;
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::{LINE_BITS, LINE_BYTES};
 
@@ -114,13 +115,13 @@ impl Bdi {
     /// 2 + i = configuration `BdiConfig::ALL[i]`), followed by the base value
     /// and, for each element, a flag bit selecting the zero base plus the
     /// signed delta.
-    pub fn encode_stream(&self, line: &MemoryLine) -> Option<Vec<bool>> {
+    pub fn encode_stream(&self, line: &MemoryLine) -> Option<BitBuf> {
         let bytes = line.to_bytes();
-        let mut bits = Vec::new();
-        let push_u = |bits: &mut Vec<bool>, v: u128, n: usize| {
-            for b in 0..n {
-                bits.push((v >> b) & 1 == 1);
-            }
+        let mut bits = BitBuf::new();
+        let push_u = |bits: &mut BitBuf, v: u128, n: usize| {
+            // Values are at most 64 bits wide (the largest base is 8 bytes).
+            debug_assert!(n <= 64);
+            bits.push_u64(v as u64, n);
         };
         if bytes.iter().all(|b| *b == 0) {
             push_u(&mut bits, 0, 3);
@@ -165,15 +166,11 @@ impl Bdi {
     /// # Panics
     ///
     /// Panics if the stream is truncated or carries an unknown tag.
-    pub fn decode_stream(&self, bits: &[bool]) -> MemoryLine {
+    pub fn decode_stream(&self, bits: &BitBuf) -> MemoryLine {
         let mut pos = 0usize;
-        let read_u = |bits: &[bool], pos: &mut usize, n: usize| -> u128 {
-            let mut v = 0u128;
-            for b in 0..n {
-                if bits[*pos + b] {
-                    v |= 1 << b;
-                }
-            }
+        let read_u = |bits: &BitBuf, pos: &mut usize, n: usize| -> u128 {
+            debug_assert!(n <= 64);
+            let v = u128::from(bits.read_u64(*pos, n));
             *pos += n;
             v
         };
@@ -194,7 +191,7 @@ impl Bdi {
         let elements = LINE_BYTES / cfg.base_bytes;
         let mut out = [0u8; LINE_BYTES];
         for i in 0..elements {
-            let near_zero = bits[pos];
+            let near_zero = bits.get(pos);
             pos += 1;
             let delta = sign_extend(read_u(bits, &mut pos, cfg.delta_bytes * 8), cfg.delta_bytes);
             let value = if near_zero { delta } else { base + delta };

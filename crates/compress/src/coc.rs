@@ -13,6 +13,7 @@
 //! representation just like the hardware would.
 
 use crate::{Bdi, Compressor, Fpc};
+use wlcrc_ecc::BitBuf;
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::LINE_BITS;
 
@@ -83,8 +84,8 @@ impl Coc {
     /// simply concatenates the significant bytes of every word (using the
     /// byte-truncation variant), which is enough to model how compression
     /// destroys bit-position alignment for differential writes.
-    pub fn repack(line: &MemoryLine) -> Vec<bool> {
-        let mut bits = Vec::with_capacity(LINE_BITS);
+    pub fn repack(line: &MemoryLine) -> BitBuf {
+        let mut bits = BitBuf::with_capacity(LINE_BITS);
         for &w in line.words() {
             let bytes = w.to_le_bytes();
             let mut keep = 8usize;
@@ -100,14 +101,8 @@ impl Coc {
                 keep -= 1;
             }
             // 4-bit length tag followed by the kept bytes.
-            for b in 0..4 {
-                bits.push((keep >> b) & 1 == 1);
-            }
-            for byte in bytes.iter().take(keep) {
-                for b in 0..8 {
-                    bits.push((byte >> b) & 1 == 1);
-                }
-            }
+            bits.push_u64(keep as u64, 4);
+            bits.push_u64(w & if keep == 8 { u64::MAX } else { (1 << (keep * 8)) - 1 }, keep * 8);
         }
         bits
     }

@@ -8,6 +8,7 @@
 //! a line fits a target size (DIN requires ≤ 369 bits with FPC+BDI).
 
 use crate::Compressor;
+use wlcrc_ecc::BitBuf;
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::LINE_BITS;
 
@@ -112,20 +113,14 @@ impl Fpc {
 impl Fpc {
     /// Encodes the line into an FPC bit stream: for each of the sixteen 32-bit
     /// words, a 3-bit pattern prefix followed by the pattern payload.
-    pub fn encode_stream(&self, line: &MemoryLine) -> Vec<bool> {
-        let mut bits = Vec::with_capacity(LINE_BITS);
+    pub fn encode_stream(&self, line: &MemoryLine) -> BitBuf {
+        let mut bits = BitBuf::with_capacity(LINE_BITS);
         for i in 0..WORDS32 {
             let w64 = line.word(i / 2);
             let w32 = if i % 2 == 0 { (w64 & 0xFFFF_FFFF) as u32 } else { (w64 >> 32) as u32 };
             let pattern = Fpc::classify(w32);
-            let prefix = pattern_code(pattern);
-            for b in 0..PREFIX_BITS {
-                bits.push((prefix >> b) & 1 == 1);
-            }
-            let payload = payload_of(w32, pattern);
-            for b in 0..pattern.payload_bits() {
-                bits.push((payload >> b) & 1 == 1);
-            }
+            bits.push_u64(u64::from(pattern_code(pattern)), PREFIX_BITS);
+            bits.push_u64(payload_of(w32, pattern), pattern.payload_bits());
         }
         bits
     }
@@ -136,16 +131,11 @@ impl Fpc {
     /// # Panics
     ///
     /// Panics if the stream is truncated.
-    pub fn decode_stream(&self, bits: &[bool]) -> MemoryLine {
+    pub fn decode_stream(&self, bits: &BitBuf) -> MemoryLine {
         let mut line = MemoryLine::ZERO;
         let mut pos = 0usize;
-        let read = |bits: &[bool], pos: &mut usize, n: usize| -> u64 {
-            let mut v = 0u64;
-            for b in 0..n {
-                if bits[*pos + b] {
-                    v |= 1 << b;
-                }
-            }
+        let read = |bits: &BitBuf, pos: &mut usize, n: usize| -> u64 {
+            let v = bits.read_u64(*pos, n);
             *pos += n;
             v
         };

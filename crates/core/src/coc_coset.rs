@@ -18,12 +18,14 @@
 
 use wlcrc_compress::Coc;
 use wlcrc_coset::candidate::{CandidateSet, CosetCandidate};
+use wlcrc_ecc::BitBuf;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, TransitionTable};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
-use wlcrc_pcm::state::{CellState, Symbol};
+use wlcrc_pcm::state::CellState;
 use wlcrc_pcm::LINE_CELLS;
 
 /// The two encoded formats (besides the raw fallback).
@@ -98,18 +100,101 @@ impl CocCosetCodec {
         LINE_CELLS
     }
 
-    /// Builds the symbol content of the payload region: the packed COC bits,
-    /// zero-padded to the region size.
-    fn payload_symbols(&self, line: &MemoryLine, format: Format) -> Vec<Symbol> {
+    /// The packed COC payload as a zero-padded memory line: bit `i` of the
+    /// repacked stream becomes line bit `i`, so cell `c` of the payload
+    /// region holds the symbol the old `Vec<Symbol>` materialisation built.
+    fn payload_line(&self, line: &MemoryLine) -> MemoryLine {
         let packed = Coc::repack(line);
-        let cells = format.payload_cells();
-        let mut symbols = Vec::with_capacity(cells);
-        for cell in 0..cells {
-            let lo = packed.get(2 * cell).copied().unwrap_or(false);
-            let hi = packed.get(2 * cell + 1).copied().unwrap_or(false);
-            symbols.push(Symbol::from_bits(hi, lo));
+        let mut payload = MemoryLine::ZERO;
+        for (i, &w) in packed.words().iter().enumerate() {
+            payload.set_word(i, w);
         }
-        symbols
+        payload
+    }
+
+    /// Shared encode body; `use_kernel` switches the per-block candidate
+    /// costs between the bit-parallel kernel (with branch-and-bound) and the
+    /// scalar per-cell loop.
+    fn encode_impl(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+        use_kernel: bool,
+    ) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let format = self.choose_format(data);
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        out.set_class(self.flag_cell(), CellClass::Aux);
+        out.set_state(self.flag_cell(), format.flag_state());
+
+        if format == Format::Raw {
+            for cell in 0..LINE_CELLS {
+                out.set_state(cell, self.mapping.state_of(data.symbol(cell)));
+            }
+            return out;
+        }
+
+        let payload = self.payload_line(data);
+        let blocks = format.blocks();
+        let block_cells = format.block_cells();
+        let kernel_ctx = use_kernel.then(|| {
+            let mut tables = [TransitionTable::placeholder(); 4];
+            for (table, candidate) in tables.iter_mut().zip(&self.candidates) {
+                *table = TransitionTable::new(&candidate.mapping(), energy);
+            }
+            (payload.symbol_planes(), old.state_planes(), tables)
+        });
+        for block in 0..blocks {
+            let range = block * block_cells..(block + 1) * block_cells;
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (idx, candidate) in self.candidates.iter().enumerate() {
+                let cost = match &kernel_ctx {
+                    Some((planes, stored, tables)) => {
+                        // Blocks are at most 16 cells here, so a plain
+                        // evaluation beats branch-and-bound's per-word check.
+                        kernel::block_cost(planes, stored, range.clone(), &tables[idx])
+                    }
+                    None => {
+                        let mut cost = 0.0;
+                        for cell in range.clone() {
+                            let target = candidate.state_of(payload.symbol(cell));
+                            cost += energy.transition_energy_pj(old.state(cell), target);
+                        }
+                        cost
+                    }
+                };
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = idx;
+                }
+            }
+            for cell in range {
+                out.set_state(cell, self.candidates[best].state_of(payload.symbol(cell)));
+            }
+            // Selector cells occupy the freed space after the payload region.
+            let cell = format.payload_cells() + block;
+            out.set_state(cell, CellState::from_index(best));
+            out.set_class(cell, CellClass::Aux);
+        }
+        // Any remaining freed cells stay in the RESET state and count as aux.
+        for cell in (format.payload_cells() + blocks)..LINE_CELLS {
+            out.set_class(cell, CellClass::Aux);
+        }
+        out
+    }
+
+    /// The scalar reference encoder (per-cell candidate costs); kept callable
+    /// for the equivalence tests and the perf snapshot.
+    #[doc(hidden)]
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+    ) -> PhysicalLine {
+        self.encode_impl(data, old, energy, false)
     }
 }
 
@@ -129,54 +214,7 @@ impl LineCodec for CocCosetCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
-        let format = self.choose_format(data);
-        let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        out.set_class(self.flag_cell(), CellClass::Aux);
-        out.set_state(self.flag_cell(), format.flag_state());
-
-        if format == Format::Raw {
-            for cell in 0..LINE_CELLS {
-                out.set_state(cell, self.mapping.state_of(data.symbol(cell)));
-            }
-            return out;
-        }
-
-        let symbols = self.payload_symbols(data, format);
-        let blocks = format.blocks();
-        let block_cells = format.block_cells();
-        let mut selectors = vec![0usize; blocks];
-        for (block, selector) in selectors.iter_mut().enumerate() {
-            let range = block * block_cells..(block + 1) * block_cells;
-            let mut best = 0usize;
-            let mut best_cost = f64::INFINITY;
-            for (idx, candidate) in self.candidates.iter().enumerate() {
-                let mut cost = 0.0;
-                for cell in range.clone() {
-                    let target = candidate.state_of(symbols[cell]);
-                    cost += energy.transition_energy_pj(old.state(cell), target);
-                }
-                if cost < best_cost {
-                    best_cost = cost;
-                    best = idx;
-                }
-            }
-            *selector = best;
-            for cell in range {
-                out.set_state(cell, self.candidates[best].state_of(symbols[cell]));
-            }
-        }
-        // Selector cells occupy the freed space after the payload region.
-        for (block, &selector) in selectors.iter().enumerate() {
-            let cell = format.payload_cells() + block;
-            out.set_state(cell, CellState::from_index(selector));
-            out.set_class(cell, CellClass::Aux);
-        }
-        // Any remaining freed cells stay in the RESET state and count as aux.
-        for cell in (format.payload_cells() + blocks)..LINE_CELLS {
-            out.set_class(cell, CellClass::Aux);
-        }
-        out
+        self.encode_impl(data, old, energy, true)
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
@@ -195,18 +233,20 @@ impl LineCodec for CocCosetCodec {
         }
         let blocks = format.blocks();
         let block_cells = format.block_cells();
-        let mut packed = vec![false; format.payload_cells() * 2];
+        let payload_bits = format.payload_cells() * 2;
+        let mut words = vec![0u64; payload_bits.div_ceil(64)];
         for block in 0..blocks {
             let selector_cell = format.payload_cells() + block;
             let selector = stored.state(selector_cell).index().min(self.candidates.len() - 1);
             let candidate = &self.candidates[selector];
             for cell in block * block_cells..(block + 1) * block_cells {
                 let symbol = candidate.symbol_of(stored.state(cell));
-                packed[2 * cell] = symbol.lsb();
-                packed[2 * cell + 1] = symbol.msb();
+                let bit = 2 * cell;
+                words[bit / 64] |=
+                    (u64::from(symbol.lsb()) | (u64::from(symbol.msb()) << 1)) << (bit % 64);
             }
         }
-        unpack_coc(&packed)
+        unpack_coc(&BitBuf::from_words(words, payload_bits))
     }
 }
 
@@ -214,29 +254,28 @@ impl LineCodec for CocCosetCodec {
 /// memory line. The format is self-describing: a 4-bit kept-byte count per
 /// word followed by the kept bytes, with the dropped bytes rebuilt by sign
 /// extension.
-fn unpack_coc(bits: &[bool]) -> MemoryLine {
+fn unpack_coc(bits: &BitBuf) -> MemoryLine {
     let mut line = MemoryLine::ZERO;
     let mut pos = 0usize;
     for word in 0..8 {
         let mut keep = 0usize;
         for b in 0..4 {
-            if bits.get(pos + b).copied().unwrap_or(false) {
+            if bits.get_opt(pos + b).unwrap_or(false) {
                 keep |= 1 << b;
             }
         }
         pos += 4;
         let keep = keep.clamp(1, 8);
         let mut bytes = [0u8; 8];
-        for (i, byte) in bytes.iter_mut().enumerate().take(keep) {
+        for byte in bytes.iter_mut().take(keep) {
             let mut v = 0u8;
             for b in 0..8 {
-                if bits.get(pos + b).copied().unwrap_or(false) {
+                if bits.get_opt(pos + b).unwrap_or(false) {
                     v |= 1 << b;
                 }
             }
             pos += 8;
             *byte = v;
-            let _ = i;
         }
         // Sign-extend the dropped high-order bytes.
         let fill = if bytes[keep - 1] & 0x80 != 0 { 0xFF } else { 0x00 };
@@ -298,6 +337,20 @@ mod tests {
             let data = MemoryLine::from_words(words);
             let enc = codec.encode(&data, &codec.initial_line(), &energy);
             assert_eq!(codec.decode(&enc), data);
+        }
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let codec = CocCosetCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut old = codec.initial_line();
+        for _ in 0..50 {
+            let data = structured_line(&mut rng);
+            let kernel = codec.encode(&data, &old, &energy);
+            assert_eq!(kernel, codec.encode_scalar(&data, &old, &energy));
+            old = kernel;
         }
     }
 

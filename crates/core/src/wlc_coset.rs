@@ -5,11 +5,25 @@ use crate::layout::WordLayout;
 use wlcrc_coset::candidate::{c1, c2, c3, CandidateSet, CosetCandidate};
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, StatePlanes, SymbolPlanes, TransitionTable};
 use wlcrc_pcm::line::{word as wordutil, MemoryLine};
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
 use wlcrc_pcm::state::{CellState, Symbol};
 use wlcrc_pcm::{LINE_CELLS, LINE_WORDS, WORD_CELLS};
+
+/// Most data blocks a 64-bit word can hold (8-bit granularity).
+const MAX_WORD_BLOCKS: usize = 8;
+/// Most candidates a WLC-integrated codec can hold (unrestricted 4cosets).
+const MAX_WORD_CANDIDATES: usize = 4;
+
+/// Per-encode kernel context: the plane views of the data and stored line
+/// plus one transition table per candidate, built once per write.
+struct KernelCtx {
+    planes: SymbolPlanes,
+    stored: StatePlanes,
+    tables: [TransitionTable; MAX_WORD_CANDIDATES],
+}
 
 /// How coset candidates may be combined within a 64-bit word.
 #[derive(Debug, Clone)]
@@ -178,13 +192,14 @@ impl WlcCosetCodec {
     }
 
     /// Encodes the auxiliary/pass-through region of word `word` given the
-    /// reclaimed bit values, writing the cells through the default mapping.
+    /// reclaimed bit values (bit `i` of `aux_bits` is reclaimed bit `i`),
+    /// writing the cells through the default mapping.
     fn write_aux_region(
         &self,
         out: &mut PhysicalLine,
         data: &MemoryLine,
         word: usize,
-        aux_bits: &[bool],
+        aux_bits: u64,
     ) {
         let fdc = self.layout.full_data_cells();
         let boundary_bit = self.layout.data_bits(); // first reclaimed bit
@@ -193,7 +208,7 @@ impl WlcCosetCodec {
             let bit_hi_index = 2 * cell + 1;
             let bit_value = |bit: usize| -> bool {
                 if bit >= boundary_bit {
-                    aux_bits[bit - boundary_bit]
+                    (aux_bits >> (bit - boundary_bit)) & 1 == 1
                 } else {
                     // Pass-through data bit stored unencoded.
                     data.bit(word * 64 + bit)
@@ -206,18 +221,19 @@ impl WlcCosetCodec {
         }
     }
 
-    /// Reads back the reclaimed bits and the pass-through bit of word `word`.
-    fn read_aux_region(&self, stored: &PhysicalLine, word: usize) -> (Vec<bool>, Option<bool>) {
+    /// Reads back the reclaimed bits (packed, bit `i` = reclaimed bit `i`)
+    /// and the pass-through bit of word `word`.
+    fn read_aux_region(&self, stored: &PhysicalLine, word: usize) -> (u64, Option<bool>) {
         let fdc = self.layout.full_data_cells();
         let boundary_bit = self.layout.data_bits();
-        let mut aux_bits = vec![false; self.layout.reclaimed_bits];
+        let mut aux_bits = 0u64;
         let mut pass_through = None;
         for cell in fdc..WORD_CELLS {
             let global = Self::global_cell(word, cell);
             let symbol = self.aux_mapping.symbol_of(stored.state(global));
             for (bit_index, value) in [(2 * cell, symbol.lsb()), (2 * cell + 1, symbol.msb())] {
                 if bit_index >= boundary_bit {
-                    aux_bits[bit_index - boundary_bit] = value;
+                    aux_bits |= u64::from(value) << (bit_index - boundary_bit);
                 } else {
                     pass_through = Some(value);
                 }
@@ -232,49 +248,47 @@ impl WlcCosetCodec {
     /// the group bit and block `j` occupies the bit just below the top,
     /// downwards. Restricted at 64-bit granularity and unrestricted codecs
     /// store plain candidate indices, two bits per block, from the top down.
-    fn pack_aux_bits(&self, group_b: bool, choices: &[usize]) -> Vec<bool> {
+    fn pack_aux_bits(&self, group_b: bool, choices: &[usize]) -> u64 {
         let r = self.layout.reclaimed_bits;
-        let mut bits = vec![false; r];
+        let mut bits = 0u64;
         if self.restricted && self.layout.granularity_bits < 64 {
-            bits[r - 1] = group_b;
+            bits |= u64::from(group_b) << (r - 1);
             for (j, &choice) in choices.iter().enumerate() {
-                bits[r - 2 - j] = choice != 0;
+                bits |= u64::from(choice != 0) << (r - 2 - j);
             }
         } else {
             for (j, &choice) in choices.iter().enumerate() {
-                let hi = r - 1 - 2 * j;
-                let lo = r - 2 - 2 * j;
-                bits[hi] = (choice >> 1) & 1 == 1;
-                bits[lo] = choice & 1 == 1;
+                bits |= ((choice as u64 >> 1) & 1) << (r - 1 - 2 * j);
+                bits |= (choice as u64 & 1) << (r - 2 - 2 * j);
             }
         }
         bits
     }
 
     /// Inverse of [`Self::pack_aux_bits`]: recovers the per-block candidate
-    /// for decoding.
-    fn unpack_candidates(&self, aux_bits: &[bool]) -> Vec<usize> {
+    /// indices for decoding (only the first `layout.blocks()` entries are
+    /// meaningful).
+    fn unpack_candidates(&self, aux_bits: u64) -> [usize; MAX_WORD_BLOCKS] {
         let r = self.layout.reclaimed_bits;
         let blocks = self.layout.blocks();
-        let mut out = Vec::with_capacity(blocks);
+        let mut out = [0usize; MAX_WORD_BLOCKS];
         if self.restricted && self.layout.granularity_bits < 64 {
-            let group_b = aux_bits[r - 1];
-            for j in 0..blocks {
-                let picked_alt = aux_bits[r - 2 - j];
-                let candidate = if !picked_alt {
+            let group_b = (aux_bits >> (r - 1)) & 1 == 1;
+            for (j, slot) in out.iter_mut().enumerate().take(blocks) {
+                let picked_alt = (aux_bits >> (r - 2 - j)) & 1 == 1;
+                *slot = if !picked_alt {
                     0 // C1
                 } else if group_b {
                     2 // C3
                 } else {
                     1 // C2
                 };
-                out.push(candidate);
             }
         } else {
-            for j in 0..blocks {
-                let hi = aux_bits[r - 1 - 2 * j] as usize;
-                let lo = aux_bits[r - 2 - 2 * j] as usize;
-                out.push(((hi << 1) | lo).min(self.candidates.len() - 1));
+            for (j, slot) in out.iter_mut().enumerate().take(blocks) {
+                let hi = (aux_bits >> (r - 1 - 2 * j)) & 1;
+                let lo = (aux_bits >> (r - 2 - 2 * j)) & 1;
+                *slot = (((hi << 1) | lo) as usize).min(self.candidates.len() - 1);
             }
         }
         out
@@ -287,7 +301,7 @@ impl WlcCosetCodec {
         data: &MemoryLine,
         old: &PhysicalLine,
         word: usize,
-        aux_bits: &[bool],
+        aux_bits: u64,
         energy: &EnergyModel,
     ) -> f64 {
         let fdc = self.layout.full_data_cells();
@@ -296,7 +310,7 @@ impl WlcCosetCodec {
         for cell in fdc..WORD_CELLS {
             let bit_value = |bit: usize| -> bool {
                 if bit >= boundary_bit {
-                    aux_bits[bit - boundary_bit]
+                    (aux_bits >> (bit - boundary_bit)) & 1 == 1
                 } else {
                     data.bit(word * 64 + bit)
                 }
@@ -323,7 +337,21 @@ impl WlcCosetCodec {
         }
     }
 
-    /// Encodes one word of a compressible line, returning the aux bits used.
+    /// Candidate index (into `self.candidates`) of a restricted
+    /// (group, per-block) choice or an unrestricted selector index.
+    fn resolve_candidate_index(&self, group_b: bool, choice: usize) -> usize {
+        if self.restricted && self.layout.granularity_bits < 64 {
+            match (choice, group_b) {
+                (0, _) => 0,
+                (_, false) => 1,
+                (_, true) => 2,
+            }
+        } else {
+            choice
+        }
+    }
+
+    /// Encodes one word of a compressible line.
     ///
     /// Candidate selection follows Algorithm 1 (data-block cost first), then
     /// accounts for the auxiliary-region write cost: the group is chosen on
@@ -332,6 +360,12 @@ impl WlcCosetCodec {
     /// auxiliary-cell writes than it saves in the data block. This is what
     /// keeps the auxiliary part in the low-energy states, as the paper notes
     /// in Section IX-A.
+    ///
+    /// Every candidate's (cost, updated-cells) pair is evaluated once per
+    /// block up front — through the bit-parallel kernel when `kernel_ctx` is
+    /// given, through the scalar [`Self::block_cost`] otherwise — and the
+    /// selection then works purely on those stack-resident tables, so a word
+    /// is encoded without any heap allocation.
     fn encode_word(
         &self,
         data: &MemoryLine,
@@ -339,37 +373,68 @@ impl WlcCosetCodec {
         out: &mut PhysicalLine,
         word: usize,
         energy: &EnergyModel,
+        kernel_ctx: Option<&KernelCtx>,
     ) {
         let blocks = self.layout.blocks();
+        debug_assert!(blocks <= MAX_WORD_BLOCKS);
+        let ncand = self.candidates.len();
+        let mut cost = [[0.0f64; MAX_WORD_BLOCKS]; MAX_WORD_CANDIDATES];
+        let mut updated = [[0usize; MAX_WORD_BLOCKS]; MAX_WORD_CANDIDATES];
+        for (idx, candidate) in self.candidates.iter().enumerate() {
+            match kernel_ctx {
+                Some(ctx) => {
+                    // All of a word's blocks share one plane-word region, so
+                    // the candidate's target planes are computed once.
+                    let mut row = [(0.0f64, 0usize); MAX_WORD_BLOCKS];
+                    let n = kernel::word_block_costs_updated(
+                        &ctx.planes,
+                        &ctx.stored,
+                        &ctx.tables[idx],
+                        word * WORD_CELLS,
+                        self.layout.full_data_cells(),
+                        self.layout.granularity_bits / 2,
+                        &mut row,
+                    );
+                    debug_assert_eq!(n, blocks);
+                    for (j, &(c, u)) in row.iter().enumerate().take(blocks) {
+                        cost[idx][j] = c;
+                        updated[idx][j] = u;
+                    }
+                }
+                None => {
+                    for j in 0..blocks {
+                        let cells = self.layout.block_cells(j);
+                        let (c, u) = self.block_cost(data, old, word, cells, candidate, energy);
+                        cost[idx][j] = c;
+                        updated[idx][j] = u;
+                    }
+                }
+            }
+        }
+
         let (group_b, mut choices) = if self.restricted && self.layout.granularity_bits < 64 {
-            // Algorithm 1: evaluate both groups, pick the cheaper.
-            let groups = [
-                (&self.candidates[0], &self.candidates[1]),
-                (&self.candidates[0], &self.candidates[2]),
-            ];
+            // Algorithm 1: evaluate both groups, pick the cheaper. Group 0's
+            // alternative is C2 (candidate 1), group 1's is C3 (candidate 2).
             let mut totals = [0.0f64; 2];
             let mut updates = [0usize; 2];
-            let mut per_group_choices = [vec![0usize; blocks], vec![0usize; blocks]];
-            for (g, (base, alt)) in groups.iter().enumerate() {
-                for (j, choice) in per_group_choices[g].iter_mut().enumerate() {
-                    let cells = self.layout.block_cells(j);
-                    let (cost_base, upd_base) =
-                        self.block_cost(data, old, word, cells.clone(), base, energy);
-                    let (cost_alt, upd_alt) = self.block_cost(data, old, word, cells, alt, energy);
-                    if cost_alt < cost_base {
-                        *choice = 1;
-                        totals[g] += cost_alt;
-                        updates[g] += upd_alt;
+            let mut per_group_choices = [[0usize; MAX_WORD_BLOCKS]; 2];
+            for g in 0..2 {
+                let alt = 1 + g;
+                for j in 0..blocks {
+                    if cost[alt][j] < cost[0][j] {
+                        per_group_choices[g][j] = 1;
+                        totals[g] += cost[alt][j];
+                        updates[g] += updated[alt][j];
                     } else {
-                        totals[g] += cost_base;
-                        updates[g] += upd_base;
+                        totals[g] += cost[0][j];
+                        updates[g] += updated[0][j];
                     }
                 }
                 totals[g] += self.aux_region_cost(
                     data,
                     old,
                     word,
-                    &self.pack_aux_bits(g == 1, &per_group_choices[g]),
+                    self.pack_aux_bits(g == 1, &per_group_choices[g][..blocks]),
                     energy,
                 );
             }
@@ -380,19 +445,17 @@ impl WlcCosetCodec {
                     pick_b = updates[1] < updates[0];
                 }
             }
-            (pick_b, per_group_choices[usize::from(pick_b)].clone())
+            (pick_b, per_group_choices[usize::from(pick_b)])
         } else {
             // Unrestricted (or 64-bit restricted, which degenerates to
             // unrestricted 3cosets): best candidate per block by data cost.
-            let mut choices = vec![0usize; blocks];
-            for (j, choice) in choices.iter_mut().enumerate() {
-                let cells = self.layout.block_cells(j);
+            let mut choices = [0usize; MAX_WORD_BLOCKS];
+            for (j, choice) in choices.iter_mut().enumerate().take(blocks) {
                 let mut best = 0usize;
                 let mut best_cost = f64::INFINITY;
-                for (idx, cand) in self.candidates.iter().enumerate() {
-                    let (cost, _) = self.block_cost(data, old, word, cells.clone(), cand, energy);
-                    if cost < best_cost {
-                        best_cost = cost;
+                for (idx, per_block) in cost.iter().enumerate().take(ncand) {
+                    if per_block[j] < best_cost {
+                        best_cost = per_block[j];
                         best = idx;
                     }
                 }
@@ -404,26 +467,20 @@ impl WlcCosetCodec {
         // Refinement: revisit each block and keep/alter its candidate when the
         // auxiliary-cell cost of recording the switch outweighs the data
         // saving (or vice versa).
-        let candidate_options = if self.restricted && self.layout.granularity_bits < 64 {
-            2
-        } else {
-            self.candidates.len()
-        };
+        let candidate_options =
+            if self.restricted && self.layout.granularity_bits < 64 { 2 } else { ncand };
         for j in 0..blocks {
-            let cells = self.layout.block_cells(j);
             let mut best_choice = choices[j];
             let mut best_total = f64::INFINITY;
             for option in 0..candidate_options {
-                let mut trial = choices.clone();
+                let mut trial = choices;
                 trial[j] = option;
-                let candidate = self.resolve_candidate(group_b, option);
-                let (data_cost, _) =
-                    self.block_cost(data, old, word, cells.clone(), candidate, energy);
+                let data_cost = cost[self.resolve_candidate_index(group_b, option)][j];
                 let aux_cost = self.aux_region_cost(
                     data,
                     old,
                     word,
-                    &self.pack_aux_bits(group_b, &trial),
+                    self.pack_aux_bits(group_b, &trial[..blocks]),
                     energy,
                 );
                 let total = data_cost + aux_cost;
@@ -436,22 +493,70 @@ impl WlcCosetCodec {
         }
 
         // Write the encoded data blocks.
-        for (j, &choice) in choices.iter().enumerate() {
+        for (j, &choice) in choices.iter().enumerate().take(blocks) {
             let candidate = self.resolve_candidate(group_b, choice);
             for cell in self.layout.block_cells(j) {
                 let global = Self::global_cell(word, cell);
                 out.set_state(global, candidate.state_of(data.symbol(global)));
             }
         }
-        let aux_bits = self.pack_aux_bits(group_b, &choices);
-        self.write_aux_region(out, data, word, &aux_bits);
+        let aux_bits = self.pack_aux_bits(group_b, &choices[..blocks]);
+        self.write_aux_region(out, data, word, aux_bits);
+    }
+
+    /// Shared encode body; `use_kernel` switches the per-block candidate
+    /// costs between the bit-parallel kernel and the scalar
+    /// [`Self::block_cost`]. Selection logic is shared, so both sides produce
+    /// byte-identical lines (exactly so for integer-valued energies).
+    fn encode_impl(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+        use_kernel: bool,
+    ) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        out.set_class(self.flag_cell(), CellClass::Aux);
+        if self.is_compressible(data) {
+            out.set_state(self.flag_cell(), CellState::S1);
+            let kernel_ctx = use_kernel.then(|| {
+                let mut tables = [TransitionTable::placeholder(); MAX_WORD_CANDIDATES];
+                for (table, candidate) in tables.iter_mut().zip(&self.candidates) {
+                    *table = TransitionTable::new(&candidate.mapping(), energy);
+                }
+                KernelCtx { planes: data.symbol_planes(), stored: old.state_planes(), tables }
+            });
+            for word in 0..LINE_WORDS {
+                self.encode_word(data, old, &mut out, word, energy, kernel_ctx.as_ref());
+            }
+        } else {
+            out.set_state(self.flag_cell(), CellState::S2);
+            let default = SymbolMapping::default_mapping();
+            for cell in 0..LINE_CELLS {
+                out.set_state(cell, default.state_of(data.symbol(cell)));
+            }
+        }
+        out
+    }
+
+    /// The scalar reference encoder (per-cell block costs); kept callable for
+    /// the equivalence tests and the perf snapshot.
+    #[doc(hidden)]
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+    ) -> PhysicalLine {
+        self.encode_impl(data, old, energy, false)
     }
 
     fn decode_word(&self, stored: &PhysicalLine, word: usize) -> u64 {
         let (aux_bits, pass_through) = self.read_aux_region(stored, word);
-        let candidates = self.unpack_candidates(&aux_bits);
+        let candidates = self.unpack_candidates(aux_bits);
         let mut value = 0u64;
-        for (j, &cand_idx) in candidates.iter().enumerate() {
+        for (j, &cand_idx) in candidates.iter().enumerate().take(self.layout.blocks()) {
             let candidate = &self.candidates[cand_idx];
             for cell in self.layout.block_cells(j) {
                 let global = Self::global_cell(word, cell);
@@ -479,22 +584,7 @@ impl LineCodec for WlcCosetCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
-        let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        out.set_class(self.flag_cell(), CellClass::Aux);
-        if self.is_compressible(data) {
-            out.set_state(self.flag_cell(), CellState::S1);
-            for word in 0..LINE_WORDS {
-                self.encode_word(data, old, &mut out, word, energy);
-            }
-        } else {
-            out.set_state(self.flag_cell(), CellState::S2);
-            let default = SymbolMapping::default_mapping();
-            for cell in 0..LINE_CELLS {
-                out.set_state(cell, default.state_of(data.symbol(cell)));
-            }
-        }
-        out
+        self.encode_impl(data, old, energy, true)
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
@@ -596,6 +686,30 @@ mod tests {
                     let data = random_line(&mut rng);
                     let enc = codec.encode(&data, &codec.initial_line(), &energy);
                     assert_eq!(codec.decode(&enc), data, "{} raw g={}", codec.name(), g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(41);
+        for g in [8usize, 16, 32, 64] {
+            let codecs = [
+                WlcCosetCodec::wlcrc(g),
+                WlcCosetCodec::wlcrc(g).with_multi_objective(MultiObjectiveConfig::paper_default()),
+                WlcCosetCodec::wlc_four_cosets(g),
+                WlcCosetCodec::wlc_three_cosets(g),
+            ];
+            for codec in codecs {
+                let mut old = codec.initial_line();
+                for _ in 0..10 {
+                    let data = compressible_line(&mut rng, codec.layout().wlc_k());
+                    let kernel = codec.encode(&data, &old, &energy);
+                    let scalar = codec.encode_scalar(&data, &old, &energy);
+                    assert_eq!(kernel, scalar, "{} g={}", codec.name(), g);
+                    old = kernel;
                 }
             }
         }

@@ -1,4 +1,13 @@
 //! Differential-write cost evaluation shared by the coset codecs.
+//!
+//! The functions here are the **scalar reference implementations**: they walk
+//! a block cell by cell exactly as the paper describes the hardware doing it.
+//! The production `encode()` paths of every codec in this crate use the
+//! bit-parallel kernel in [`wlcrc_pcm::kernel`] instead (transition LUTs +
+//! plane popcounts) and are pinned byte-identical to these routines by the
+//! `kernel_equivalence` test suite and by each codec's `encode_scalar`
+//! oracle; with integer-valued energy tables (Table II and all Figure 14
+//! configurations) the two are exact, not merely approximately equal.
 
 use crate::candidate::CosetCandidate;
 use std::ops::Range;

@@ -9,7 +9,7 @@
 //! symbol per line distinguishes the two formats.
 
 use wlcrc_compress::{Bdi, Fpc};
-use wlcrc_ecc::{Bch, BitVec};
+use wlcrc_ecc::{Bch, BitBuf};
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
 use wlcrc_pcm::line::MemoryLine;
@@ -53,7 +53,7 @@ impl DinCodec {
 
     /// The compressed bit stream (with a leading compressor-select bit), if
     /// the line compresses to the 369-bit threshold.
-    fn compressed_stream(&self, line: &MemoryLine) -> Option<Vec<bool>> {
+    fn compressed_stream(&self, line: &MemoryLine) -> Option<BitBuf> {
         // Prefer FPC (self-terminating, always decodable), fall back to BDI.
         let fpc_stream = {
             let s = self.fpc.encode_stream(line);
@@ -64,43 +64,60 @@ impl DinCodec {
             }
         };
         if let Some(s) = fpc_stream {
-            let mut out = vec![false];
-            out.extend(s);
+            let mut out = BitBuf::with_capacity(s.len() + 1);
+            out.push(false);
+            out.extend_from(&s);
             return Some(out);
         }
         let bdi_stream = self.bdi.encode_stream(line)?;
         if bdi_stream.len() < COMPRESSION_THRESHOLD_BITS {
-            let mut out = vec![true];
-            out.extend(bdi_stream);
+            let mut out = BitBuf::with_capacity(bdi_stream.len() + 1);
+            out.push(true);
+            out.extend_from(&bdi_stream);
             Some(out)
         } else {
             None
         }
     }
 
+    /// The eight 4-bit code words of the 3-to-4 expansion: pairs of symbols
+    /// drawn from {00, 10, 11} with at most one 11, listed from cheapest to
+    /// most expensive.
+    const CODEWORDS: [u8; 8] = [
+        0b0000, // 00 00
+        0b0010, // 00 10
+        0b1000, // 10 00
+        0b1010, // 10 10
+        0b0011, // 00 11
+        0b1100, // 11 00
+        0b1011, // 10 11
+        0b1110, // 11 10
+    ];
+
+    /// Precomputed inverse of [`Self::CODEWORDS`], indexed by the 4-bit code
+    /// word: the decode hot path does one table load instead of a linear
+    /// `iter().position()` scan. Unknown code words decode to 0, like the
+    /// scan's `unwrap_or(0)` did.
+    const CODEWORD_INDEX: [u8; 16] = {
+        let mut table = [0u8; 16];
+        let mut i = 0;
+        while i < DinCodec::CODEWORDS.len() {
+            table[DinCodec::CODEWORDS[i] as usize] = i as u8;
+            i += 1;
+        }
+        table
+    };
+
     /// Expands 3 data bits into a 4-bit code word that avoids the
     /// highest-energy symbol (`01` → S4) entirely and uses at most one `11`
     /// (S3) symbol per pair of cells.
     fn expand3to4(bits3: u8) -> u8 {
-        // Code words are pairs of symbols drawn from {00, 10, 11} with at most
-        // one 11, listed from cheapest to most expensive.
-        const CODEWORDS: [u8; 8] = [
-            0b0000, // 00 00
-            0b0010, // 00 10
-            0b1000, // 10 00
-            0b1010, // 10 10
-            0b0011, // 00 11
-            0b1100, // 11 00
-            0b1011, // 10 11
-            0b1110, // 11 10
-        ];
-        CODEWORDS[(bits3 & 0b111) as usize]
+        DinCodec::CODEWORDS[(bits3 & 0b111) as usize]
     }
 
     /// Inverse of [`DinCodec::expand3to4`]. Unknown code words decode to 0.
     fn contract4to3(bits4: u8) -> u8 {
-        const CODEWORDS: [u8; 8] = [0b0000, 0b0010, 0b1000, 0b1010, 0b0011, 0b1100, 0b1011, 0b1110];
-        CODEWORDS.iter().position(|c| *c == bits4 & 0b1111).unwrap_or(0) as u8
+        DinCodec::CODEWORD_INDEX[(bits4 & 0b1111) as usize]
     }
 
     fn flag_cell(&self) -> usize {
@@ -130,18 +147,13 @@ impl LineCodec for DinCodec {
 
         if let Some(stream) = self.compressed_stream(data) {
             // 3-to-4 expansion of the compressed payload.
-            let mut expanded = BitVec::zeros(0);
-            for chunk in stream.chunks(3) {
-                let mut v = 0u8;
-                for (i, b) in chunk.iter().enumerate() {
-                    if *b {
-                        v |= 1 << i;
-                    }
-                }
-                let code = DinCodec::expand3to4(v);
-                for i in 0..4 {
-                    expanded.push((code >> i) & 1 == 1);
-                }
+            let mut expanded = BitBuf::with_capacity(EXPANDED_BITS);
+            let mut pos = 0usize;
+            while pos < stream.len() {
+                let take = (stream.len() - pos).min(3);
+                let v = stream.read_u64(pos, take) as u8;
+                pos += take;
+                expanded.push_u64(u64::from(DinCodec::expand3to4(v)), 4);
             }
             // Pad the expanded payload to its fixed length, then add BCH parity.
             while expanded.len() < EXPANDED_BITS {
@@ -180,7 +192,7 @@ impl LineCodec for DinCodec {
         }
         // BCH-correct the expanded payload, then contract 4-to-3 and
         // decompress.
-        let mut received = BitVec::zeros(0);
+        let mut received = BitBuf::with_capacity(LINE_BITS);
         for i in 0..LINE_BITS {
             received.push(bits.bit(i));
         }
@@ -188,30 +200,22 @@ impl LineCodec for DinCodec {
             // Uncorrectable: fall back to the raw payload bits.
             received.iter().take(EXPANDED_BITS).collect()
         });
-        let mut stream = Vec::with_capacity(COMPRESSION_THRESHOLD_BITS + 3);
+        let mut stream = BitBuf::with_capacity(COMPRESSION_THRESHOLD_BITS + 3);
         let mut i = 0usize;
         while i + 4 <= corrected.len() {
-            let mut code = 0u8;
-            for b in 0..4 {
-                if corrected.get(i + b) {
-                    code |= 1 << b;
-                }
-            }
-            let v = DinCodec::contract4to3(code);
-            for b in 0..3 {
-                stream.push((v >> b) & 1 == 1);
-            }
+            let code = corrected.read_u64(i, 4) as u8;
+            stream.push_u64(u64::from(DinCodec::contract4to3(code)), 3);
             i += 4;
         }
         if stream.is_empty() {
             return MemoryLine::ZERO;
         }
-        let selector_bdi = stream[0];
-        let payload = &stream[1..];
+        let selector_bdi = stream.get(0);
+        let payload = stream.slice_from(1);
         if selector_bdi {
-            self.bdi.decode_stream(payload)
+            self.bdi.decode_stream(&payload)
         } else {
-            self.fpc.decode_stream(payload)
+            self.fpc.decode_stream(&payload)
         }
     }
 }

@@ -12,6 +12,7 @@
 use wlcrc_ecc::coset_masks;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, SymbolPlanes, TransitionTable};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
@@ -27,6 +28,10 @@ const AUX_CELLS: usize = 2;
 #[derive(Debug, Clone)]
 pub struct FlipMinCodec {
     masks: Vec<MemoryLine>,
+    /// The plane view of every mask, precomputed once: a candidate's symbol
+    /// planes are `data_planes XOR mask_planes`, so the per-write search
+    /// never materialises the XORed lines.
+    mask_planes: Vec<SymbolPlanes>,
     mapping: SymbolMapping,
 }
 
@@ -38,8 +43,10 @@ impl FlipMinCodec {
 
     /// Creates a FlipMin codec whose masks are generated from `seed`.
     pub fn with_seed(seed: u64) -> FlipMinCodec {
-        let masks = coset_masks(CANDIDATES, seed).into_iter().map(MemoryLine::from_words).collect();
-        FlipMinCodec { masks, mapping: SymbolMapping::default_mapping() }
+        let masks: Vec<MemoryLine> =
+            coset_masks(CANDIDATES, seed).into_iter().map(MemoryLine::from_words).collect();
+        let mask_planes = masks.iter().map(SymbolPlanes::new).collect();
+        FlipMinCodec { masks, mask_planes, mapping: SymbolMapping::default_mapping() }
     }
 
     /// The sixteen XOR-mask candidates.
@@ -54,6 +61,73 @@ impl FlipMinCodec {
             cost += energy.transition_energy_pj(old.state(cell), target);
         }
         cost
+    }
+
+    /// Shared encode body; `use_kernel` switches the whole-line candidate
+    /// costs between the bit-parallel kernel (with branch-and-bound against
+    /// the incumbent) and the scalar [`Self::cost_of`].
+    fn encode_impl(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+        use_kernel: bool,
+    ) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let mut best_index = 0usize;
+        let mut best_cost = f64::INFINITY;
+        if use_kernel {
+            let table = TransitionTable::new(&self.mapping, energy);
+            let planes = data.symbol_planes();
+            let stored = old.state_planes();
+            for (i, mask_planes) in self.mask_planes.iter().enumerate() {
+                let candidate = planes.xor(mask_planes);
+                if let Some(cost) = kernel::block_cost_bounded(
+                    &candidate,
+                    &stored,
+                    0..LINE_CELLS,
+                    &table,
+                    0.0,
+                    best_cost,
+                ) {
+                    best_cost = cost;
+                    best_index = i;
+                }
+            }
+        } else {
+            for (i, mask) in self.masks.iter().enumerate() {
+                let candidate = data.xor(mask);
+                let cost = self.cost_of(&candidate, old, energy);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_index = i;
+                }
+            }
+        }
+        let best_line = data.xor(&self.masks[best_index]);
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in 0..LINE_CELLS {
+            out.set_state(cell, self.mapping.state_of(best_line.symbol(cell)));
+        }
+        // The 4-bit candidate index is stored in two auxiliary cells.
+        for (i, shift) in [(0usize, 0u32), (1, 2)] {
+            let bits = ((best_index >> shift) & 0b11) as u8;
+            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::new(bits)));
+            out.set_class(LINE_CELLS + i, CellClass::Aux);
+        }
+        out
+    }
+
+    /// The scalar reference encoder (see [`crate::cost`]); kept callable for
+    /// the equivalence tests and the perf snapshot.
+    #[doc(hidden)]
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+    ) -> PhysicalLine {
+        self.encode_impl(data, old, energy, false)
     }
 }
 
@@ -73,30 +147,7 @@ impl LineCodec for FlipMinCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
-        let mut best_index = 0usize;
-        let mut best_cost = f64::INFINITY;
-        let mut best_line = *data;
-        for (i, mask) in self.masks.iter().enumerate() {
-            let candidate = data.xor(mask);
-            let cost = self.cost_of(&candidate, old, energy);
-            if cost < best_cost {
-                best_cost = cost;
-                best_index = i;
-                best_line = candidate;
-            }
-        }
-        let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        for cell in 0..LINE_CELLS {
-            out.set_state(cell, self.mapping.state_of(best_line.symbol(cell)));
-        }
-        // The 4-bit candidate index is stored in two auxiliary cells.
-        for (i, shift) in [(0usize, 0u32), (1, 2)] {
-            let bits = ((best_index >> shift) & 0b11) as u8;
-            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::new(bits)));
-            out.set_class(LINE_CELLS + i, CellClass::Aux);
-        }
-        out
+        self.encode_impl(data, old, energy, true)
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
@@ -164,6 +215,20 @@ mod tests {
             let chosen = differential_write(&old, &new, &energy).data_energy_pj;
             let identity = codec.cost_of(&b, &old, &energy);
             assert!(chosen <= identity + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let codec = FlipMinCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut old = codec.initial_line();
+        for _ in 0..30 {
+            let data = random_line(&mut rng);
+            let kernel = codec.encode(&data, &old, &energy);
+            assert_eq!(kernel, codec.encode_scalar(&data, &old, &energy));
+            old = kernel;
         }
     }
 

@@ -10,10 +10,11 @@
 use crate::granularity::Granularity;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, TransitionTable};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
-use wlcrc_pcm::state::Symbol;
+use wlcrc_pcm::state::{CellState, Symbol};
 use wlcrc_pcm::LINE_CELLS;
 
 /// The Flip-N-Write codec.
@@ -26,7 +27,17 @@ pub struct FnwCodec {
 
 impl FnwCodec {
     /// Creates an FNW codec flipping blocks of the given granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the granularity is finer than 8 bits: the per-write flip
+    /// decisions are kept in a `u64` mask (one bit per block), which covers
+    /// the paper's whole 8..512-bit sweep but not more than 64 blocks.
     pub fn new(granularity: Granularity) -> FnwCodec {
+        assert!(
+            granularity.blocks_per_line() <= 64,
+            "FnwCodec supports at most 64 blocks per line (granularity >= 8 bits)"
+        );
         FnwCodec {
             granularity,
             mapping: SymbolMapping::default_mapping(),
@@ -68,6 +79,76 @@ impl FnwCodec {
         }
         cost
     }
+
+    /// The two transition tables of the scheme: the plain mapping, and the
+    /// mapping composed with the symbol complement (what a flipped block
+    /// stores).
+    fn tables(&self, energy: &EnergyModel) -> [TransitionTable; 2] {
+        let keep = TransitionTable::new(&self.mapping, energy);
+        let mut flipped_states = [CellState::S1; 4];
+        for (v, slot) in flipped_states.iter_mut().enumerate() {
+            *slot = self.mapping.state_of(Symbol::new(!(v as u8) & 0b11));
+        }
+        [keep, TransitionTable::from_states(flipped_states, energy)]
+    }
+
+    /// Shared encode body; `use_kernel` switches the per-block flip costs
+    /// between the bit-parallel kernel and the scalar [`Self::flip_cost`].
+    fn encode_impl(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+        use_kernel: bool,
+    ) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let blocks = self.granularity.blocks_per_line();
+        debug_assert!(blocks <= 64, "flip mask is a u64");
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in LINE_CELLS..self.encoded_cells() {
+            out.set_class(cell, CellClass::Aux);
+        }
+        let tables = self.tables(energy);
+        let kernel_ctx = use_kernel.then(|| (data.symbol_planes(), old.state_planes()));
+        let mut flips = 0u64;
+        for block in 0..blocks {
+            let cells = self.granularity.block_cells(block);
+            let (keep, inverted) = match &kernel_ctx {
+                Some((planes, stored)) => (
+                    kernel::block_cost(planes, stored, cells.clone(), &tables[0]),
+                    kernel::block_cost(planes, stored, cells.clone(), &tables[1]),
+                ),
+                None => (
+                    self.flip_cost(data, old, cells.clone(), false, energy),
+                    self.flip_cost(data, old, cells.clone(), true, energy),
+                ),
+            };
+            let flip = inverted < keep;
+            if flip {
+                flips |= 1 << block;
+            }
+            kernel::write_block(data, &mut out, cells, &tables[usize::from(flip)]);
+        }
+        // Pack flip bits, two per auxiliary cell, through the default mapping.
+        for i in 0..self.aux_cells() {
+            let msb = (flips >> (2 * i)) & 1 == 1;
+            let lsb = 2 * i + 1 < blocks && (flips >> (2 * i + 1)) & 1 == 1;
+            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::from_bits(msb, lsb)));
+        }
+        out
+    }
+
+    /// The scalar reference encoder (see [`crate::cost`]); kept callable for
+    /// the equivalence tests and the perf snapshot.
+    #[doc(hidden)]
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+    ) -> PhysicalLine {
+        self.encode_impl(data, old, energy, false)
+    }
 }
 
 impl LineCodec for FnwCodec {
@@ -80,33 +161,7 @@ impl LineCodec for FnwCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
-        let blocks = self.granularity.blocks_per_line();
-        let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        for cell in LINE_CELLS..self.encoded_cells() {
-            out.set_class(cell, CellClass::Aux);
-        }
-        let mut flips = vec![false; blocks];
-        for (block, flip) in flips.iter_mut().enumerate() {
-            let cells = self.granularity.block_cells(block);
-            let keep = self.flip_cost(data, old, cells.clone(), false, energy);
-            let inverted = self.flip_cost(data, old, cells.clone(), true, energy);
-            *flip = inverted < keep;
-            for cell in cells {
-                let mut symbol = data.symbol(cell);
-                if *flip {
-                    symbol = Symbol::new(!symbol.value() & 0b11);
-                }
-                out.set_state(cell, self.mapping.state_of(symbol));
-            }
-        }
-        // Pack flip bits, two per auxiliary cell, through the default mapping.
-        for (i, pair) in flips.chunks(2).enumerate() {
-            let msb = pair.first().copied().unwrap_or(false);
-            let lsb = pair.get(1).copied().unwrap_or(false);
-            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::from_bits(msb, lsb)));
-        }
-        out
+        self.encode_impl(data, old, energy, true)
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
@@ -192,6 +247,22 @@ mod tests {
 
         assert_eq!(fnw_cost, 0.0);
         assert!(raw_cost > 0.0);
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(51);
+        for g in [16usize, 64, 128, 512] {
+            let codec = FnwCodec::new(Granularity::new(g));
+            let mut old = codec.initial_line();
+            for _ in 0..10 {
+                let data = random_line(&mut rng);
+                let kernel = codec.encode(&data, &old, &energy);
+                assert_eq!(kernel, codec.encode_scalar(&data, &old, &energy), "g={g}");
+                old = kernel;
+            }
+        }
     }
 
     #[test]

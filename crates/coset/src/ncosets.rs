@@ -11,6 +11,7 @@ use crate::cost::{block_cost, read_block, write_block};
 use crate::granularity::Granularity;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, StatePlanes, SymbolPlanes, TransitionTable, PLANE_WORDS};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
 use wlcrc_pcm::state::CellState;
@@ -27,6 +28,28 @@ const AUX_COMBOS: [(CellState, CellState); 6] = [
     (CellState::S1, CellState::S3),
     (CellState::S3, CellState::S1),
 ];
+
+/// Largest candidate set a codec can hold (bounded by [`AUX_COMBOS`]).
+const MAX_CANDIDATES: usize = AUX_COMBOS.len();
+
+/// Most blocks any granularity produces (8-bit blocks → 64 per line).
+const MAX_LINE_BLOCKS: usize = 64;
+
+/// Precomputed inverse of [`AUX_COMBOS`], indexed by
+/// `first.index() * 4 + second.index()`; `NO_COMBO` marks state pairs that
+/// are not a valid selector encoding (the decode path treats them as
+/// candidate 0, like the old linear `iter().position()` scan did).
+const NO_COMBO: u8 = u8::MAX;
+const AUX_COMBO_INDEX: [u8; 16] = {
+    let mut table = [NO_COMBO; 16];
+    let mut i = 0;
+    while i < AUX_COMBOS.len() {
+        let (a, b) = AUX_COMBOS[i];
+        table[a.index() * 4 + b.index()] = i as u8;
+        i += 1;
+    }
+    table
+};
 
 /// A coset codec that picks, for every data block, the candidate with the
 /// minimum differential-write energy.
@@ -130,9 +153,199 @@ impl NCosetsCodec {
         if self.aux_cells_per_block() == 1 {
             stored.state(base).index().min(self.set.len() - 1)
         } else {
-            let pair = (stored.state(base), stored.state(base + 1));
-            AUX_COMBOS.iter().position(|c| *c == pair).unwrap_or(0).min(self.set.len() - 1)
+            let key = stored.state(base).index() * 4 + stored.state(base + 1).index();
+            let index = AUX_COMBO_INDEX[key];
+            let index = if index == NO_COMBO { 0 } else { index as usize };
+            index.min(self.set.len() - 1)
         }
+    }
+
+    /// Shared encode body. With `use_kernel` the per-candidate block costs
+    /// run on the bit-parallel kernel: fine granularities (blocks smaller
+    /// than a 64-cell plane word) precompute every candidate's per-block cost
+    /// with the amortised word sweep ([`kernel::block_costs_uniform`]), while
+    /// coarse blocks are evaluated per candidate with branch-and-bound (a
+    /// candidate is abandoned as soon as its partial cost reaches the
+    /// incumbent — it could no longer win the strict `<` comparison, so the
+    /// winner is unchanged). Without `use_kernel` the costs come from the
+    /// scalar reference in [`crate::cost`].
+    fn encode_impl(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+        use_kernel: bool,
+    ) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let blocks = self.granularity.blocks_per_line();
+        let cells_per_block = self.granularity.cells();
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in LINE_CELLS..self.encoded_cells() {
+            out.set_class(cell, CellClass::Aux);
+        }
+        // Per-encode precomputation: the plane views and one transition table
+        // per candidate, all on the stack (no heap allocation per write).
+        let kernel_ctx: Option<(SymbolPlanes, StatePlanes, [TransitionTable; MAX_CANDIDATES])> =
+            use_kernel.then(|| {
+                let mut tables = [TransitionTable::placeholder(); MAX_CANDIDATES];
+                for (table, candidate) in tables.iter_mut().zip(self.set.candidates()) {
+                    *table = TransitionTable::new(&candidate.mapping(), energy);
+                }
+                (data.symbol_planes(), old.state_planes(), tables)
+            });
+        // Fine granularity: the fused kernel sweep evaluates every candidate
+        // per block while the bucket masks are in registers — the selection
+        // minimises the full differential-write cost (data block plus the
+        // auxiliary cells recording the choice) exactly like the scalar loop
+        // below — and assembles the winners' target planes, which are
+        // scattered to cells in a single pass at the end.
+        if let Some((planes, stored, tables)) = &kernel_ctx {
+            // Granularities finer than 8 bits (more than 64 blocks) exceed
+            // the fixed-size scratch and take the generic per-block loop
+            // below instead, which handles any block count.
+            if cells_per_block < 64 && blocks <= MAX_LINE_BLOCKS {
+                // Single-cell selectors (sets of ≤ 4 candidates) reduce to
+                // "zero if the stored selector already says `idx`, else the
+                // programming energy of the selector state".
+                let one_aux_cell = self.aux_cells_per_block() == 1;
+                let selector_write_pj: [f64; 4] =
+                    std::array::from_fn(|idx| energy.write_energy_pj(CellState::from_index(idx)));
+                let aux_base = self.aux_cell_base();
+                let aux_states = &old.states()[aux_base..];
+                let mut winners = [0u8; MAX_LINE_BLOCKS];
+                let mut out0 = [0u64; PLANE_WORDS];
+                let mut out1 = [0u64; PLANE_WORDS];
+                // Integer-valued energies (the paper's tables) run the
+                // selection entirely on u64 totals — exactly equal to the f64
+                // totals, which represent the same integers.
+                let all_int =
+                    tables[..self.set.len()].iter().all(|t| t.integer_write_pj().is_some());
+                if all_int {
+                    let template: [u64; 8] =
+                        std::array::from_fn(
+                            |i| {
+                                if i < 4 {
+                                    selector_write_pj[i] as u64
+                                } else {
+                                    0
+                                }
+                            },
+                        );
+                    let mut selector_costs = [[0u64; 8]; MAX_LINE_BLOCKS];
+                    for (block, row) in selector_costs.iter_mut().enumerate().take(blocks) {
+                        if one_aux_cell {
+                            *row = template;
+                            let stored_selector = aux_states[block].index();
+                            if stored_selector < self.set.len() {
+                                row[stored_selector] = 0;
+                            }
+                        } else {
+                            for (idx, slot) in row.iter_mut().enumerate().take(self.set.len()) {
+                                *slot = self.selector_cost(old, block, idx, energy) as u64;
+                            }
+                        }
+                    }
+                    kernel::select_blocks_uniform_int(
+                        planes,
+                        stored,
+                        cells_per_block,
+                        blocks,
+                        &tables[..self.set.len()],
+                        &selector_costs,
+                        &mut winners,
+                        &mut out0,
+                        &mut out1,
+                    );
+                } else {
+                    let mut selector_costs = [[0.0f64; 8]; MAX_LINE_BLOCKS];
+                    for (block, row) in selector_costs.iter_mut().enumerate().take(blocks) {
+                        if one_aux_cell {
+                            row[..4].copy_from_slice(&selector_write_pj);
+                            let stored_selector = aux_states[block].index();
+                            if stored_selector < self.set.len() {
+                                row[stored_selector] = 0.0;
+                            }
+                        } else {
+                            for (idx, slot) in row.iter_mut().enumerate().take(self.set.len()) {
+                                *slot = self.selector_cost(old, block, idx, energy);
+                            }
+                        }
+                    }
+                    kernel::select_blocks_uniform(
+                        planes,
+                        stored,
+                        cells_per_block,
+                        blocks,
+                        &tables[..self.set.len()],
+                        &selector_costs,
+                        &mut winners,
+                        &mut out0,
+                        &mut out1,
+                    );
+                }
+                if one_aux_cell {
+                    // One selector cell per block, in block order.
+                    let aux_states = &mut out.states_mut()[LINE_CELLS..];
+                    for (slot, &winner) in aux_states.iter_mut().zip(winners.iter().take(blocks)) {
+                        *slot = CellState::ALL[(winner & 3) as usize];
+                    }
+                } else {
+                    for (block, &winner) in winners.iter().enumerate().take(blocks) {
+                        self.write_selector(&mut out, block, winner as usize);
+                    }
+                }
+                kernel::write_states_from_planes(&mut out, LINE_CELLS, &out0, &out1);
+                return out;
+            }
+        }
+        for block in 0..blocks {
+            let cells = self.granularity.block_cells(block);
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (idx, candidate) in self.set.candidates().iter().enumerate() {
+                // The selection minimises the full differential-write cost:
+                // the data block plus the auxiliary cells that record the
+                // chosen candidate.
+                let selector = self.selector_cost(old, block, idx, energy);
+                let cost = match &kernel_ctx {
+                    Some((planes, stored, tables)) => {
+                        match kernel::block_cost_bounded(
+                            planes,
+                            stored,
+                            cells.clone(),
+                            &tables[idx],
+                            selector,
+                            best_cost,
+                        ) {
+                            Some(total) => total,
+                            None => continue,
+                        }
+                    }
+                    None => block_cost(data, old, cells.clone(), candidate, energy) + selector,
+                };
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = idx;
+                }
+            }
+            write_block(data, &mut out, cells, self.set.candidate(best));
+            self.write_selector(&mut out, block, best);
+        }
+        out
+    }
+
+    /// The scalar reference encoder (identical selection logic driven by the
+    /// per-cell cost routines in [`crate::cost`]). Kept callable so the
+    /// equivalence tests and the perf snapshot can compare the kernel against
+    /// the exact pre-kernel path.
+    #[doc(hidden)]
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+    ) -> PhysicalLine {
+        self.encode_impl(data, old, energy, false)
     }
 }
 
@@ -146,30 +359,7 @@ impl LineCodec for NCosetsCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
-        let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        for cell in LINE_CELLS..self.encoded_cells() {
-            out.set_class(cell, CellClass::Aux);
-        }
-        for block in 0..self.granularity.blocks_per_line() {
-            let cells = self.granularity.block_cells(block);
-            let mut best = 0usize;
-            let mut best_cost = f64::INFINITY;
-            for (idx, candidate) in self.set.candidates().iter().enumerate() {
-                // The selection minimises the full differential-write cost:
-                // the data block plus the auxiliary cells that record the
-                // chosen candidate.
-                let cost = block_cost(data, old, cells.clone(), candidate, energy)
-                    + self.selector_cost(old, block, idx, energy);
-                if cost < best_cost {
-                    best_cost = cost;
-                    best = idx;
-                }
-            }
-            write_block(data, &mut out, cells, self.set.candidate(best));
-            self.write_selector(&mut out, block, best);
-        }
-        out
+        self.encode_impl(data, old, energy, true)
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
@@ -268,6 +458,41 @@ mod tests {
         let enc = codec.encode(&data, &codec.initial_line(), &energy);
         let low = enc.states().iter().take(LINE_CELLS).filter(|s| s.is_low_energy()).count();
         assert_eq!(low, LINE_CELLS);
+    }
+
+    #[test]
+    fn aux_combo_inverse_table_matches_linear_scan() {
+        for a in CellState::ALL {
+            for b in CellState::ALL {
+                let linear = AUX_COMBOS.iter().position(|c| *c == (a, b));
+                let table = AUX_COMBO_INDEX[a.index() * 4 + b.index()];
+                match linear {
+                    Some(i) => assert_eq!(table as usize, i),
+                    None => assert_eq!(table, NO_COMBO),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(91);
+        for set in
+            [CandidateSet::three_cosets(), CandidateSet::four_cosets(), CandidateSet::six_cosets()]
+        {
+            for g in [8usize, 16, 64, 512] {
+                let codec = NCosetsCodec::new(set.clone(), Granularity::new(g));
+                let mut old = codec.initial_line();
+                for _ in 0..8 {
+                    let data = random_line(&mut rng);
+                    let kernel = codec.encode(&data, &old, &energy);
+                    let scalar = codec.encode_scalar(&data, &old, &energy);
+                    assert_eq!(kernel, scalar, "{} g={}", set.name(), g);
+                    old = kernel;
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,17 +10,49 @@
 //! and stores the auxiliary bits in reclaimed cells, lives in the `wlcrc`
 //! crate; this codec is the stand-alone `3-r-cosets` variant evaluated in
 //! Figure 5.)
+//!
+//! The encoder evaluates candidates with the bit-parallel kernel
+//! ([`wlcrc_pcm::kernel`]) and keeps all per-write scratch — candidate costs,
+//! block choices and the auxiliary bit vector — in fixed-size stack storage
+//! (a `u64` choice mask and a packed `u128` bit vector), so a write allocates
+//! nothing beyond the returned line.
 
 use crate::candidate::{c1, c2, c3, CosetCandidate};
 use crate::cost::{block_cost, read_block, write_block};
 use crate::granularity::Granularity;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, TransitionTable, PLANE_WORDS};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
 use wlcrc_pcm::state::Symbol;
 use wlcrc_pcm::LINE_CELLS;
+
+/// Most blocks any granularity produces (8-bit blocks → 64 per line).
+const MAX_BLOCKS: usize = 64;
+
+/// The auxiliary bit vector of one line — the group bit followed by one bit
+/// per block — packed into a `u128` (at most 1 + 64 = 65 bits).
+///
+/// Bit `i` of `bits` is auxiliary bit `i`; reads past `len` yield `false`,
+/// mirroring the zero padding of the final half-filled cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AuxBits {
+    bits: u128,
+    len: usize,
+}
+
+impl AuxBits {
+    fn new(group_b: bool, choices: u64, blocks: usize) -> AuxBits {
+        AuxBits { bits: u128::from(group_b) | (u128::from(choices) << 1), len: 1 + blocks }
+    }
+
+    #[inline]
+    fn get(self, index: usize) -> bool {
+        index < self.len && (self.bits >> index) & 1 == 1
+    }
+}
 
 /// The stand-alone restricted coset codec (`3-r-cosets`).
 #[derive(Debug, Clone)]
@@ -36,7 +68,17 @@ pub struct RestrictedCosetCodec {
 impl RestrictedCosetCodec {
     /// Creates the restricted codec at the given granularity, using the
     /// paper's groups `{C1, C2}` and `{C1, C3}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the granularity is finer than 8 bits: per-write scratch
+    /// (block costs, the `u64` choice mask, the `u128` auxiliary bit vector)
+    /// is sized for the paper's 8..512-bit sweep, at most 64 blocks per line.
     pub fn new(granularity: Granularity) -> RestrictedCosetCodec {
+        assert!(
+            granularity.blocks_per_line() <= MAX_BLOCKS,
+            "RestrictedCosetCodec supports at most {MAX_BLOCKS} blocks per line (granularity >= 8 bits)"
+        );
         RestrictedCosetCodec {
             granularity,
             base: c1(),
@@ -75,38 +117,220 @@ impl RestrictedCosetCodec {
     /// Packs the auxiliary bits (group bit first, then per-block bits) into
     /// aux cells through the default mapping, so that the frequent case
     /// (candidate `C1`, bit 0) stays in the cheapest state.
-    fn write_aux_bits(&self, out: &mut PhysicalLine, bits: &[bool]) {
-        for (i, pair) in bits.chunks(2).enumerate() {
-            let msb = pair.first().copied().unwrap_or(false);
-            let lsb = pair.get(1).copied().unwrap_or(false);
-            // Bit order within the symbol: first bit is the MSB.
-            let symbol = Symbol::from_bits(msb, lsb);
+    fn write_aux_bits(&self, out: &mut PhysicalLine, bits: AuxBits) {
+        for i in 0..self.aux_cells() {
+            // Bit order within the symbol: the first bit of the pair is the MSB.
+            let symbol = Symbol::from_bits(bits.get(2 * i), bits.get(2 * i + 1));
             out.set_state(LINE_CELLS + i, self.aux_mapping.state_of(symbol));
         }
     }
 
     /// Differential-write cost of storing the given auxiliary bits over the
     /// currently stored auxiliary cells.
-    fn aux_cost(&self, old: &PhysicalLine, bits: &[bool], energy: &EnergyModel) -> f64 {
+    fn aux_cost(&self, old: &PhysicalLine, bits: AuxBits, energy: &EnergyModel) -> f64 {
         let mut cost = 0.0;
-        for (i, pair) in bits.chunks(2).enumerate() {
-            let msb = pair.first().copied().unwrap_or(false);
-            let lsb = pair.get(1).copied().unwrap_or(false);
-            let target = self.aux_mapping.state_of(Symbol::from_bits(msb, lsb));
-            cost += energy.transition_energy_pj(old.state(LINE_CELLS + i), target);
+        for i in 0..self.aux_cells() {
+            cost += self.aux_cell_cost(old, bits, i, energy);
         }
         cost
     }
 
-    fn read_aux_bits(&self, stored: &PhysicalLine) -> Vec<bool> {
-        let mut bits = Vec::with_capacity(self.aux_bits());
+    /// The contribution of auxiliary cell `cell` to [`Self::aux_cost`].
+    fn aux_cell_cost(
+        &self,
+        old: &PhysicalLine,
+        bits: AuxBits,
+        cell: usize,
+        energy: &EnergyModel,
+    ) -> f64 {
+        let target = self
+            .aux_mapping
+            .state_of(Symbol::from_bits(bits.get(2 * cell), bits.get(2 * cell + 1)));
+        energy.transition_energy_pj(old.state(LINE_CELLS + cell), target)
+    }
+
+    fn read_aux_bits(&self, stored: &PhysicalLine) -> AuxBits {
+        let mut bits = 0u128;
         for i in 0..self.aux_cells() {
             let symbol = self.aux_mapping.symbol_of(stored.state(LINE_CELLS + i));
-            bits.push(symbol.msb());
-            bits.push(symbol.lsb());
+            bits |= u128::from(symbol.msb()) << (2 * i);
+            bits |= u128::from(symbol.lsb()) << (2 * i + 1);
         }
-        bits.truncate(self.aux_bits());
-        bits
+        AuxBits { bits, len: self.aux_bits() }
+    }
+
+    /// Shared encode body; `use_kernel` switches the per-block candidate
+    /// costs between the bit-parallel kernel and the scalar reference in
+    /// [`crate::cost`]. Both sides run the identical selection logic, so the
+    /// outputs are byte-identical (exactly so for integer-valued energies).
+    fn encode_impl(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+        use_kernel: bool,
+    ) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let blocks = self.granularity.blocks_per_line();
+        debug_assert!(blocks <= MAX_BLOCKS);
+
+        // Every candidate's cost for every block, computed once up front
+        // (C1 is shared by both groups, so this also halves the scalar work
+        // the old implementation spent re-evaluating it per group). The
+        // kernel sweep additionally captures each candidate's target planes
+        // so the final write is assembled from masks.
+        let mut cost_base = [0.0f64; MAX_BLOCKS];
+        let mut cost_alt = [[0.0f64; MAX_BLOCKS]; 2];
+        let mut targets = [([0u64; PLANE_WORDS], [0u64; PLANE_WORDS]); 3];
+        if use_kernel {
+            let planes = data.symbol_planes();
+            let stored = old.state_planes();
+            let tables = [
+                TransitionTable::new(&self.base.mapping(), energy),
+                TransitionTable::new(&self.alt_a.mapping(), energy),
+                TransitionTable::new(&self.alt_b.mapping(), energy),
+            ];
+            let cells_per_block = self.granularity.cells();
+            kernel::block_costs_uniform_with_targets(
+                &planes,
+                &stored,
+                cells_per_block,
+                blocks,
+                &tables[0],
+                &mut cost_base,
+                &mut targets[0],
+            );
+            kernel::block_costs_uniform_with_targets(
+                &planes,
+                &stored,
+                cells_per_block,
+                blocks,
+                &tables[1],
+                &mut cost_alt[0],
+                &mut targets[1],
+            );
+            kernel::block_costs_uniform_with_targets(
+                &planes,
+                &stored,
+                cells_per_block,
+                blocks,
+                &tables[2],
+                &mut cost_alt[1],
+                &mut targets[2],
+            );
+        } else {
+            for block in 0..blocks {
+                let cells = self.granularity.block_cells(block);
+                cost_base[block] = block_cost(data, old, cells.clone(), &self.base, energy);
+                cost_alt[0][block] = block_cost(data, old, cells.clone(), &self.alt_a, energy);
+                cost_alt[1][block] = block_cost(data, old, cells, &self.alt_b, energy);
+            }
+        }
+
+        // Evaluate both groups: for each, every block takes the cheaper of
+        // the two candidates in the group (steps 1-3 of Section V). The group
+        // decision also accounts for the cost of rewriting the auxiliary
+        // cells, which keeps the selection stable across consecutive writes.
+        let mut group_cost = [0.0f64; 2];
+        let mut group_choice = [0u64; 2];
+        for g in 0..2 {
+            for block in 0..blocks {
+                if cost_alt[g][block] < cost_base[block] {
+                    group_choice[g] |= 1 << block;
+                    group_cost[g] += cost_alt[g][block];
+                } else {
+                    group_cost[g] += cost_base[block];
+                }
+            }
+            group_cost[g] +=
+                self.aux_cost(old, AuxBits::new(g == 1, group_choice[g], blocks), energy);
+        }
+        let group_b = group_cost[1] < group_cost[0];
+        let alt_costs = &cost_alt[usize::from(group_b)];
+        let mut choices = group_choice[usize::from(group_b)];
+
+        // Refinement: a block only switches away from C1 when the data saving
+        // exceeds the cost of rewriting the auxiliary cell that records the
+        // switch (two block bits share one cell, so the cost is evaluated on
+        // the full auxiliary bit vector). Flipping block `b`'s bit only
+        // changes auxiliary cell `(1 + b) / 2`, so the full-vector cost is
+        // maintained incrementally: for integer-valued energies the running
+        // total is exactly the fresh sum the scalar formulation computes.
+        let mut current_aux = self.aux_cost(old, AuxBits::new(group_b, choices, blocks), energy);
+        for block in 0..blocks {
+            let aux_cell = block.div_ceil(2);
+            let current_flag = (choices >> block) & 1 == 1;
+            let current_cell =
+                self.aux_cell_cost(old, AuxBits::new(group_b, choices, blocks), aux_cell, energy);
+            let mut best_flag = current_flag;
+            let mut best_total = f64::INFINITY;
+            let mut best_aux = current_aux;
+            for flag in [false, true] {
+                let trial = if flag { choices | 1 << block } else { choices & !(1 << block) };
+                let trial_aux = current_aux - current_cell
+                    + self.aux_cell_cost(
+                        old,
+                        AuxBits::new(group_b, trial, blocks),
+                        aux_cell,
+                        energy,
+                    );
+                let total = if flag { alt_costs[block] } else { cost_base[block] } + trial_aux;
+                if total < best_total {
+                    best_total = total;
+                    best_flag = flag;
+                    best_aux = trial_aux;
+                }
+            }
+            if best_flag {
+                choices |= 1 << block;
+            } else {
+                choices &= !(1 << block);
+            }
+            current_aux = best_aux;
+        }
+
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in LINE_CELLS..self.encoded_cells() {
+            out.set_class(cell, CellClass::Aux);
+        }
+        if use_kernel && self.granularity.cells() < 64 {
+            // Assemble the chosen blocks' target planes and scatter once.
+            let cells_per_block = self.granularity.cells();
+            let blocks_per_word = 64 / cells_per_block;
+            let block_mask = (1u64 << cells_per_block) - 1;
+            let alt_idx = if group_b { 2 } else { 1 };
+            let mut out0 = [0u64; PLANE_WORDS];
+            let mut out1 = [0u64; PLANE_WORDS];
+            for block in 0..blocks {
+                let idx = if (choices >> block) & 1 == 1 { alt_idx } else { 0 };
+                let w = block / blocks_per_word;
+                let mask = block_mask << ((block % blocks_per_word) * cells_per_block);
+                out0[w] |= targets[idx].0[w] & mask;
+                out1[w] |= targets[idx].1[w] & mask;
+            }
+            kernel::write_states_from_planes(&mut out, LINE_CELLS, &out0, &out1);
+        } else {
+            let (base, alt) = self.group_candidates(group_b);
+            for block in 0..blocks {
+                let cells = self.granularity.block_cells(block);
+                let candidate = if (choices >> block) & 1 == 1 { alt } else { base };
+                write_block(data, &mut out, cells, candidate);
+            }
+        }
+        self.write_aux_bits(&mut out, AuxBits::new(group_b, choices, blocks));
+        out
+    }
+
+    /// The scalar reference encoder (see [`crate::cost`]); kept callable for
+    /// the equivalence tests and the perf snapshot.
+    #[doc(hidden)]
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        energy: &EnergyModel,
+    ) -> PhysicalLine {
+        self.encode_impl(data, old, energy, false)
     }
 }
 
@@ -120,89 +344,18 @@ impl LineCodec for RestrictedCosetCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
-        let blocks = self.granularity.blocks_per_line();
-
-        // Evaluate both groups: for each, every block takes the cheaper of
-        // the two candidates in the group (steps 1-3 of Section V). The group
-        // decision also accounts for the cost of rewriting the auxiliary
-        // cells, which keeps the selection stable across consecutive writes.
-        let mut group_cost = [0.0f64; 2];
-        let mut group_choice = [vec![false; blocks], vec![false; blocks]];
-        for (g, choices) in group_choice.iter_mut().enumerate() {
-            let (base, alt) = self.group_candidates(g == 1);
-            for (block, choice) in choices.iter_mut().enumerate() {
-                let cells = self.granularity.block_cells(block);
-                let cost_base = block_cost(data, old, cells.clone(), base, energy);
-                let cost_alt = block_cost(data, old, cells, alt, energy);
-                if cost_alt < cost_base {
-                    *choice = true;
-                    group_cost[g] += cost_alt;
-                } else {
-                    group_cost[g] += cost_base;
-                }
-            }
-            let mut aux_bits = Vec::with_capacity(self.aux_bits());
-            aux_bits.push(g == 1);
-            aux_bits.extend(choices.iter().copied());
-            group_cost[g] += self.aux_cost(old, &aux_bits, energy);
-        }
-        let group_b = group_cost[1] < group_cost[0];
-        let mut choices = group_choice[usize::from(group_b)].clone();
-        let (base, alt) = self.group_candidates(group_b);
-
-        // Refinement: a block only switches away from C1 when the data saving
-        // exceeds the cost of rewriting the auxiliary cell that records the
-        // switch (two block bits share one cell, so the cost is evaluated on
-        // the full auxiliary bit vector).
-        for block in 0..blocks {
-            let cells = self.granularity.block_cells(block);
-            let cost_base = block_cost(data, old, cells.clone(), base, energy);
-            let cost_alt = block_cost(data, old, cells, alt, energy);
-            let mut best_flag = choices[block];
-            let mut best_total = f64::INFINITY;
-            for flag in [false, true] {
-                let mut trial_bits = Vec::with_capacity(self.aux_bits());
-                trial_bits.push(group_b);
-                let mut trial_choices = choices.clone();
-                trial_choices[block] = flag;
-                trial_bits.extend(trial_choices.iter().copied());
-                let total = if flag { cost_alt } else { cost_base }
-                    + self.aux_cost(old, &trial_bits, energy);
-                if total < best_total {
-                    best_total = total;
-                    best_flag = flag;
-                }
-            }
-            choices[block] = best_flag;
-        }
-        let choices = &choices;
-
-        let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        for cell in LINE_CELLS..self.encoded_cells() {
-            out.set_class(cell, CellClass::Aux);
-        }
-        for (block, &choice) in choices.iter().enumerate().take(blocks) {
-            let cells = self.granularity.block_cells(block);
-            let candidate = if choice { alt } else { base };
-            write_block(data, &mut out, cells, candidate);
-        }
-        let mut aux_bits = Vec::with_capacity(self.aux_bits());
-        aux_bits.push(group_b);
-        aux_bits.extend(choices.iter().copied());
-        self.write_aux_bits(&mut out, &aux_bits);
-        out
+        self.encode_impl(data, old, energy, true)
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
         assert_eq!(stored.len(), self.encoded_cells());
         let bits = self.read_aux_bits(stored);
-        let group_b = bits[0];
+        let group_b = bits.get(0);
         let (base, alt) = self.group_candidates(group_b);
         let mut data = MemoryLine::ZERO;
         for block in 0..self.granularity.blocks_per_line() {
             let cells = self.granularity.block_cells(block);
-            let candidate = if bits[1 + block] { alt } else { base };
+            let candidate = if bits.get(1 + block) { alt } else { base };
             read_block(stored, &mut data, cells, candidate);
         }
         data
@@ -246,6 +399,23 @@ mod tests {
                 let enc = codec.encode(&data, &old, &energy);
                 assert_eq!(codec.decode(&enc), data, "granularity {g}");
                 old = enc;
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(77);
+        for g in [8usize, 16, 64, 256, 512] {
+            let codec = RestrictedCosetCodec::new(Granularity::new(g));
+            let mut old = codec.initial_line();
+            for _ in 0..10 {
+                let data = random_line(&mut rng);
+                let kernel = codec.encode(&data, &old, &energy);
+                let scalar = codec.encode_scalar(&data, &old, &energy);
+                assert_eq!(kernel, scalar, "granularity {g}");
+                old = kernel;
             }
         }
     }
@@ -308,7 +478,7 @@ mod tests {
         let codec = RestrictedCosetCodec::new(Granularity::new(16));
         let enc = codec.encode(&MemoryLine::ZERO, &codec.initial_line(), &energy);
         let bits = codec.read_aux_bits(&enc);
-        assert!(!bits[0]);
-        assert!(bits[1..].iter().all(|b| !b));
+        assert!(!bits.get(0));
+        assert!((1..codec.aux_bits()).all(|i| !bits.get(i)));
     }
 }

@@ -11,7 +11,9 @@
 //!   dual-code construction into full-line XOR masks.
 //!
 //! Everything is implemented from scratch on top of a small GF(2^m)
-//! arithmetic module ([`gf`]) and a dense bit-vector type ([`bits::BitVec`]).
+//! arithmetic module ([`gf`]) and a dense, u64-word-packed bit buffer
+//! ([`bits::BitBuf`], historically exported as [`bits::BitVec`]) that is also
+//! reused by the compression layers (`wlcrc_compress`) and the DIN codec.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +24,7 @@ pub mod gf;
 pub mod hamming;
 
 pub use bch::Bch;
-pub use bits::BitVec;
+pub use bits::{BitBuf, BitVec};
 pub use gf::GaloisField;
 pub use hamming::Hamming7264;
 

@@ -1,0 +1,1175 @@
+//! Bit-parallel candidate-evaluation kernel.
+//!
+//! Every coset-style scheme answers the same question millions of times per
+//! simulated trace: *what would it cost to store this block of 2-bit symbols
+//! through mapping M, given the states already in the array?* The scalar
+//! answer walks the block cell by cell (`symbol()` → `state_of()` →
+//! `transition_energy_pj()`), which is a long dependent chain of 2-bit
+//! lookups and float adds.
+//!
+//! This module answers it with word-level bit logic instead:
+//!
+//! * [`SymbolPlanes`] / [`StatePlanes`] hold a memory line's symbols and a
+//!   physical line's states as two bit planes each — `plane0` carries the
+//!   low bit of every cell's 2-bit value, `plane1` the high bit, one bit per
+//!   cell, 64 cells per `u64` word.
+//! * [`TransitionTable`] precomputes, per (symbol→state mapping, energy
+//!   model), the full 16-entry `(old state × symbol)` transition-cost table
+//!   plus the masks needed to evaluate it in bit-parallel form.
+//! * [`block_cost`] and friends combine the two: for each 64-cell plane word
+//!   they derive the candidate's target-state planes with a handful of
+//!   AND/OR/XOR operations, isolate the cells whose state would change, and
+//!   reduce each target-state bucket with one `popcount` — a few dozen word
+//!   operations per 64 cells instead of hundreds of scalar steps.
+//!
+//! The kernel is numerically exact with respect to the scalar path whenever
+//! the energy table holds integer-valued picojoule costs (as the paper's
+//! Table II and every Figure 14 configuration do): all intermediate sums are
+//! integers below 2^53, so grouping terms per bucket cannot round. The
+//! scalar routines in `wlcrc_coset::cost` are kept as the reference oracle
+//! and the equivalence is pinned by `tests/kernel_equivalence.rs`.
+
+use crate::energy::EnergyModel;
+use crate::line::MemoryLine;
+use crate::mapping::SymbolMapping;
+use crate::physical::PhysicalLine;
+use crate::state::{CellState, Symbol};
+use crate::{LINE_CELLS, LINE_WORDS};
+use std::ops::Range;
+
+/// Number of 64-cell plane words covering the 256 data cells of a line.
+pub const PLANE_WORDS: usize = LINE_CELLS / 64;
+
+/// Extracts the even-positioned bits of `x` (bits 0, 2, 4, ...) into the low
+/// 32 bits of the result.
+#[inline]
+fn even_bits(mut x: u64) -> u64 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// The 2-bit symbols of a [`MemoryLine`], de-interleaved into two bit planes.
+///
+/// Bit `c` of `plane0` word `c / 64` is the **low** bit of cell `c`'s symbol;
+/// the same bit of `plane1` is the **high** bit. The per-symbol masks
+/// (`mask(v)`) mark the cells holding symbol value `v` and are what the cost
+/// kernel consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolPlanes {
+    plane0: [u64; PLANE_WORDS],
+    plane1: [u64; PLANE_WORDS],
+    /// `masks[v][w]`: cells of plane word `w` holding symbol value `v`.
+    masks: [[u64; PLANE_WORDS]; 4],
+}
+
+impl SymbolPlanes {
+    /// Builds the plane view of `line`. The view is a pure function of the
+    /// line content, so it is always consistent with [`MemoryLine::symbol`].
+    pub fn new(line: &MemoryLine) -> SymbolPlanes {
+        let mut plane0 = [0u64; PLANE_WORDS];
+        let mut plane1 = [0u64; PLANE_WORDS];
+        for w in 0..PLANE_WORDS {
+            // Plane word w covers cells 64w..64w+64, i.e. line words 2w, 2w+1.
+            let a = line.word(2 * w);
+            let b = line.word(2 * w + 1);
+            plane0[w] = even_bits(a) | (even_bits(b) << 32);
+            plane1[w] = even_bits(a >> 1) | (even_bits(b >> 1) << 32);
+        }
+        SymbolPlanes::from_planes(plane0, plane1)
+    }
+
+    /// Builds the view from raw planes (used when symbols are produced by
+    /// XORing plane views rather than from a line).
+    pub fn from_planes(plane0: [u64; PLANE_WORDS], plane1: [u64; PLANE_WORDS]) -> SymbolPlanes {
+        let mut masks = [[0u64; PLANE_WORDS]; 4];
+        for w in 0..PLANE_WORDS {
+            let (p0, p1) = (plane0[w], plane1[w]);
+            masks[0][w] = !p1 & !p0;
+            masks[1][w] = !p1 & p0;
+            masks[2][w] = p1 & !p0;
+            masks[3][w] = p1 & p0;
+        }
+        SymbolPlanes { plane0, plane1, masks }
+    }
+
+    /// The low-bit plane.
+    #[inline]
+    pub fn plane0(&self) -> &[u64; PLANE_WORDS] {
+        &self.plane0
+    }
+
+    /// The high-bit plane.
+    #[inline]
+    pub fn plane1(&self) -> &[u64; PLANE_WORDS] {
+        &self.plane1
+    }
+
+    /// The cells-holding-symbol-`v` mask planes.
+    #[inline]
+    pub fn mask(&self, v: usize) -> &[u64; PLANE_WORDS] {
+        &self.masks[v]
+    }
+
+    /// The symbol of cell `cell` according to the planes.
+    #[inline]
+    pub fn symbol(&self, cell: usize) -> Symbol {
+        let (w, b) = (cell / 64, cell % 64);
+        let lo = (self.plane0[w] >> b) & 1;
+        let hi = (self.plane1[w] >> b) & 1;
+        Symbol::new((hi << 1 | lo) as u8)
+    }
+
+    /// The symbol-wise XOR of two plane views (each cell's 2-bit value XORed
+    /// independently) — how FlipMin derives its mask candidates.
+    pub fn xor(&self, other: &SymbolPlanes) -> SymbolPlanes {
+        let mut plane0 = self.plane0;
+        let mut plane1 = self.plane1;
+        for w in 0..PLANE_WORDS {
+            plane0[w] ^= other.plane0[w];
+            plane1[w] ^= other.plane1[w];
+        }
+        SymbolPlanes::from_planes(plane0, plane1)
+    }
+}
+
+/// The stored states of the first 256 cells of a [`PhysicalLine`], packed as
+/// two bit planes (low/high bit of each state's 2-bit index).
+///
+/// Auxiliary cells beyond the 256 data cells are not covered: every scheme
+/// touches them with a handful of scalar operations, never inside the
+/// per-candidate block loops the kernel accelerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatePlanes {
+    plane0: [u64; PLANE_WORDS],
+    plane1: [u64; PLANE_WORDS],
+}
+
+impl StatePlanes {
+    /// Builds the plane view of the first `min(len, 256)` cells of `line`.
+    /// The view is a pure function of the stored states, so it is always
+    /// consistent with [`PhysicalLine::state`].
+    pub fn new(line: &PhysicalLine) -> StatePlanes {
+        let mut plane0 = [0u64; PLANE_WORDS];
+        let mut plane1 = [0u64; PLANE_WORDS];
+        let states = line.states();
+        let states = &states[..states.len().min(LINE_CELLS)];
+        for (w, chunk) in states.chunks(64).enumerate() {
+            // Accumulate each 64-cell word in registers; the per-cell
+            // read-modify-write of the naive loop is what made this hot.
+            let mut p0 = 0u64;
+            let mut p1 = 0u64;
+            for (b, &state) in chunk.iter().enumerate() {
+                let idx = state.index() as u64;
+                p0 |= (idx & 1) << b;
+                p1 |= (idx >> 1) << b;
+            }
+            plane0[w] = p0;
+            plane1[w] = p1;
+        }
+        StatePlanes { plane0, plane1 }
+    }
+
+    /// The low-bit plane of the state indices.
+    #[inline]
+    pub fn plane0(&self) -> &[u64; PLANE_WORDS] {
+        &self.plane0
+    }
+
+    /// The high-bit plane of the state indices.
+    #[inline]
+    pub fn plane1(&self) -> &[u64; PLANE_WORDS] {
+        &self.plane1
+    }
+
+    /// The state of cell `cell` according to the planes.
+    #[inline]
+    pub fn state(&self, cell: usize) -> CellState {
+        let (w, b) = (cell / 64, cell % 64);
+        let lo = (self.plane0[w] >> b) & 1;
+        let hi = (self.plane1[w] >> b) & 1;
+        CellState::from_index((hi << 1 | lo) as usize)
+    }
+}
+
+/// The precomputed transition space of one (symbol→state mapping, energy
+/// model) pair: the flat 16-entry `cost_pj[old * 4 + symbol]` table, the
+/// matching would-this-cell-change bitmask, and the per-symbol target-state
+/// masks the bit-parallel kernel consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionTable {
+    /// Programming energy of each target state (RESET + SET), by state index.
+    write_pj: [f64; 4],
+    /// Bit `v` set iff the state storing symbol `v` has an odd index.
+    target_lo: u8,
+    /// Bit `v` set iff the state storing symbol `v` has index >= 2.
+    target_hi: u8,
+    /// All-ones when `target_lo` bit `v` is set, else zero (branchless
+    /// select masks for [`Self::target_planes`]).
+    t0_select: [u64; 4],
+    /// All-ones when `target_hi` bit `v` is set, else zero.
+    t1_select: [u64; 4],
+    /// `write_pj` as integers when every entry is an integer below 2^20
+    /// (true for the paper's Table II and all Figure 14 configurations):
+    /// weighted popcount sums then run in exact integer arithmetic — the
+    /// converted result is bit-identical to the f64 dot product, since both
+    /// are integers far below 2^53 — and skip four int→float conversions
+    /// per block.
+    write_int: Option<[u64; 4]>,
+    /// The state storing each symbol value.
+    states: [CellState; 4],
+}
+
+impl TransitionTable {
+    /// Builds the table for `mapping` under `energy`.
+    pub fn new(mapping: &SymbolMapping, energy: &EnergyModel) -> TransitionTable {
+        TransitionTable::from_states(
+            [
+                mapping.state_of(Symbol::new(0)),
+                mapping.state_of(Symbol::new(1)),
+                mapping.state_of(Symbol::new(2)),
+                mapping.state_of(Symbol::new(3)),
+            ],
+            energy,
+        )
+    }
+
+    /// Builds the table from the state assigned to each symbol value
+    /// (`states[v]` stores symbol `v`). Unlike [`SymbolMapping`], the
+    /// assignment does not have to be a bijection, which lets schemes such as
+    /// FNW express "mapping composed with symbol complement" directly.
+    pub fn from_states(states: [CellState; 4], energy: &EnergyModel) -> TransitionTable {
+        let mut target_lo = 0u8;
+        let mut target_hi = 0u8;
+        for (v, &target) in states.iter().enumerate() {
+            if target.index() & 1 == 1 {
+                target_lo |= 1 << v;
+            }
+            if target.index() & 2 == 2 {
+                target_hi |= 1 << v;
+            }
+        }
+        let write_pj = [
+            energy.write_energy_pj(CellState::S1),
+            energy.write_energy_pj(CellState::S2),
+            energy.write_energy_pj(CellState::S3),
+            energy.write_energy_pj(CellState::S4),
+        ];
+        let select = |bits: u8| -> [u64; 4] {
+            core::array::from_fn(|v| 0u64.wrapping_sub(u64::from(bits >> v & 1)))
+        };
+        let write_int =
+            if write_pj.iter().all(|&e| e.fract() == 0.0 && (0.0..1048576.0).contains(&e)) {
+                Some(core::array::from_fn(|i| write_pj[i] as u64))
+            } else {
+                None
+            };
+        TransitionTable {
+            write_pj,
+            target_lo,
+            target_hi,
+            t0_select: select(target_lo),
+            t1_select: select(target_hi),
+            write_int,
+            states,
+        }
+    }
+
+    /// A placeholder table (identity assignment, zero energy); used to fill
+    /// fixed-size candidate-table arrays without heap allocation.
+    pub fn placeholder() -> TransitionTable {
+        TransitionTable::from_states(CellState::ALL, &EnergyModel::new(0.0, [0.0; 4]))
+    }
+
+    /// The flat `(old state × symbol)` transition-cost entry — zero when the
+    /// cell already stores the target state, its full programming energy
+    /// otherwise.
+    #[inline]
+    pub fn cost_pj(&self, old: CellState, symbol: Symbol) -> f64 {
+        let target = self.states[symbol.value() as usize];
+        if old == target {
+            0.0
+        } else {
+            self.write_pj[target.index()]
+        }
+    }
+
+    /// `true` when storing `symbol` over `old` would reprogram the cell.
+    #[inline]
+    pub fn is_updated(&self, old: CellState, symbol: Symbol) -> bool {
+        old != self.states[symbol.value() as usize]
+    }
+
+    /// The state that stores `symbol` under this table's assignment.
+    #[inline]
+    pub fn state_of(&self, symbol: Symbol) -> CellState {
+        self.states[symbol.value() as usize]
+    }
+
+    /// The per-state programming energies as exact integers, when the energy
+    /// model is integer-valued (see the `write_int` fast path).
+    #[inline]
+    pub fn integer_write_pj(&self) -> Option<[u64; 4]> {
+        self.write_int
+    }
+
+    /// The target-state planes of a block of symbols: bit `c` of the returned
+    /// `(plane0, plane1)` is the low/high bit of the state that would store
+    /// cell `c`'s symbol.
+    #[inline]
+    pub fn target_planes(&self, data: &SymbolPlanes, word: usize) -> (u64, u64) {
+        let m =
+            [data.masks[0][word], data.masks[1][word], data.masks[2][word], data.masks[3][word]];
+        let t0 = (m[0] & self.t0_select[0])
+            | (m[1] & self.t0_select[1])
+            | (m[2] & self.t0_select[2])
+            | (m[3] & self.t0_select[3]);
+        let t1 = (m[0] & self.t1_select[0])
+            | (m[1] & self.t1_select[1])
+            | (m[2] & self.t1_select[2])
+            | (m[3] & self.t1_select[3]);
+        (t0, t1)
+    }
+}
+
+/// Iterates over the (plane-word index, in-word cell mask) pairs covering
+/// `cells`.
+#[inline]
+fn plane_words(cells: Range<usize>) -> impl Iterator<Item = (usize, u64)> {
+    debug_assert!(cells.end <= LINE_CELLS);
+    let (start, end) = (cells.start, cells.end);
+    (start / 64..end.div_ceil(64)).map(move |w| {
+        let lo = start.max(w * 64) - w * 64;
+        let hi = end.min(w * 64 + 64) - w * 64;
+        let mask = if hi - lo == 64 { u64::MAX } else { ((1u64 << (hi - lo)) - 1) << lo };
+        (w, mask)
+    })
+}
+
+/// Cost and updated-cell count of one plane word under `mask`.
+#[inline]
+fn word_cost(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    table: &TransitionTable,
+    word: usize,
+    mask: u64,
+) -> (f64, u32) {
+    let (t0, t1) = table.target_planes(data, word);
+    let changed = ((t0 ^ old.plane0[word]) | (t1 ^ old.plane1[word])) & mask;
+    if changed == 0 {
+        return (0.0, 0);
+    }
+    // Bucket the changed cells by target state: four popcounts replace up to
+    // 64 scalar lookups. The differential-write cost of a changed cell only
+    // depends on its target state (RESET + SET-to-target).
+    let c1 = (changed & !t1 & !t0).count_ones();
+    let c2 = (changed & !t1 & t0).count_ones();
+    let c3 = (changed & t1 & !t0).count_ones();
+    let c4 = (changed & t1 & t0).count_ones();
+    let cost = f64::from(c1) * table.write_pj[0]
+        + f64::from(c2) * table.write_pj[1]
+        + f64::from(c3) * table.write_pj[2]
+        + f64::from(c4) * table.write_pj[3];
+    (cost, changed.count_ones())
+}
+
+/// Bit-parallel equivalent of `wlcrc_coset::cost::block_cost`: the
+/// differential-write energy (pJ) of storing the symbols in `cells` of `data`
+/// through `table`, given the states in `old`.
+pub fn block_cost(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells: Range<usize>,
+    table: &TransitionTable,
+) -> f64 {
+    let mut cost = 0.0;
+    for (w, mask) in plane_words(cells) {
+        cost += word_cost(data, old, table, w, mask).0;
+    }
+    cost
+}
+
+/// Like [`block_cost`], but starts the accumulator at `base` and gives up as
+/// soon as the running total reaches `bound` (branch-and-bound for candidate
+/// searches: a candidate whose partial cost already matches the incumbent can
+/// never win a strict `<` comparison).
+///
+/// Returns `Some(total)` with `total < bound`, or `None` when the bound was
+/// hit.
+pub fn block_cost_bounded(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells: Range<usize>,
+    table: &TransitionTable,
+    base: f64,
+    bound: f64,
+) -> Option<f64> {
+    let mut cost = base;
+    if cost >= bound {
+        return None;
+    }
+    for (w, mask) in plane_words(cells) {
+        cost += word_cost(data, old, table, w, mask).0;
+        if cost >= bound {
+            return None;
+        }
+    }
+    Some(cost)
+}
+
+/// Costs of `blocks` equal-size blocks tiling the line from cell 0, written
+/// into `out[0..blocks]` for one candidate.
+///
+/// For blocks smaller than a plane word this amortises the target-plane and
+/// changed-mask computation across every block sharing the word — the
+/// per-block work drops to four masked popcounts — which is what makes the
+/// fine-granularity (8/16/32-bit) candidate sweeps of the n-cosets and
+/// restricted codecs profitable. Blocks of one or more whole words fall back
+/// to [`block_cost`] per block.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `blocks` or `cells_per_block` does not
+/// tile 64-cell words (divisor or multiple of 64).
+pub fn block_costs_uniform(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells_per_block: usize,
+    blocks: usize,
+    table: &TransitionTable,
+    out: &mut [f64],
+) {
+    let mut targets = ([0u64; PLANE_WORDS], [0u64; PLANE_WORDS]);
+    block_costs_uniform_with_targets(data, old, cells_per_block, blocks, table, out, &mut targets);
+}
+
+/// Like [`block_costs_uniform`], but additionally records the candidate's
+/// target-state planes for every covered word in `targets` (`.0` = low bit,
+/// `.1` = high bit), so the caller can assemble the winning encoding with a
+/// few mask merges instead of re-mapping every cell.
+pub fn block_costs_uniform_with_targets(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells_per_block: usize,
+    blocks: usize,
+    table: &TransitionTable,
+    out: &mut [f64],
+    targets: &mut ([u64; PLANE_WORDS], [u64; PLANE_WORDS]),
+) {
+    assert!(out.len() >= blocks, "output slice too short");
+    let words = (blocks * cells_per_block).div_ceil(64).min(PLANE_WORDS);
+    if cells_per_block >= 64 {
+        assert!(cells_per_block.is_multiple_of(64), "blocks must tile plane words");
+        for (b, slot) in out.iter_mut().enumerate().take(blocks) {
+            *slot = block_cost(data, old, b * cells_per_block..(b + 1) * cells_per_block, table);
+        }
+        for w in 0..words {
+            let (t0, t1) = table.target_planes(data, w);
+            targets.0[w] = t0;
+            targets.1[w] = t1;
+        }
+        return;
+    }
+    assert!(64 % cells_per_block == 0, "blocks must tile plane words");
+    let blocks_per_word = 64 / cells_per_block;
+    let block_mask = (1u64 << cells_per_block) - 1;
+    let out = &mut out[..blocks];
+    for (w, chunk) in out.chunks_mut(blocks_per_word).enumerate() {
+        let (t0, t1) = table.target_planes(data, w);
+        targets.0[w] = t0;
+        targets.1[w] = t1;
+        let changed = (t0 ^ old.plane0[w]) | (t1 ^ old.plane1[w]);
+        let buckets =
+            [changed & !t1 & !t0, changed & !t1 & t0, changed & t1 & !t0, changed & t1 & t0];
+        if let Some(wi) = table.write_int {
+            for (b, slot) in chunk.iter_mut().enumerate() {
+                let shift = b * cells_per_block;
+                let total = u64::from(((buckets[0] >> shift) & block_mask).count_ones()) * wi[0]
+                    + u64::from(((buckets[1] >> shift) & block_mask).count_ones()) * wi[1]
+                    + u64::from(((buckets[2] >> shift) & block_mask).count_ones()) * wi[2]
+                    + u64::from(((buckets[3] >> shift) & block_mask).count_ones()) * wi[3];
+                *slot = total as f64;
+            }
+        } else {
+            for (b, slot) in chunk.iter_mut().enumerate() {
+                let shift = b * cells_per_block;
+                *slot = f64::from(((buckets[0] >> shift) & block_mask).count_ones())
+                    * table.write_pj[0]
+                    + f64::from(((buckets[1] >> shift) & block_mask).count_ones())
+                        * table.write_pj[1]
+                    + f64::from(((buckets[2] >> shift) & block_mask).count_ones())
+                        * table.write_pj[2]
+                    + f64::from(((buckets[3] >> shift) & block_mask).count_ones())
+                        * table.write_pj[3];
+            }
+        }
+    }
+}
+
+/// Fused sweep + candidate selection for uniform sub-word blocks: for every
+/// block of `cells_per_block` cells (tiling the line from cell 0), evaluates
+/// each candidate's data cost plus `selector_costs[block][candidate]`, picks
+/// the argmin (first strict minimum, matching the scalar `<` scan), records
+/// it in `winners`, and merges the winner's target planes into
+/// `(out0, out1)` ready for [`write_states_from_planes`].
+///
+/// Everything happens word by word while the candidate bucket masks are
+/// still in registers — no per-candidate cost arrays are materialised.
+///
+/// # Panics
+///
+/// Panics if `cells_per_block` does not divide 64, `winners` or
+/// `selector_costs` is shorter than the block count, or more than eight
+/// candidate tables are given.
+#[allow(clippy::too_many_arguments)]
+pub fn select_blocks_uniform(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells_per_block: usize,
+    blocks: usize,
+    tables: &[TransitionTable],
+    selector_costs: &[[f64; 8]],
+    winners: &mut [u8],
+    out0: &mut [u64; PLANE_WORDS],
+    out1: &mut [u64; PLANE_WORDS],
+) {
+    assert!(64 % cells_per_block == 0 && cells_per_block < 64, "blocks must subdivide plane words");
+    assert!(winners.len() >= blocks, "winners slice too short");
+    assert!(selector_costs.len() >= blocks, "selector_costs slice too short");
+    assert!(tables.len() <= 8, "at most eight candidates");
+    let blocks_per_word = 64 / cells_per_block;
+    let block_mask = (1u64 << cells_per_block) - 1;
+    let winners = &mut winners[..blocks];
+    for (w, chunk) in winners.chunks_mut(blocks_per_word).enumerate() {
+        // Per-candidate word state: target planes and changed-cell buckets.
+        let mut planes = [(0u64, 0u64); 8];
+        let mut buckets = [[0u64; 4]; 8];
+        for (idx, table) in tables.iter().enumerate() {
+            let (t0, t1) = table.target_planes(data, w);
+            planes[idx] = (t0, t1);
+            let changed = (t0 ^ old.plane0[w]) | (t1 ^ old.plane1[w]);
+            buckets[idx] =
+                [changed & !t1 & !t0, changed & !t1 & t0, changed & t1 & !t0, changed & t1 & t0];
+        }
+        for (b, slot) in chunk.iter_mut().enumerate() {
+            let block = w * blocks_per_word + b;
+            let selector = &selector_costs[block];
+            let shift = b * cells_per_block;
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (idx, table) in tables.iter().enumerate() {
+                let bu = &buckets[idx];
+                let data_cost = match table.write_int {
+                    Some(wi) => {
+                        (u64::from(((bu[0] >> shift) & block_mask).count_ones()) * wi[0]
+                            + u64::from(((bu[1] >> shift) & block_mask).count_ones()) * wi[1]
+                            + u64::from(((bu[2] >> shift) & block_mask).count_ones()) * wi[2]
+                            + u64::from(((bu[3] >> shift) & block_mask).count_ones()) * wi[3])
+                            as f64
+                    }
+                    None => {
+                        f64::from(((bu[0] >> shift) & block_mask).count_ones()) * table.write_pj[0]
+                            + f64::from(((bu[1] >> shift) & block_mask).count_ones())
+                                * table.write_pj[1]
+                            + f64::from(((bu[2] >> shift) & block_mask).count_ones())
+                                * table.write_pj[2]
+                            + f64::from(((bu[3] >> shift) & block_mask).count_ones())
+                                * table.write_pj[3]
+                    }
+                };
+                let cost = data_cost + selector[idx];
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = idx;
+                }
+            }
+            *slot = best as u8;
+            let mask = block_mask << shift;
+            out0[w] |= planes[best].0 & mask;
+            out1[w] |= planes[best].1 & mask;
+        }
+    }
+}
+
+/// All-integer variant of [`select_blocks_uniform`], used when every
+/// candidate's energy table is integer-valued (paper Table II and the
+/// Figure 14 configurations): totals and comparisons run on `u64`. Every
+/// total is an integer that the f64 path represents exactly, so the argmin —
+/// first strict minimum — is identical; only the arithmetic is cheaper.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`select_blocks_uniform`], or when a
+/// table has no integer representation.
+#[allow(clippy::too_many_arguments)]
+pub fn select_blocks_uniform_int(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells_per_block: usize,
+    blocks: usize,
+    tables: &[TransitionTable],
+    selector_costs: &[[u64; 8]],
+    winners: &mut [u8],
+    out0: &mut [u64; PLANE_WORDS],
+    out1: &mut [u64; PLANE_WORDS],
+) {
+    assert!(64 % cells_per_block == 0 && cells_per_block < 64, "blocks must subdivide plane words");
+    assert!(winners.len() >= blocks, "winners slice too short");
+    assert!(selector_costs.len() >= blocks, "selector_costs slice too short");
+    assert!(tables.len() <= 8, "at most eight candidates");
+    let weights: [[u64; 4]; 8] = core::array::from_fn(|i| match tables.get(i) {
+        Some(t) => t.write_int.expect("integer-valued energy table required"),
+        None => [0; 4],
+    });
+    // Monomorphise over the candidate count: with `N` known the compiler
+    // fully unrolls the candidate loops and keeps the bucket masks in
+    // registers instead of spilling a dynamically-indexed array.
+    match tables.len() {
+        0 => {}
+        1 => select_int_core::<1>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        2 => select_int_core::<2>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        3 => select_int_core::<3>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        4 => select_int_core::<4>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        5 => select_int_core::<5>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        6 => select_int_core::<6>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        7 => select_int_core::<7>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+        _ => select_int_core::<8>(
+            data,
+            old,
+            cells_per_block,
+            blocks,
+            tables,
+            &weights,
+            selector_costs,
+            winners,
+            out0,
+            out1,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn select_int_core<const N: usize>(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells_per_block: usize,
+    blocks: usize,
+    tables: &[TransitionTable],
+    weights: &[[u64; 4]; 8],
+    selector_costs: &[[u64; 8]],
+    winners: &mut [u8],
+    out0: &mut [u64; PLANE_WORDS],
+    out1: &mut [u64; PLANE_WORDS],
+) {
+    debug_assert_eq!(tables.len(), N);
+    let blocks_per_word = 64 / cells_per_block;
+    let block_mask = (1u64 << cells_per_block) - 1;
+    let winners = &mut winners[..blocks];
+    for ((w, chunk), sel_rows) in
+        winners.chunks_mut(blocks_per_word).enumerate().zip(selector_costs.chunks(blocks_per_word))
+    {
+        let mut planes = [(0u64, 0u64); N];
+        let mut buckets = [[0u64; 4]; N];
+        let mut any_changed = 0u64;
+        for idx in 0..N {
+            let (t0, t1) = tables[idx].target_planes(data, w);
+            planes[idx] = (t0, t1);
+            let changed = (t0 ^ old.plane0[w]) | (t1 ^ old.plane1[w]);
+            any_changed |= changed;
+            buckets[idx] =
+                [changed & !t1 & !t0, changed & !t1 & t0, changed & t1 & !t0, changed & t1 & t0];
+        }
+        if any_changed == 0 {
+            // Differential-write fast path: no candidate reprograms any cell
+            // of this word (a rewrite of identical content), so every block's
+            // data cost is zero and only the selector costs decide.
+            for ((b, slot), selector) in chunk.iter_mut().enumerate().zip(sel_rows) {
+                let mut best = 0usize;
+                let mut best_cost = u64::MAX;
+                for (idx, &sel) in selector.iter().enumerate().take(N) {
+                    if sel < best_cost {
+                        best_cost = sel;
+                        best = idx;
+                    }
+                }
+                *slot = best as u8;
+                let mask = block_mask << (b * cells_per_block);
+                out0[w] |= planes[best].0 & mask;
+                out1[w] |= planes[best].1 & mask;
+            }
+            continue;
+        }
+        for ((b, slot), selector) in chunk.iter_mut().enumerate().zip(sel_rows) {
+            let shift = b * cells_per_block;
+            let mut best = 0usize;
+            let mut best_cost = u64::MAX;
+            for idx in 0..N {
+                let bu = &buckets[idx];
+                let wi = &weights[idx];
+                let cost = u64::from(((bu[0] >> shift) & block_mask).count_ones()) * wi[0]
+                    + u64::from(((bu[1] >> shift) & block_mask).count_ones()) * wi[1]
+                    + u64::from(((bu[2] >> shift) & block_mask).count_ones()) * wi[2]
+                    + u64::from(((bu[3] >> shift) & block_mask).count_ones()) * wi[3]
+                    + selector[idx];
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = idx;
+                }
+            }
+            *slot = best as u8;
+            let mask = block_mask << shift;
+            out0[w] |= planes[best].0 & mask;
+            out1[w] |= planes[best].1 & mask;
+        }
+    }
+}
+
+/// Writes the states encoded by a pair of assembled target planes into the
+/// first `cells` cells of `out` in one pass.
+pub fn write_states_from_planes(
+    out: &mut PhysicalLine,
+    cells: usize,
+    plane0: &[u64; PLANE_WORDS],
+    plane1: &[u64; PLANE_WORDS],
+) {
+    debug_assert!(cells <= LINE_CELLS);
+    let states = out.states_mut();
+    for (w, chunk) in states[..cells].chunks_mut(64).enumerate() {
+        let (p0, p1) = (plane0[w], plane1[w]);
+        for (b, slot) in chunk.iter_mut().enumerate() {
+            let idx = (((p1 >> b) & 1) << 1) | ((p0 >> b) & 1);
+            *slot = CellState::ALL[(idx & 3) as usize];
+        }
+    }
+}
+
+/// Costs and updated-cell counts of the data blocks of one region that fits
+/// inside a single plane word: `data_cells` leading cells starting at
+/// `base_cell`, tiled by `cells_per_block` (the final block may be shorter).
+/// Writes `(cost, updated)` per block into `out` and returns the block count.
+///
+/// This is the WLC-integrated layout: a 64-bit data word occupies 32 cells,
+/// of which the first `data_cells` hold coset-encoded blocks. The
+/// target-plane and changed-mask computation is shared by every block of the
+/// region, leaving four masked popcounts per block.
+///
+/// # Panics
+///
+/// Panics if the region crosses a plane-word boundary or `out` is too short.
+pub fn word_block_costs_updated(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    table: &TransitionTable,
+    base_cell: usize,
+    data_cells: usize,
+    cells_per_block: usize,
+    out: &mut [(f64, usize)],
+) -> usize {
+    let blocks = data_cells.div_ceil(cells_per_block);
+    assert!(out.len() >= blocks, "output slice too short");
+    let w = base_cell / 64;
+    let offset = base_cell % 64;
+    assert!(offset + data_cells <= 64, "region crosses a plane-word boundary");
+    let (t0, t1) = table.target_planes(data, w);
+    let changed = (t0 ^ old.plane0[w]) | (t1 ^ old.plane1[w]);
+    let buckets = [changed & !t1 & !t0, changed & !t1 & t0, changed & t1 & !t0, changed & t1 & t0];
+    for (j, slot) in out.iter_mut().enumerate().take(blocks) {
+        let start = j * cells_per_block;
+        let end = (start + cells_per_block).min(data_cells);
+        let width = end - start;
+        let mask = (if width == 64 { u64::MAX } else { (1u64 << width) - 1 }) << (offset + start);
+        let cost = f64::from((buckets[0] & mask).count_ones()) * table.write_pj[0]
+            + f64::from((buckets[1] & mask).count_ones()) * table.write_pj[1]
+            + f64::from((buckets[2] & mask).count_ones()) * table.write_pj[2]
+            + f64::from((buckets[3] & mask).count_ones()) * table.write_pj[3];
+        *slot = (cost, (changed & mask).count_ones() as usize);
+    }
+    blocks
+}
+
+/// Bit-parallel equivalent of `wlcrc_coset::cost::block_updated_cells`: the
+/// number of cells in `cells` whose stored state would change.
+pub fn block_updated_cells(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells: Range<usize>,
+    table: &TransitionTable,
+) -> usize {
+    let mut updated = 0u32;
+    for (w, mask) in plane_words(cells) {
+        let (t0, t1) = table.target_planes(data, w);
+        updated += (((t0 ^ old.plane0[w]) | (t1 ^ old.plane1[w])) & mask).count_ones();
+    }
+    updated as usize
+}
+
+/// Cost and updated-cell count in one pass (the WLC-integrated codecs need
+/// both for the multi-objective policy).
+pub fn block_cost_updated(
+    data: &SymbolPlanes,
+    old: &StatePlanes,
+    cells: Range<usize>,
+    table: &TransitionTable,
+) -> (f64, usize) {
+    let mut cost = 0.0;
+    let mut updated = 0u32;
+    for (w, mask) in plane_words(cells) {
+        let (c, u) = word_cost(data, old, table, w, mask);
+        cost += c;
+        updated += u;
+    }
+    (cost, updated as usize)
+}
+
+/// Classifies the cells of `cells` into the sixteen `(old state × symbol)`
+/// buckets, indexed `old.index() * 4 + symbol.value()`. Dotting the result
+/// against [`TransitionTable::cost_pj`] reproduces [`block_cost`]; exposed
+/// for diagnostics and the equivalence tests.
+pub fn bucket_counts(data: &SymbolPlanes, old: &StatePlanes, cells: Range<usize>) -> [u32; 16] {
+    let mut counts = [0u32; 16];
+    for (w, mask) in plane_words(cells) {
+        let (o0, o1) = (old.plane0[w], old.plane1[w]);
+        let state_masks = [!o1 & !o0, !o1 & o0, o1 & !o0, o1 & o0];
+        for (s, sm) in state_masks.iter().enumerate() {
+            let sm = sm & mask;
+            if sm == 0 {
+                continue;
+            }
+            for v in 0..4 {
+                counts[s * 4 + v] += (sm & data.masks[v][w]).count_ones();
+            }
+        }
+    }
+    counts
+}
+
+/// Writes the states storing the symbols of `cells` of `data` under `table`
+/// into `out` (at the same cell indices). Runs once per chosen candidate, so
+/// it stays scalar but goes through the precomputed target-state array.
+pub fn write_block(
+    data: &MemoryLine,
+    out: &mut PhysicalLine,
+    cells: Range<usize>,
+    table: &TransitionTable,
+) {
+    for cell in cells {
+        out.set_state(cell, table.state_of(data.symbol(cell)));
+    }
+}
+
+/// Builds the symbol planes of a packed little-endian bit buffer occupying
+/// the first `words.len() * 64` bits of a line (zero-padded); used by the
+/// COC payload path, whose repacked stream is not a [`MemoryLine`].
+pub fn planes_of_words(words: &[u64]) -> SymbolPlanes {
+    let mut line = MemoryLine::ZERO;
+    for (i, &w) in words.iter().take(LINE_WORDS).enumerate() {
+        line.set_word(i, w);
+    }
+    SymbolPlanes::new(&line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_line(rng: &mut StdRng) -> MemoryLine {
+        let mut words = [0u64; LINE_WORDS];
+        for w in &mut words {
+            *w = rng.gen();
+        }
+        MemoryLine::from_words(words)
+    }
+
+    fn random_stored(rng: &mut StdRng) -> PhysicalLine {
+        let states: Vec<CellState> =
+            (0..LINE_CELLS).map(|_| CellState::from_index(rng.gen_range(0..4))).collect();
+        PhysicalLine::from_states(states)
+    }
+
+    /// Scalar reference: per-cell mapping + transition energy.
+    fn scalar_cost(
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        cells: Range<usize>,
+        states: [CellState; 4],
+        energy: &EnergyModel,
+    ) -> f64 {
+        let mut cost = 0.0;
+        for cell in cells {
+            let target = states[data.symbol(cell).value() as usize];
+            cost += energy.transition_energy_pj(old.state(cell), target);
+        }
+        cost
+    }
+
+    #[test]
+    fn symbol_planes_match_symbol_accessor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let line = random_line(&mut rng);
+            let planes = SymbolPlanes::new(&line);
+            for cell in 0..LINE_CELLS {
+                assert_eq!(planes.symbol(cell), line.symbol(cell), "cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_planes_match_state_accessor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let stored = random_stored(&mut rng);
+            let planes = StatePlanes::new(&stored);
+            for cell in 0..LINE_CELLS {
+                assert_eq!(planes.state(cell), stored.state(cell), "cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_table_matches_energy_model() {
+        let energy = EnergyModel::paper_default();
+        let mapping = SymbolMapping::default_mapping();
+        let table = TransitionTable::new(&mapping, &energy);
+        for old in CellState::ALL {
+            for sym in Symbol::ALL {
+                let target = mapping.state_of(sym);
+                assert_eq!(table.cost_pj(old, sym), energy.transition_energy_pj(old, target));
+                assert_eq!(table.is_updated(old, sym), old != target);
+                assert_eq!(table.state_of(sym), target);
+            }
+        }
+    }
+
+    #[test]
+    fn block_cost_matches_scalar_for_all_mappings() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for mapping in SymbolMapping::all_mappings() {
+            let table = TransitionTable::new(&mapping, &energy);
+            let states = [
+                mapping.state_of(Symbol::new(0)),
+                mapping.state_of(Symbol::new(1)),
+                mapping.state_of(Symbol::new(2)),
+                mapping.state_of(Symbol::new(3)),
+            ];
+            let data = random_line(&mut rng);
+            let old = random_stored(&mut rng);
+            let (dp, op) = (SymbolPlanes::new(&data), StatePlanes::new(&old));
+            for cells in [0..LINE_CELLS, 0..4, 60..68, 128..192, 7..9, 250..256] {
+                let expect = scalar_cost(&data, &old, cells.clone(), states, &energy);
+                assert_eq!(block_cost(&dp, &op, cells.clone(), &table), expect, "{cells:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_counts_dot_cost_table_reproduces_block_cost() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mapping = SymbolMapping::all_mappings()[13];
+        let table = TransitionTable::new(&mapping, &energy);
+        for _ in 0..10 {
+            let data = random_line(&mut rng);
+            let old = random_stored(&mut rng);
+            let (dp, op) = (SymbolPlanes::new(&data), StatePlanes::new(&old));
+            let counts = bucket_counts(&dp, &op, 0..LINE_CELLS);
+            assert_eq!(counts.iter().map(|c| *c as usize).sum::<usize>(), LINE_CELLS);
+            let dotted: f64 = counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    f64::from(c)
+                        * table.cost_pj(CellState::from_index(i / 4), Symbol::new((i % 4) as u8))
+                })
+                .sum();
+            assert_eq!(dotted, block_cost(&dp, &op, 0..LINE_CELLS, &table));
+        }
+    }
+
+    #[test]
+    fn updated_cells_matches_scalar() {
+        let energy = EnergyModel::paper_default();
+        let mapping = SymbolMapping::default_mapping();
+        let table = TransitionTable::new(&mapping, &energy);
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = random_line(&mut rng);
+        let old = random_stored(&mut rng);
+        let (dp, op) = (SymbolPlanes::new(&data), StatePlanes::new(&old));
+        for cells in [0..LINE_CELLS, 3..77, 64..128] {
+            let expect =
+                cells.clone().filter(|&c| old.state(c) != mapping.state_of(data.symbol(c))).count();
+            assert_eq!(block_updated_cells(&dp, &op, cells.clone(), &table), expect);
+            let (cost, updated) = block_cost_updated(&dp, &op, cells.clone(), &table);
+            assert_eq!(updated, expect);
+            assert_eq!(cost, block_cost(&dp, &op, cells, &table));
+        }
+    }
+
+    #[test]
+    fn uniform_sweep_matches_per_block_cost() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for mapping in [SymbolMapping::default_mapping(), SymbolMapping::all_mappings()[17]] {
+            let table = TransitionTable::new(&mapping, &energy);
+            let data = random_line(&mut rng);
+            let old = random_stored(&mut rng);
+            let (dp, op) = (SymbolPlanes::new(&data), StatePlanes::new(&old));
+            for cells_per_block in [4usize, 8, 16, 32, 64, 128, 256] {
+                let blocks = LINE_CELLS / cells_per_block;
+                let mut out = [0.0f64; 64];
+                block_costs_uniform(&dp, &op, cells_per_block, blocks, &table, &mut out);
+                for (b, &cost) in out.iter().enumerate().take(blocks) {
+                    let range = b * cells_per_block..(b + 1) * cells_per_block;
+                    assert_eq!(
+                        cost,
+                        block_cost(&dp, &op, range, &table),
+                        "cpb {cells_per_block} block {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cost_agrees_when_under_bound_and_aborts_otherwise() {
+        let energy = EnergyModel::paper_default();
+        let table = TransitionTable::new(&SymbolMapping::default_mapping(), &energy);
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = random_line(&mut rng);
+        let old = random_stored(&mut rng);
+        let (dp, op) = (SymbolPlanes::new(&data), StatePlanes::new(&old));
+        let full = block_cost(&dp, &op, 0..LINE_CELLS, &table);
+        assert_eq!(
+            block_cost_bounded(&dp, &op, 0..LINE_CELLS, &table, 0.0, f64::INFINITY),
+            Some(full)
+        );
+        assert_eq!(
+            block_cost_bounded(&dp, &op, 0..LINE_CELLS, &table, 10.0, f64::INFINITY),
+            Some(full + 10.0)
+        );
+        // A bound at or below the total must abort.
+        assert_eq!(block_cost_bounded(&dp, &op, 0..LINE_CELLS, &table, 0.0, full), None);
+        assert_eq!(block_cost_bounded(&dp, &op, 0..LINE_CELLS, &table, full, 1.0), None);
+    }
+
+    #[test]
+    fn write_block_matches_mapping() {
+        let energy = EnergyModel::paper_default();
+        let mapping = SymbolMapping::all_mappings()[7];
+        let table = TransitionTable::new(&mapping, &energy);
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = random_line(&mut rng);
+        let mut out = PhysicalLine::all_reset(LINE_CELLS);
+        write_block(&data, &mut out, 10..200, &table);
+        for cell in 10..200 {
+            assert_eq!(out.state(cell), mapping.state_of(data.symbol(cell)));
+        }
+        assert_eq!(out.state(0), CellState::S1);
+        assert_eq!(out.state(200), CellState::S1);
+    }
+
+    #[test]
+    fn xor_planes_match_symbol_xor() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_line(&mut rng);
+        let b = random_line(&mut rng);
+        let xored = SymbolPlanes::new(&a).xor(&SymbolPlanes::new(&b));
+        let direct = SymbolPlanes::new(&a.xor(&b));
+        assert_eq!(xored, direct);
+    }
+
+    #[test]
+    fn planes_of_words_places_bits_like_a_line_prefix() {
+        let words = [0x0123_4567_89AB_CDEFu64, u64::MAX, 0, 42];
+        let planes = planes_of_words(&words);
+        let mut line = MemoryLine::ZERO;
+        for (i, &w) in words.iter().enumerate() {
+            line.set_word(i, w);
+        }
+        assert_eq!(planes, SymbolPlanes::new(&line));
+    }
+}

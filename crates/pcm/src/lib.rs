@@ -14,6 +14,8 @@
 //!   array, including auxiliary cells, with a per-cell data/aux classification.
 //! * [`energy::EnergyModel`] — RESET + iterative-SET programming energy
 //!   (Table II of the paper), configurable for the Figure 14 sensitivity study.
+//! * [`kernel`] — the bit-parallel candidate-evaluation kernel: transition
+//!   LUTs and plane-popcount block costs shared by every coset-style scheme.
 //! * [`write`] — differential write: only changed cells are programmed.
 //! * [`disturb`] — the write-disturbance error model (per-state disturbance
 //!   rates from Table II).
@@ -44,6 +46,7 @@ pub mod codec;
 pub mod config;
 pub mod disturb;
 pub mod energy;
+pub mod kernel;
 pub mod line;
 pub mod mapping;
 pub mod physical;
@@ -67,6 +70,7 @@ pub mod prelude {
     pub use crate::config::PcmConfig;
     pub use crate::disturb::{DisturbanceModel, DisturbanceOutcome};
     pub use crate::energy::EnergyModel;
+    pub use crate::kernel::{StatePlanes, SymbolPlanes, TransitionTable};
     pub use crate::line::MemoryLine;
     pub use crate::mapping::SymbolMapping;
     pub use crate::physical::{CellClass, PhysicalLine};

@@ -155,6 +155,12 @@ impl MemoryLine {
         (0..LINE_CELLS).map(move |c| self.symbol(c))
     }
 
+    /// The de-interleaved bit-plane view of the line's 256 symbols, consumed
+    /// by the bit-parallel evaluation kernel ([`crate::kernel`]).
+    pub fn symbol_planes(&self) -> crate::kernel::SymbolPlanes {
+        crate::kernel::SymbolPlanes::new(self)
+    }
+
     /// Counts occurrences of each of the four symbols across the line,
     /// indexed by symbol value.
     pub fn symbol_histogram(&self) -> [usize; 4] {

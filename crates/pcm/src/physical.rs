@@ -116,6 +116,12 @@ impl PhysicalLine {
         &self.cells
     }
 
+    /// Mutable access to the stored cell states (classes are untouched).
+    #[inline]
+    pub fn states_mut(&mut self) -> &mut [CellState] {
+        &mut self.cells
+    }
+
     /// The per-cell classifications.
     #[inline]
     pub fn classes(&self) -> &[CellClass] {
@@ -145,6 +151,12 @@ impl PhysicalLine {
     /// Iterates over `(index, state, class)` for every cell.
     pub fn iter(&self) -> impl Iterator<Item = (usize, CellState, CellClass)> + '_ {
         self.cells.iter().zip(self.classes.iter()).enumerate().map(|(i, (s, c))| (i, *s, *c))
+    }
+
+    /// The bit-plane view of the first 256 cells' states, consumed by the
+    /// bit-parallel evaluation kernel ([`crate::kernel`]).
+    pub fn state_planes(&self) -> crate::kernel::StatePlanes {
+        crate::kernel::StatePlanes::new(self)
     }
 
     /// Histogram of stored states, indexed by state index.

@@ -1,0 +1,129 @@
+//! Allocation regression test for the encode hot path.
+//!
+//! The bit-parallel encoders keep every piece of per-write scratch (plane
+//! views, transition tables, candidate costs, choice masks, packed auxiliary
+//! bits) in fixed-size stack storage. The only heap allocations a steady-state
+//! `encode()` may perform are the two `Vec`s (states + classes) backing the
+//! returned `PhysicalLine` — this test counts allocations through a wrapping
+//! global allocator and pins exactly that.
+//!
+//! All measurements run on the main thread inside a single `#[test]` so the
+//! global counter is not polluted by concurrent tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter update has
+// no safety implications.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn encode_allocates_only_the_returned_line() {
+    use wlcrc_repro::coset::{
+        FlipMinCodec, FnwCodec, Granularity, NCosetsCodec, RestrictedCosetCodec,
+    };
+    use wlcrc_repro::pcm::codec::LineCodec;
+    use wlcrc_repro::pcm::line::MemoryLine;
+    use wlcrc_repro::pcm::prelude::EnergyModel;
+    use wlcrc_repro::wlcrc::WlcCosetCodec;
+
+    let energy = EnergyModel::paper_default();
+    // Mixed content: WLC-compressible words so WLCRC takes its encoded path,
+    // and varied values so candidate searches do real work.
+    let lines: Vec<MemoryLine> = (0..16)
+        .map(|i| {
+            let mut words = [0u64; 8];
+            for (w, slot) in words.iter_mut().enumerate() {
+                *slot = match (i + w) % 4 {
+                    0 => 0,
+                    1 => (i as u64 * 0x1234 + w as u64) & 0xFFFF,
+                    2 => (-(((i * 31 + w) as i64) % 50_000)) as u64,
+                    _ => u64::MAX,
+                };
+            }
+            MemoryLine::from_words(words)
+        })
+        .collect();
+
+    let codecs: Vec<(Box<dyn LineCodec>, &str)> = vec![
+        (Box::new(NCosetsCodec::three_cosets(Granularity::new(16))), "3cosets-16"),
+        (Box::new(NCosetsCodec::six_cosets(Granularity::new(512))), "6cosets-512"),
+        (Box::new(RestrictedCosetCodec::new(Granularity::new(16))), "3-r-cosets-16"),
+        (Box::new(FnwCodec::paper_default()), "FNW"),
+        (Box::new(FlipMinCodec::new()), "FlipMin"),
+        (Box::new(WlcCosetCodec::wlcrc16()), "WLCRC-16"),
+        (Box::new(WlcCosetCodec::wlc_four_cosets(32)), "WLC+4cosets"),
+    ];
+
+    for (codec, name) in &codecs {
+        // Warm up: first writes may lazily initialise internals.
+        let mut old = codec.initial_line();
+        for line in &lines {
+            old = codec.encode(line, &old, &energy);
+        }
+        // Steady state: each encode must allocate exactly twice — the cells
+        // and classes vectors of the returned PhysicalLine. (Dropping the
+        // previous `old` is a deallocation and is not counted.)
+        const WRITES: u64 = 32;
+        let (allocs, _) = allocations_during(|| {
+            for i in 0..WRITES as usize {
+                let new = codec.encode(&lines[i % lines.len()], &old, &energy);
+                old = new;
+            }
+        });
+        assert_eq!(
+            allocs,
+            2 * WRITES,
+            "{name}: expected exactly 2 allocations per encode (the returned \
+             PhysicalLine), got {allocs} over {WRITES} writes"
+        );
+    }
+}
+
+#[test]
+fn decode_stays_allocation_lean() {
+    use wlcrc_repro::coset::{Granularity, NCosetsCodec, RestrictedCosetCodec};
+    use wlcrc_repro::pcm::codec::LineCodec;
+    use wlcrc_repro::pcm::line::MemoryLine;
+    use wlcrc_repro::pcm::prelude::EnergyModel;
+
+    let energy = EnergyModel::paper_default();
+    let data = MemoryLine::from_words([0x0123_4567_89AB_CDEF; 8]);
+    for codec in [
+        Box::new(NCosetsCodec::three_cosets(Granularity::new(16))) as Box<dyn LineCodec>,
+        Box::new(RestrictedCosetCodec::new(Granularity::new(16))),
+    ] {
+        let stored = codec.encode(&data, &codec.initial_line(), &energy);
+        let _ = codec.decode(&stored); // warm up
+        let (allocs, decoded) = allocations_during(|| codec.decode(&stored));
+        assert_eq!(decoded, data);
+        assert!(allocs <= 1, "decode of {} allocated {allocs} times", codec.name());
+    }
+}

@@ -8,13 +8,18 @@
 //! `prop::array::uniform8`, `prop::collection::vec`, `prop::sample::select`,
 //! and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!
-//! Unlike real proptest there is **no shrinking**: a failing case panics with
-//! the case number, the seed *and the failing input* (every bound value,
-//! `Debug`-printed) so it can be reproduced and diagnosed, but the input is
-//! not minimised. Each test function derives a deterministic seed from its
-//! own name, so runs are reproducible without a persistence file. Swap this
-//! path dependency for the real crates.io `proptest` once the build
-//! environment has registry access.
+//! A failing case panics with the case number, the seed *and the failing
+//! input* (every bound value, `Debug`-printed), and is then **minimised with
+//! bounded linear shrinking**: integer-range strategies shrink toward their
+//! lower bound, `any` integers toward zero, and `vec` strategies toward
+//! shorter vectors with element-wise shrinking, component by component for
+//! tuples of bound variables. Shrinking is far simpler than real proptest's
+//! (no integrated shrink trees, a fixed attempt budget) but turns a page of
+//! random `Debug` output into a near-minimal counterexample. Each test
+//! function derives a deterministic seed from its own name, so runs are
+//! reproducible without a persistence file. Swap this path dependency for
+//! the real crates.io `proptest` once the build environment has registry
+//! access.
 
 #![forbid(unsafe_code)]
 
@@ -91,6 +96,15 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" variants of a failing `value`, most
+    /// aggressive first (linear shrinking). The default offers nothing;
+    /// integer-range, `any`-integer, vec, array and tuple strategies
+    /// override it.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -153,12 +167,24 @@ where
         }
         panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        let mut out = self.inner.shrink(value);
+        out.retain(|v| (self.f)(v));
+        out
+    }
 }
 
 /// Types with a canonical "any value" strategy, mirroring `Arbitrary`.
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Shrink candidates for a failing value (toward zero for integers).
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -166,6 +192,20 @@ macro_rules! impl_arbitrary_int {
         $(impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink_value(value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t, v / 2];
+                // One linear step toward zero.
+                #[allow(unused_comparisons)]
+                let step = if v < 0 { v + 1 } else { v - 1 };
+                out.push(step);
+                out.retain(|c| *c != v);
+                out.dedup();
+                out
             }
         })*
     };
@@ -176,6 +216,14 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -197,11 +245,34 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
+    }
 }
 
 /// A strategy producing any value of `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any { _marker: core::marker::PhantomData }
+}
+
+/// Linear shrink candidates for an integer `value` toward `origin`
+/// (assumed `origin <= value` in `i128` arithmetic): the origin itself, the
+/// midpoint, and the predecessor — each strictly closer than `value`.
+fn shrink_int_toward(origin: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value == origin {
+        return out;
+    }
+    out.push(origin);
+    let mid = origin + (value - origin) / 2;
+    if mid != origin && mid != value {
+        out.push(mid);
+    }
+    if value - 1 != mid && value - 1 != origin {
+        out.push(value - 1);
+    }
+    out
 }
 
 macro_rules! impl_strategy_for_int_range {
@@ -214,6 +285,12 @@ macro_rules! impl_strategy_for_int_range {
                     let span = (self.end as u128).wrapping_sub(self.start as u128);
                     let draw = u128::from(rng.next_u64()) % span;
                     ((self.start as u128).wrapping_add(draw)) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -228,6 +305,12 @@ macro_rules! impl_strategy_for_int_range {
                     let draw = u128::from(rng.next_u64()) % span;
                     ((start as u128).wrapping_add(draw)) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
         )*
     };
@@ -237,18 +320,34 @@ impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize)
 
 macro_rules! impl_strategy_for_tuple {
     ($($name:ident : $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx).into_iter().take(4) {
+                        let mut variant = value.clone();
+                        variant.$idx = candidate;
+                        out.push(variant);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
+impl_strategy_for_tuple!(A: 0);
 impl_strategy_for_tuple!(A: 0, B: 1);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 
 /// A strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]
@@ -274,11 +373,26 @@ pub mod prop {
             elem: S,
         }
 
-        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+        where
+            S::Value: Clone,
+        {
             type Value = [S::Value; N];
 
             fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
                 core::array::from_fn(|_| self.elem.generate(rng))
+            }
+
+            fn shrink(&self, value: &[S::Value; N]) -> Vec<[S::Value; N]> {
+                let mut out = Vec::new();
+                for (i, elem) in value.iter().enumerate() {
+                    for candidate in self.elem.shrink(elem).into_iter().take(2) {
+                        let mut variant = value.clone();
+                        variant[i] = candidate;
+                        out.push(variant);
+                    }
+                }
+                out
             }
         }
 
@@ -322,12 +436,39 @@ pub mod prop {
             VecStrategy { elem, len }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
 
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = rng.usize_in(self.len.start, self.len.end);
                 (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                let mut out = Vec::new();
+                let min = self.len.start;
+                // Length shrinking first: the minimal prefix, the halfway
+                // prefix, then dropping one element.
+                if value.len() > min {
+                    out.push(value[..min].to_vec());
+                    let half = min + (value.len() - min) / 2;
+                    if half > min && half < value.len() {
+                        out.push(value[..half].to_vec());
+                    }
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+                // Element-wise shrinking over a bounded prefix.
+                for (i, elem) in value.iter().enumerate().take(16) {
+                    for candidate in self.elem.shrink(elem).into_iter().take(2) {
+                        let mut variant = value.clone();
+                        variant[i] = candidate;
+                        out.push(variant);
+                    }
+                }
+                out
             }
         }
     }
@@ -356,6 +497,72 @@ pub mod prop {
             }
         }
     }
+}
+
+/// Drives one failing case: reports the original input, minimises it with
+/// bounded linear shrinking (following the first candidate that still fails
+/// until none do), reports the minimised input and re-raises the panic.
+/// Called by the `proptest!` expansion; not part of the public API.
+#[doc(hidden)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+pub fn __handle_case<S: Strategy>(
+    strategy: &S,
+    values: S::Value,
+    run: &dyn Fn(&S::Value) -> Result<(), Box<dyn std::any::Any + Send + 'static>>,
+    render: &dyn Fn(&S::Value) -> String,
+    test_name: &str,
+    case: u32,
+    cases: u32,
+    seed: u64,
+) {
+    let payload = match run(&values) {
+        Ok(()) => return,
+        Err(payload) => payload,
+    };
+    let original = render(&values);
+    let mut payload = payload;
+    let mut current = values;
+    let mut attempts = 0usize;
+    let mut steps = 0usize;
+    // Shrinking re-runs the failing body many times; silence the panic hook
+    // meanwhile so hundreds of expected "thread panicked" dumps don't bury
+    // the minimised counterexample (the original failure above already
+    // printed one full message with the default hook).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    'shrinking: loop {
+        let mut advanced = false;
+        for candidate in strategy.shrink(&current) {
+            if attempts >= 512 {
+                break 'shrinking;
+            }
+            attempts += 1;
+            if let Err(p) = run(&candidate) {
+                payload = p;
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    std::panic::set_hook(default_hook);
+    if steps == 0 {
+        eprintln!(
+            "proptest shim: {test_name} failed at case {}/{cases} (seed {seed:#x}) with input:{original}\n  (no simpler failing input found in {attempts} shrink attempts)",
+            case + 1,
+        );
+    } else {
+        eprintln!(
+            "proptest shim: {test_name} failed at case {}/{cases} (seed {seed:#x}) with input:{original}\n  minimised after {steps} shrink step(s) ({attempts} attempts) to:{}",
+            case + 1,
+            render(&current),
+        );
+    }
+    std::panic::resume_unwind(payload);
 }
 
 /// Asserts a condition inside a `proptest!` body.
@@ -418,27 +625,32 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-                $(let $arg = ($strat);)+
+                // All bound strategies form one tuple strategy, so a failing
+                // input can be shrunk component-wise.
+                let __strategy = ($($strat,)+);
                 for case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
-                    // Render the input up front: the body may consume the
-                    // bound values, and on panic they must still be printable.
-                    let rendered_input = format!(
-                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
-                        $(&$arg,)+
+                    let __values = $crate::Strategy::generate(&__strategy, &mut rng);
+                    $crate::__handle_case(
+                        &__strategy,
+                        __values,
+                        // The body may consume the bound values, so it runs
+                        // on a clone of the generated tuple.
+                        &|__values| {
+                            let ($($arg,)+) = ::std::clone::Clone::clone(__values);
+                            ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                                $body
+                            }))
+                            .map(|_| ())
+                        },
+                        &|__values| {
+                            let ($(ref $arg,)+) = *__values;
+                            format!(concat!($("\n  ", stringify!($arg), " = {:?}",)+), $($arg,)+)
+                        },
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        rng.seed(),
                     );
-                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
-                    if let Err(payload) = result {
-                        eprintln!(
-                            "proptest shim: {} failed at case {}/{} (seed {:#x}) with input:{}",
-                            stringify!($name),
-                            case + 1,
-                            config.cases,
-                            rng.seed(),
-                            rendered_input,
-                        );
-                        ::std::panic::resume_unwind(payload);
-                    }
                 }
             }
         )*
@@ -499,6 +711,74 @@ mod tests {
         assert!(failure.is_err(), "the inner property must fail");
         // (The rendered input "x = 42 ... v = [1, 2]" lands on stderr; the
         // expansion is exercised here, the format string is checked above.)
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let strat = 10usize..1000;
+        let candidates = strat.shrink(&500);
+        assert_eq!(candidates, vec![10, 255, 499]);
+        assert!(strat.shrink(&10).is_empty());
+        // Signed ranges shrink toward the lower bound as well.
+        let signed = -100i64..100;
+        assert_eq!(signed.shrink(&50), vec![-100, -25, 49]);
+    }
+
+    #[test]
+    fn any_int_shrinks_toward_zero() {
+        let candidates = any::<u64>().shrink(&100);
+        assert_eq!(candidates, vec![0, 50, 99]);
+        assert!(any::<u64>().shrink(&0).is_empty());
+        assert_eq!(any::<i32>().shrink(&-4), vec![0, -2, -3]);
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        let strat = prop::collection::vec(0u8..10, 1..9);
+        let failing = vec![5u8, 7, 9, 3];
+        let candidates = strat.shrink(&failing);
+        // Length candidates come first: minimal prefix, half, drop-last.
+        assert_eq!(candidates[0], vec![5]);
+        assert_eq!(candidates[1], vec![5, 7]);
+        assert_eq!(candidates[2], vec![5, 7, 9]);
+        // Element-wise candidates preserve length.
+        assert!(candidates[3..].iter().all(|c| c.len() == failing.len()));
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let strat = (0usize..100, 0usize..100);
+        let candidates = strat.shrink(&(40, 60));
+        assert!(candidates.contains(&(0, 60)));
+        assert!(candidates.contains(&(40, 0)));
+        assert!(candidates.iter().all(|&(a, b)| a == 40 || b == 60));
+    }
+
+    #[test]
+    fn failing_case_is_minimised() {
+        // The property fails iff x >= 17; linear shrinking from any failing
+        // draw must walk down to exactly 17.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SMALLEST: AtomicU64 = AtomicU64::new(u64::MAX);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            #[allow(unreachable_code)]
+            fn fails_at_seventeen(x in 0u64..1_000_000) {
+                if x >= 17 {
+                    SMALLEST.fetch_min(x, Ordering::Relaxed);
+                    panic!("too big");
+                }
+            }
+        }
+        let failure = std::panic::catch_unwind(fails_at_seventeen);
+        assert!(failure.is_err(), "the inner property must fail");
+        assert_eq!(
+            SMALLEST.load(Ordering::Relaxed),
+            17,
+            "shrinking should reach the minimal failing input"
+        );
     }
 
     proptest! {
