@@ -13,7 +13,9 @@ use wlcrc_trace::Benchmark;
 /// exists for (a grid too small to fill the pool by cells alone).
 fn plan(lines: usize, shards: usize, materialise: bool) -> ExperimentPlan {
     let wlcrc16 = standard_factories().remove(7);
+    // Store-less: a warm cache would measure file reads, not simulation.
     ExperimentPlan::new()
+        .store_disabled()
         .seed(1)
         .lines_per_workload(lines)
         .threads(4)

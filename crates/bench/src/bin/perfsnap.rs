@@ -2,7 +2,8 @@
 //!
 //! Runs the codec, plan and stream throughput suites on deterministic
 //! workloads and **appends** one JSON entry (git revision, wall clock,
-//! writes/sec per scheme, kernel-vs-scalar speedups) to `BENCH_codec.json`,
+//! writes/sec per scheme, kernel-vs-scalar speedups, and the persistent
+//! result store's cold-vs-warm plan wall clocks) to `BENCH_codec.json`,
 //! so every PR can diff its throughput against the recorded trajectory:
 //!
 //! ```text
@@ -444,11 +445,14 @@ fn main() {
     // streamed (the default pipeline) and materialised.
     println!("perfsnap: plan suite ({plan_lines} lines x 2 workloads x 8 schemes)");
     let build_plan = || {
+        // Explicitly store-less: the baseline numbers must not depend on a
+        // WLCRC_STORE environment variable leaking into the snapshot.
         let mut plan = ExperimentPlan::new()
             .seed(seed)
             .lines_per_workload(plan_lines)
             .workload(Benchmark::Gcc.profile())
-            .workload(Benchmark::Lbm.profile());
+            .workload(Benchmark::Lbm.profile())
+            .store_disabled();
         for (id, factory) in standard_factories() {
             plan = plan.scheme_factory(id.label(), factory);
         }
@@ -469,6 +473,28 @@ fn main() {
     let stream_wps = grid_writes as f64 / (streamed_ms / 1e3);
     println!(
         "  streamed {streamed_ms:.0} ms ({stream_wps:.0} w/s)   materialised {materialised_ms:.0} ms"
+    );
+
+    // Store suite: the same grid with the persistent result store disabled
+    // (the streamed number above), cold (every cell misses and is written
+    // back) and warm (every cell is served from disk). The three runs must
+    // be byte-identical — the store may only ever change wall clock.
+    println!("perfsnap: store suite (disabled / cold miss / warm hit)");
+    let store_dir =
+        std::env::temp_dir().join(format!("wlcrc-perfsnap-store-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let cold_start = Instant::now();
+    let cold = build_plan().store(&store_dir).run();
+    let store_cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let warm_start = Instant::now();
+    let warm = build_plan().store(&store_dir).run();
+    let store_warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(streamed, cold, "cold store run must be byte-identical to the store-less run");
+    assert_eq!(streamed, warm, "warm store run must be byte-identical to the store-less run");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let warm_speedup = streamed_ms / store_warm_ms;
+    println!(
+        "  disabled {streamed_ms:.0} ms   cold {store_cold_ms:.0} ms   warm {store_warm_ms:.0} ms   warm speedup {warm_speedup:.1}x"
     );
 
     let (git_rev, dirty) = git_describe();
@@ -504,7 +530,10 @@ fn main() {
     }
     entry.push_str("    ],\n");
     entry.push_str(&format!(
-        "    \"plan\": {{\"schemes\": 8, \"workloads\": 2, \"lines\": {plan_lines}, \"writes\": {grid_writes}, \"streamed_wall_ms\": {streamed_ms:.1}, \"materialised_wall_ms\": {materialised_ms:.1}, \"streamed_writes_per_sec\": {stream_wps:.0}}}\n"
+        "    \"plan\": {{\"schemes\": 8, \"workloads\": 2, \"lines\": {plan_lines}, \"writes\": {grid_writes}, \"streamed_wall_ms\": {streamed_ms:.1}, \"materialised_wall_ms\": {materialised_ms:.1}, \"streamed_writes_per_sec\": {stream_wps:.0}}},\n"
+    ));
+    entry.push_str(&format!(
+        "    \"store\": {{\"disabled_wall_ms\": {streamed_ms:.1}, \"cold_wall_ms\": {store_cold_ms:.1}, \"warm_wall_ms\": {store_warm_ms:.1}, \"warm_speedup\": {warm_speedup:.1}}}\n"
     ));
     entry.push_str("  }");
 

@@ -1,0 +1,224 @@
+//! `storectl` — inspect and manage a persistent result store.
+//!
+//! ```text
+//! storectl list    [--store DIR]                list entries (one line each)
+//! storectl inspect [--store DIR] <fp-prefix>    pretty-print matching entries
+//! storectl evict   [--store DIR] <fp-prefix>    delete matching entries
+//! storectl evict   [--store DIR] --all          delete every entry
+//! storectl verify  [--store DIR]                validate every entry end-to-end
+//! storectl stats   [--store DIR] [--min-hits N] entry/hit counts; exit 1 if
+//!                                               fewer than N journaled hits
+//! ```
+//!
+//! The store directory comes from `--store`, else the `WLCRC_STORE`
+//! environment variable. Every subcommand works on the self-describing
+//! on-disk records alone — no knowledge of the producing plan is needed.
+//! Exit codes: 0 on success, 1 on failed assertion (`verify` with corrupt
+//! entries, `stats --min-hits` unmet), 2 on usage errors.
+
+use wlcrc_store::{wire, EntryInfo, ResultStore, STORE_ENV};
+
+use serde::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: storectl <list|inspect|evict|verify|stats> [--store DIR] \
+         [<fingerprint-prefix>|--all] [--min-hits N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else { usage() };
+    let rest = &args[1..];
+
+    let flag = |name: &str| -> Option<String> {
+        rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).cloned()
+    };
+    let has = |name: &str| rest.iter().any(|a| a == name);
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        rest.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--store" || *a == "--min-hits" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+
+    let root = flag("--store").or_else(|| std::env::var(STORE_ENV).ok()).unwrap_or_else(|| {
+        eprintln!("storectl: no store directory (--store DIR or ${STORE_ENV})");
+        std::process::exit(2);
+    });
+    // Management operations never create the directory; open read-only and
+    // touch the filesystem directly for eviction.
+    let store = ResultStore::open_read_only(&root);
+
+    match command.as_str() {
+        "list" => {
+            let entries = store.entries();
+            for info in &entries {
+                println!("{}", describe(&store, info));
+            }
+            println!("{} entries", entries.len());
+        }
+        "inspect" => {
+            let Some(prefix) = positional.first() else { usage() };
+            let matches = matching(&store, prefix);
+            if matches.is_empty() {
+                eprintln!("storectl: no entry matches prefix {prefix:?}");
+                std::process::exit(1);
+            }
+            for info in matches {
+                match store.read_entry(info.fingerprint) {
+                    Ok(entry) => {
+                        println!("entry {} ({} bytes)", info.fingerprint, info.bytes);
+                        println!("key:\n{}", indent(&wire::render(&entry.key)));
+                        println!("payload:\n{}", indent(&wire::render(&entry.payload)));
+                    }
+                    Err(err) => println!("entry {}: CORRUPT ({err})", info.fingerprint),
+                }
+            }
+        }
+        "evict" => {
+            let victims: Vec<EntryInfo> = if has("--all") {
+                store.entries()
+            } else {
+                let Some(prefix) = positional.first() else { usage() };
+                matching(&store, prefix)
+            };
+            let writable = ResultStore::open(&root).unwrap_or_else(|err| {
+                eprintln!("storectl: cannot open store for eviction: {err}");
+                std::process::exit(1);
+            });
+            let mut evicted = 0usize;
+            for info in victims {
+                if writable.evict(info.fingerprint).unwrap_or(false) {
+                    evicted += 1;
+                }
+            }
+            println!("evicted {evicted} entries");
+        }
+        "verify" => {
+            let report = store.verify();
+            for (info, err) in &report.corrupt {
+                println!("CORRUPT {} ({err})", info.fingerprint);
+            }
+            println!("{} valid, {} corrupt", report.valid.len(), report.corrupt.len());
+            if !report.corrupt.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        "stats" => {
+            let entries = store.entries();
+            let bytes: u64 = entries.iter().map(|info| info.bytes).sum();
+            let hits = store.hit_count();
+            println!("store: {root}");
+            println!("entries: {}", entries.len());
+            println!("bytes: {bytes}");
+            println!("hits: {hits}");
+            if let Some(raw) = flag("--min-hits") {
+                // A malformed threshold must fail loudly: silently skipping
+                // the assertion would permanently disable the CI gate.
+                let Ok(min) = raw.parse::<u64>() else {
+                    eprintln!("storectl: --min-hits expects an integer, got {raw:?}");
+                    std::process::exit(2);
+                };
+                if hits < min {
+                    eprintln!("storectl: expected at least {min} journaled hits, found {hits}");
+                    std::process::exit(1);
+                }
+            } else if has("--min-hits") {
+                eprintln!("storectl: --min-hits requires a value");
+                std::process::exit(2);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Entries whose fingerprint hex starts with `prefix`.
+fn matching(store: &ResultStore, prefix: &str) -> Vec<EntryInfo> {
+    store
+        .entries()
+        .into_iter()
+        .filter(|info| info.fingerprint.to_hex().starts_with(&prefix.to_lowercase()))
+        .collect()
+}
+
+/// One `list` line: fingerprint, size, and — when the entry is readable — the
+/// salt, scheme, workload and writes pulled out of the self-describing key.
+fn describe(store: &ResultStore, info: &EntryInfo) -> String {
+    let head = format!("{}  {:>6}B", info.fingerprint, info.bytes);
+    match store.read_entry(info.fingerprint) {
+        Ok(entry) => {
+            let field = |name: &str| -> String {
+                entry
+                    .key
+                    .as_record("CellKey")
+                    .ok()
+                    .and_then(|record| record.raw(name).cloned())
+                    .map(|value| summarise(&value))
+                    .unwrap_or_else(|| "?".to_string())
+            };
+            let writes = entry
+                .payload
+                .as_record("SchemeStats")
+                .ok()
+                .and_then(|record| record.field::<u64>("writes").ok())
+                .map(|writes| writes.to_string())
+                .unwrap_or_else(|| "?".to_string());
+            format!(
+                "{head}  salt={} scheme={} workload={} seed={} writes={writes}",
+                field("salt"),
+                field("scheme"),
+                summarise_workload(&entry.key),
+                field("base_seed"),
+            )
+        }
+        Err(err) => format!("{head}  CORRUPT ({err})"),
+    }
+}
+
+fn summarise(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        other => wire::render(other).replace('\n', " "),
+    }
+}
+
+/// The workload name buried inside either identity variant.
+fn summarise_workload(key: &Value) -> String {
+    let Ok(record) = key.as_record("CellKey") else {
+        return "?".to_string();
+    };
+    let Some(workload) = record.raw("workload") else {
+        return "?".to_string();
+    };
+    if let Ok(profile) = workload.as_record("WorkloadIdentity::Profile") {
+        if let Some(Value::Record { fields, .. }) = profile.raw("profile") {
+            if let Some((_, Value::Str(name))) = fields.iter().find(|(k, _)| k == "name") {
+                return name.clone();
+            }
+        }
+    }
+    if let Ok(trace) = workload.as_record("WorkloadIdentity::Trace") {
+        if let Some(Value::Str(name)) = trace.raw("name") {
+            return format!("{name} (trace)");
+        }
+    }
+    "?".to_string()
+}
+
+fn indent(text: &str) -> String {
+    text.lines().map(|line| format!("  {line}\n")).collect()
+}

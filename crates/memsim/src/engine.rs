@@ -31,6 +31,24 @@
 //!
 //! [`MemoryOrganization::bank_index`]: crate::memory::MemoryOrganization::bank_index
 //!
+//! # Persistent result store (cross-run caching)
+//!
+//! When a store is configured — [`ExperimentPlan::store`], or the
+//! `WLCRC_STORE` environment variable — every cacheable cell first consults
+//! an on-disk content-addressed cache (`wlcrc_store`): the cell's full
+//! identity (simulator version salt, scheme label + behavioral codec
+//! fingerprint, workload identity, config + geometry, seeds, simulation
+//! options; see [`crate::cache`]) is hashed into the entry address, hits
+//! skip simulation entirely, and misses are written back atomically after
+//! the merge. `WLCRC_STORE_READONLY` serves hits without writing. Results
+//! are **byte-identical with the store disabled, cold, warm, or partially
+//! warm** — worker count, shard count and materialisation mode are excluded
+//! from the key for the same reason they cannot affect results. Bumping the
+//! version salt ([`crate::cache::SIMULATOR_VERSION_SALT`]) makes every old
+//! entry unreachable, forcing recomputation after simulator-behaviour
+//! changes. Workloads added through [`ExperimentPlan::source`] are opaque
+//! closures and bypass the cache.
+//!
 //! # Determinism guarantee
 //!
 //! Results are **bit-identical for any worker count, shard count and
@@ -72,17 +90,29 @@
 //! assert_eq!(result.cells.len(), 2);
 //! ```
 
+use crate::cache::{self, CellKey, WorkloadIdentity};
 use crate::experiment::{ExperimentResult, RunMetadata};
 use crate::simulator::{merge_bank_stats, BankStats, SimulationOptions, Simulator};
 use crate::stats::SchemeStats;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::config::PcmConfig;
+use wlcrc_store::{Fingerprint, ResultStore};
 use wlcrc_trace::{Trace, TraceSource, TraceStream, WorkloadProfile};
 
 /// Environment variable overriding the worker-pool size (a positive integer).
 pub const THREADS_ENV: &str = "WLCRC_THREADS";
+
+/// Environment variable naming the persistent result-store directory
+/// (re-exported from `wlcrc_store`); when set, every plan caches cell
+/// results there unless it opts out.
+pub const STORE_ENV: &str = wlcrc_store::STORE_ENV;
+
+/// Environment variable marking the result store read-only (re-exported from
+/// `wlcrc_store`).
+pub const STORE_READONLY_ENV: &str = wlcrc_store::STORE_READONLY_ENV;
 
 /// Environment variable overriding the intra-trace (per-bank) shard count
 /// per cell (a positive integer). Results are byte-identical for any value.
@@ -154,6 +184,19 @@ pub struct ExperimentPlan {
     threads: Option<usize>,
     intra_shards: Option<usize>,
     materialise: Option<bool>,
+    store: StoreChoice,
+    store_readonly: Option<bool>,
+    store_salt: Option<String>,
+}
+
+/// Where the plan's persistent result store comes from.
+enum StoreChoice {
+    /// Use `WLCRC_STORE` / `WLCRC_STORE_READONLY` when set (the default).
+    Auto,
+    /// Never consult a store, whatever the environment says.
+    Disabled,
+    /// Use this directory.
+    At(PathBuf),
 }
 
 impl Default for ExperimentPlan {
@@ -177,6 +220,9 @@ impl ExperimentPlan {
             threads: None,
             intra_shards: None,
             materialise: None,
+            store: StoreChoice::Auto,
+            store_readonly: None,
+            store_salt: None,
         }
     }
 
@@ -348,6 +394,59 @@ impl ExperimentPlan {
         self
     }
 
+    /// Caches cell results in the persistent store at `path` (see
+    /// [`crate::cache`] for what addresses a cell). Without this call the
+    /// plan still honours the `WLCRC_STORE` environment variable; use
+    /// [`ExperimentPlan::store_disabled`] to opt out entirely.
+    ///
+    /// The cache never changes results: hits are byte-identical to
+    /// recomputation for any worker count, shard count and hit/miss mix.
+    pub fn store(mut self, path: impl Into<PathBuf>) -> ExperimentPlan {
+        self.store = StoreChoice::At(path.into());
+        self
+    }
+
+    /// Never consults a result store, even when `WLCRC_STORE` is set.
+    pub fn store_disabled(mut self) -> ExperimentPlan {
+        self.store = StoreChoice::Disabled;
+        self
+    }
+
+    /// Forces the store read-only (hits are served, misses are not written
+    /// back); otherwise `WLCRC_STORE_READONLY` decides.
+    pub fn store_readonly(mut self, readonly: bool) -> ExperimentPlan {
+        self.store_readonly = Some(readonly);
+        self
+    }
+
+    /// Overrides the simulator version salt baked into every cache key
+    /// (default [`cache::SIMULATOR_VERSION_SALT`], or `WLCRC_STORE_SALT`).
+    /// Bumping the salt makes every previously cached cell unreachable, so
+    /// results are recomputed — the invalidation path for simulator
+    /// behaviour changes.
+    pub fn store_version_salt(mut self, salt: impl Into<String>) -> ExperimentPlan {
+        self.store_salt = Some(salt.into());
+        self
+    }
+
+    /// Resolves the plan's result store: the explicit choice first, then the
+    /// `WLCRC_STORE` environment; read-only from the explicit override, then
+    /// `WLCRC_STORE_READONLY`. A store directory that cannot be created
+    /// degrades to read-only (the cache is an accelerator, not a
+    /// dependency).
+    fn resolve_store(&self) -> Option<ResultStore> {
+        let path = match &self.store {
+            StoreChoice::Disabled => return None,
+            StoreChoice::At(path) => path.clone(),
+            StoreChoice::Auto => {
+                let root = std::env::var_os(STORE_ENV).filter(|root| !root.is_empty())?;
+                PathBuf::from(root)
+            }
+        };
+        let readonly = self.store_readonly.unwrap_or_else(wlcrc_store::readonly_from_env);
+        Some(ResultStore::open_or_read_only(path, readonly))
+    }
+
     /// The worker count this plan will run with.
     pub fn worker_count(&self) -> usize {
         resolve_worker_count(self.threads)
@@ -396,48 +495,95 @@ impl ExperimentPlan {
         let shards = self.resolve_intra_shards(cell_count);
         let max_intensity = self.max_intensity();
 
-        // Optional phase 0 (opt-in): materialise every (workload, seed) trace
+        // Phase 0.5 (optional): consult the persistent result store. Every
+        // cacheable cell derives a content-addressed key; hits skip
+        // simulation entirely and misses are written back after the merge.
+        // The cache can never change a result — a hit is the byte-identical
+        // record of an identical cell, pinned by the engine tests.
+        let store = self.resolve_store();
+        let keys: Vec<Option<CellKey>> = match &store {
+            Some(_) => self.cell_keys(cell_count, max_intensity),
+            None => (0..cell_count).map(|_| None).collect(),
+        };
+        // Lookups go through the worker pool too: a warm grid of thousands
+        // of cells is bound by file reads + record decodes, not simulation,
+        // and those are as independent as the cells themselves.
+        let cached: Vec<Option<SchemeStats>> = match &store {
+            Some(store) => parallel_tasks(cell_count, workers, |cell| {
+                keys[cell].as_ref().and_then(|key| cache::load_cell(store, key))
+            }),
+            None => (0..cell_count).map(|_| None).collect(),
+        };
+        let miss_cells: Vec<usize> =
+            (0..cell_count).filter(|&cell| cached[cell].is_none()).collect();
+        let mut miss_slot = vec![usize::MAX; cell_count];
+        for (slot, &cell) in miss_cells.iter().enumerate() {
+            miss_slot[cell] = slot;
+        }
+
+        // Optional phase 0 (opt-in): materialise each (workload, seed) trace
         // exactly once and share it behind an Arc — the historical pipeline,
-        // byte-identical to streaming but O(trace-length) in memory.
-        let shared: Option<Vec<Arc<Trace>>> = self.resolve_materialise().then(|| {
-            parallel_tasks(n_workloads * n_seeds, workers, |task| {
-                let (workload, seed) = (task / n_seeds, task % n_seeds);
+        // byte-identical to streaming but O(trace-length) in memory. Runs
+        // after the store lookup so a warm run generates only the traces its
+        // missed cells will actually replay.
+        let shared: Option<Vec<Option<Arc<Trace>>>> = self.resolve_materialise().then(|| {
+            let mut needed = vec![false; n_workloads * n_seeds];
+            for &cell in &miss_cells {
+                let seed = cell % n_seeds;
+                let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
+                needed[workload * n_seeds + seed] = true;
+            }
+            let pairs: Vec<usize> = (0..needed.len()).filter(|&pair| needed[pair]).collect();
+            let traces = parallel_tasks(pairs.len(), workers, |index| {
+                let (workload, seed) = (pairs[index] / n_seeds, pairs[index] % n_seeds);
                 let source =
                     self.make_source(&self.workloads[workload], self.seeds[seed], max_intensity);
                 Arc::new(source.collect_trace())
-            })
+            });
+            let mut slots: Vec<Option<Arc<Trace>>> = vec![None; n_workloads * n_seeds];
+            for (index, &pair) in pairs.iter().enumerate() {
+                slots[pair] = Some(Arc::clone(&traces[index]));
+            }
+            slots
         });
 
-        // Phase 1: simulate every (cell, intra-trace shard) task. Each shard
-        // replays the cell's stream and simulates only its banks; the slot
-        // index fixes the merge order regardless of which worker runs what.
-        let partials: Vec<Vec<BankStats>> = parallel_tasks(cell_count * shards, workers, |index| {
-            let shard = index % shards;
-            let cell = index / shards;
-            let seed = cell % n_seeds;
-            let scheme = (cell / n_seeds) % n_schemes;
-            let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
-            let config = cell / (n_seeds * n_schemes * n_workloads);
-            self.run_cell_shard(
-                config,
-                scheme,
-                workload,
-                seed,
-                shard,
-                shards,
-                max_intensity,
-                shared.as_deref(),
-            )
-        });
-
-        // Phase 2: merge each cell's bank partials in ascending bank order —
-        // the one canonical order, whatever the shard count.
-        let cells: Vec<SchemeStats> = (0..cell_count)
-            .map(|cell| {
+        // Phase 1: simulate every (missed cell, intra-trace shard) task. Each
+        // shard replays the cell's stream and simulates only its banks; the
+        // slot index fixes the merge order regardless of which worker runs
+        // what.
+        let partials: Vec<Vec<BankStats>> =
+            parallel_tasks(miss_cells.len() * shards, workers, |index| {
+                let shard = index % shards;
+                let cell = miss_cells[index / shards];
+                let seed = cell % n_seeds;
                 let scheme = (cell / n_seeds) % n_schemes;
                 let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
                 let config = cell / (n_seeds * n_schemes * n_workloads);
-                let lanes = partials[cell * shards..(cell + 1) * shards].iter().flatten().cloned();
+                self.run_cell_shard(
+                    config,
+                    scheme,
+                    workload,
+                    seed,
+                    shard,
+                    shards,
+                    max_intensity,
+                    shared.as_deref(),
+                )
+            });
+
+        // Phase 2: merge each cell's bank partials in ascending bank order —
+        // the one canonical order, whatever the shard count. Cached cells
+        // are used as recorded.
+        let cells: Vec<SchemeStats> = (0..cell_count)
+            .map(|cell| {
+                if let Some(stats) = &cached[cell] {
+                    return stats.clone();
+                }
+                let scheme = (cell / n_seeds) % n_schemes;
+                let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
+                let config = cell / (n_seeds * n_schemes * n_workloads);
+                let slot = miss_slot[cell];
+                let lanes = partials[slot * shards..(slot + 1) * shards].iter().flatten().cloned();
                 merge_bank_stats(
                     &self.schemes[scheme].0,
                     self.workloads[workload].name(),
@@ -446,6 +592,19 @@ impl ExperimentPlan {
                 )
             })
             .collect();
+
+        // Phase 2.5: write the freshly simulated cells back to the store —
+        // through the worker pool, like the lookups, because a cold grid's
+        // write-backs are file encodes + renames, independent per cell.
+        if let Some(store) = &store {
+            let to_write: Vec<usize> =
+                miss_cells.iter().copied().filter(|&cell| keys[cell].is_some()).collect();
+            parallel_tasks(to_write.len(), workers, |index| {
+                let cell = to_write[index];
+                let key = keys[cell].as_ref().expect("filtered to cells with keys");
+                cache::save_cell(store, key, &cells[cell]);
+            });
+        }
 
         // Phase 3: deterministic merge, seed-minor so replicate order is
         // fixed by the plan, not by scheduling.
@@ -499,14 +658,105 @@ impl ExperimentPlan {
         match source {
             WorkloadSource::Trace(trace) => Box::new(trace.source()),
             WorkloadSource::Stream { factory, .. } => factory(seed),
-            WorkloadSource::Profile(profile) => {
-                let scaled = ((self.lines_per_workload as f64) * profile.write_intensity
-                    / max_intensity)
-                    .ceil()
-                    .max(1.0) as usize;
-                Box::new(TraceStream::new(profile.clone(), seed ^ hash_name(&profile.name), scaled))
-            }
+            WorkloadSource::Profile(profile) => Box::new(TraceStream::new(
+                profile.clone(),
+                seed ^ hash_name(&profile.name),
+                self.scaled_lines(profile, max_intensity),
+            )),
         }
+    }
+
+    /// The scaled trace length of a profile workload (relative write
+    /// intensity, like the paper's grids). Shared between stream
+    /// construction and cache-key derivation so the key always describes
+    /// exactly the stream a cell replays.
+    fn scaled_lines(&self, profile: &WorkloadProfile, max_intensity: f64) -> usize {
+        ((self.lines_per_workload as f64) * profile.write_intensity / max_intensity).ceil().max(1.0)
+            as usize
+    }
+
+    /// Derives the store key of every cell; `None` marks uncacheable cells
+    /// (opaque stream workloads, whose records the engine cannot
+    /// fingerprint). Codec fingerprints are probed once per (scheme, config)
+    /// — candidate selection depends on the config's energy model — and
+    /// trace digests computed once per workload, not once per cell.
+    fn cell_keys(&self, cell_count: usize, max_intensity: f64) -> Vec<Option<CellKey>> {
+        let salt = self.store_salt.clone().unwrap_or_else(cache::effective_salt);
+        // `codec_fps[scheme * configs + config]`.
+        let codec_fps: Vec<Fingerprint> = self
+            .schemes
+            .iter()
+            .flat_map(|(_, source)| {
+                self.configs
+                    .iter()
+                    .map(|config| {
+                        source.with_codec(|codec| cache::codec_fingerprint(codec, &config.energy))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Per-workload identity, minus the seed-dependent stream seed.
+        enum Identity {
+            Profile { value: serde::Value, name: String, scaled: u64 },
+            Trace { name: String, digest: Fingerprint },
+            Opaque,
+        }
+        let identities: Vec<Identity> = self
+            .workloads
+            .iter()
+            .map(|workload| match workload {
+                WorkloadSource::Profile(profile) => Identity::Profile {
+                    value: profile.identity_value(),
+                    name: profile.name.clone(),
+                    scaled: self.scaled_lines(profile, max_intensity) as u64,
+                },
+                WorkloadSource::Trace(trace) => Identity::Trace {
+                    name: trace.workload.clone(),
+                    digest: trace.content_fingerprint(),
+                },
+                WorkloadSource::Stream { .. } => Identity::Opaque,
+            })
+            .collect();
+        (0..cell_count)
+            .map(|cell| {
+                let n_seeds = self.seeds.len();
+                let n_schemes = self.schemes.len();
+                let seed = cell % n_seeds;
+                let scheme = (cell / n_seeds) % n_schemes;
+                let workload = (cell / (n_seeds * n_schemes)) % self.workloads.len();
+                let config = cell / (n_seeds * n_schemes * self.workloads.len());
+                let base_seed = self.seeds[seed];
+                let identity = match &identities[workload] {
+                    Identity::Profile { value, name, scaled } => WorkloadIdentity::Profile {
+                        profile: value.clone(),
+                        stream_seed: base_seed ^ hash_name(name),
+                        scaled_lines: *scaled,
+                    },
+                    Identity::Trace { name, digest } => {
+                        WorkloadIdentity::Trace { name: name.clone(), digest: *digest }
+                    }
+                    Identity::Opaque => return None,
+                };
+                let label = &self.schemes[scheme].0;
+                Some(CellKey {
+                    salt: salt.clone(),
+                    scheme: label.clone(),
+                    codec: codec_fps[scheme * self.configs.len() + config],
+                    workload: identity,
+                    config: self.configs[config].clone(),
+                    config_index: config as u64,
+                    base_seed,
+                    cell_seed: derive_cell_seed(
+                        base_seed,
+                        config,
+                        label,
+                        self.workloads[workload].name(),
+                    ),
+                    verify_integrity: self.verify_integrity,
+                    isolated: self.isolated,
+                })
+            })
+            .collect()
     }
 
     /// Runs one intra-trace shard of one grid cell, returning the per-bank
@@ -521,7 +771,7 @@ impl ExperimentPlan {
         shard: usize,
         shards: usize,
         max_intensity: f64,
-        shared: Option<&[Arc<Trace>]>,
+        shared: Option<&[Option<Arc<Trace>>]>,
     ) -> Vec<BankStats> {
         let (label, codec_source) = &self.schemes[scheme_index];
         let workload = &self.workloads[workload_index];
@@ -542,7 +792,9 @@ impl ExperimentPlan {
             };
             match shared {
                 Some(traces) => {
-                    let trace = &traces[workload_index * self.seeds.len() + seed_index];
+                    let trace = traces[workload_index * self.seeds.len() + seed_index]
+                        .as_ref()
+                        .expect("trace materialised for every missed cell");
                     run(Box::new(trace.source()))
                 }
                 None => run(self.make_source(workload, base_seed, max_intensity)),
@@ -679,8 +931,12 @@ mod tests {
     use wlcrc_pcm::line::MemoryLine;
     use wlcrc_trace::{from_fn, Benchmark, TraceGenerator, WriteRecord};
 
+    /// The shared test grid. `store_disabled()` keeps every non-store test
+    /// hermetic: a developer's `WLCRC_STORE` must neither serve these cells
+    /// nor be polluted by them. Store tests override with `.store(path)`.
     fn small_plan() -> ExperimentPlan {
         ExperimentPlan::new()
+            .store_disabled()
             .seed(3)
             .lines_per_workload(40)
             .workload(Benchmark::Gcc.profile())
@@ -711,6 +967,7 @@ mod tests {
         // and not: four executions of the same grid, one result.
         let plan = || {
             ExperimentPlan::new()
+                .store_disabled()
                 .seed(5)
                 .lines_per_workload(30)
                 .workloads(Benchmark::ALL.iter().map(|b| b.profile()))
@@ -745,6 +1002,7 @@ mod tests {
         };
         let plan = || {
             ExperimentPlan::new()
+                .store_disabled()
                 .seed(1)
                 .verify_integrity(false)
                 .source_factory("endless", source_factory(9))
@@ -828,6 +1086,7 @@ mod tests {
             Arc::new(generator.generate(30))
         };
         let plan = ExperimentPlan::new()
+            .store_disabled()
             .seed(5)
             .trace(Arc::clone(&trace))
             .scheme("Baseline", || Box::new(RawCodec::new()))
@@ -864,6 +1123,235 @@ mod tests {
         let out = parallel_tasks(100, 7, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         assert!(parallel_tasks(0, 4, |i| i).is_empty());
+    }
+
+    /// A per-test scratch store directory removed on drop.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "wlcrc-engine-test-{}-{}-{}",
+                std::process::id(),
+                tag,
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            Scratch(path)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A raw codec with a shuffled symbol mapping: same label as
+    /// `RawCodec::new`, different behaviour — the aliasing case the codec
+    /// fingerprint must separate.
+    fn remapped_raw() -> Box<dyn LineCodec> {
+        use wlcrc_pcm::mapping::SymbolMapping;
+        use wlcrc_pcm::state::CellState;
+        Box::new(wlcrc_pcm::codec::RawCodec::with_mapping(SymbolMapping::from_states([
+            CellState::S4,
+            CellState::S3,
+            CellState::S2,
+            CellState::S1,
+        ])))
+    }
+
+    #[test]
+    fn store_disabled_cold_and_warm_runs_are_byte_identical() {
+        let scratch = Scratch::new("cold-warm");
+        let plan = || small_plan().seeds([3, 4]).threads(2);
+        let disabled = plan().store_disabled().run();
+        let cold = plan().store(&scratch.0).store_readonly(false).run();
+        let warm = plan().store(&scratch.0).store_readonly(false).run();
+        let warm_parallel = plan().store(&scratch.0).store_readonly(false).threads(4).run();
+        let warm_sharded =
+            plan().store(&scratch.0).store_readonly(false).intra_trace_shards(4).run();
+        assert_eq!(disabled, cold);
+        assert_eq!(disabled, warm);
+        assert_eq!(disabled, warm_parallel);
+        assert_eq!(disabled, warm_sharded);
+        // 3 workloads × 2 schemes × 2 seeds cells were recorded, once.
+        let store = ResultStore::open_read_only(&scratch.0);
+        assert_eq!(store.entries().len(), 12);
+        // The three warm runs were served entirely from the cache.
+        assert_eq!(store.hit_count(), 36);
+    }
+
+    #[test]
+    fn partially_warm_grids_are_byte_identical() {
+        let scratch = Scratch::new("mixed");
+        // Populate with a two-workload subset...
+        let subset = ExperimentPlan::new()
+            .seed(3)
+            .lines_per_workload(40)
+            .workload(Benchmark::Gcc.profile())
+            .workload(Benchmark::Mcf.profile())
+            .scheme("Baseline", || Box::new(RawCodec::new()))
+            .scheme_boxed("Shared", Box::new(RawCodec::new()))
+            .store(&scratch.0)
+            .store_readonly(false)
+            .run();
+        // ...then run the full grid: gcc/mcf cells hit, omnetpp cells miss.
+        let mixed = small_plan().store(&scratch.0).store_readonly(false).run();
+        let disabled = small_plan().store_disabled().run();
+        assert_eq!(mixed, disabled);
+        for cell in &subset.cells {
+            assert_eq!(Some(cell), mixed.get(&cell.scheme, &cell.workload));
+        }
+        assert_eq!(ResultStore::open_read_only(&scratch.0).entries().len(), 6);
+    }
+
+    #[test]
+    fn salt_bump_forces_recomputation() {
+        let scratch = Scratch::new("salt");
+        let plan = || small_plan().store(&scratch.0).store_readonly(false);
+        let v1 = plan().store_version_salt("wlcrc-sim-test-v1").run();
+        let store = ResultStore::open_read_only(&scratch.0);
+        let after_v1 = store.entries().len();
+        assert_eq!(after_v1, 6);
+        let v2 = plan().store_version_salt("wlcrc-sim-test-v2").run();
+        // Same simulation, so same results — but nothing was served from the
+        // v1 entries: every cell recomputed and landed at a fresh address.
+        assert_eq!(v1, v2);
+        assert_eq!(store.entries().len(), 2 * after_v1);
+        assert_eq!(store.hit_count(), 0);
+    }
+
+    #[test]
+    fn same_label_different_codec_does_not_alias() {
+        let scratch = Scratch::new("codec-fp");
+        let default_plan = || {
+            ExperimentPlan::new()
+                .seed(3)
+                .lines_per_workload(40)
+                .workload(Benchmark::Gcc.profile())
+                .scheme("Baseline", || Box::new(RawCodec::new()))
+                .store(&scratch.0)
+                .store_readonly(false)
+        };
+        let remapped_plan = || {
+            ExperimentPlan::new()
+                .seed(3)
+                .lines_per_workload(40)
+                .workload(Benchmark::Gcc.profile())
+                .scheme("Baseline", remapped_raw)
+                .store(&scratch.0)
+                .store_readonly(false)
+        };
+        let default_run = default_plan().run();
+        // The remapped codec shares the "Baseline" label; a label-keyed
+        // cache would wrongly serve it the default codec's stats.
+        let remapped_run = remapped_plan().run();
+        let remapped_disabled = remapped_plan().store_disabled().run();
+        assert_eq!(remapped_run, remapped_disabled);
+        assert_ne!(
+            default_run.cells[0].data_energy_pj, remapped_run.cells[0].data_energy_pj,
+            "the remapped codec must actually behave differently for this test to bite"
+        );
+        assert_eq!(ResultStore::open_read_only(&scratch.0).entries().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_entries_are_recomputed_and_rewritten() {
+        let scratch = Scratch::new("corrupt");
+        let plan = || small_plan().store(&scratch.0).store_readonly(false);
+        let cold = plan().run();
+        let store = ResultStore::open_read_only(&scratch.0);
+        let entries = store.entries();
+        assert_eq!(entries.len(), 6);
+        // Truncate one entry and garble another.
+        let bytes = std::fs::read(&entries[0].path).unwrap();
+        std::fs::write(&entries[0].path, &bytes[..bytes.len() / 2]).unwrap();
+        std::fs::write(&entries[1].path, b"not a store entry").unwrap();
+        let rewarmed = plan().run();
+        assert_eq!(cold, rewarmed);
+        // Both damaged entries were recomputed and atomically rewritten.
+        let report = store.verify();
+        assert_eq!(report.corrupt.len(), 0, "{:?}", report.corrupt);
+        assert_eq!(report.valid.len(), 6);
+    }
+
+    #[test]
+    fn readonly_stores_serve_hits_but_never_write() {
+        let scratch = Scratch::new("readonly");
+        // A read-only store over a missing directory: every cell misses and
+        // nothing is created.
+        let cold = small_plan().store(&scratch.0).store_readonly(true).run();
+        assert!(!scratch.0.exists());
+        // Populate writable, then re-run read-only: hits, no new journal.
+        let writable = small_plan().store(&scratch.0).store_readonly(false).run();
+        let store = ResultStore::open_read_only(&scratch.0);
+        let hits_before = store.hit_count();
+        let warm = small_plan().store(&scratch.0).store_readonly(true).run();
+        assert_eq!(cold, writable);
+        assert_eq!(cold, warm);
+        assert_eq!(store.hit_count(), hits_before, "read-only hits are not journaled");
+    }
+
+    #[test]
+    fn opaque_stream_workloads_bypass_the_store() {
+        let scratch = Scratch::new("opaque");
+        let count = 50u64;
+        let plan = || {
+            ExperimentPlan::new()
+                .seed(1)
+                .verify_integrity(false)
+                .source("opaque", move |_seed| {
+                    Box::new(from_fn("opaque", count, move |i| {
+                        let address = (i % 16) * 64;
+                        WriteRecord::new(
+                            address,
+                            MemoryLine::from_words([i; 8]),
+                            MemoryLine::from_words([i + 1; 8]),
+                        )
+                    })) as Box<dyn TraceSource + Send>
+                })
+                .scheme("Baseline", || Box::new(RawCodec::new()))
+                .store(&scratch.0)
+                .store_readonly(false)
+        };
+        let first = plan().run();
+        let second = plan().run();
+        assert_eq!(first, second);
+        let store = ResultStore::open_read_only(&scratch.0);
+        assert!(store.entries().is_empty(), "closure workloads must not be cached");
+        assert_eq!(store.hit_count(), 0);
+    }
+
+    #[test]
+    fn materialised_trace_workloads_cache_by_content_digest() {
+        let scratch = Scratch::new("trace-digest");
+        let trace = {
+            let mut generator = TraceGenerator::new(Benchmark::Gcc.profile(), 5);
+            Arc::new(generator.generate(30))
+        };
+        let plan = |t: &Arc<Trace>| {
+            ExperimentPlan::new()
+                .seed(5)
+                .trace(Arc::clone(t))
+                .scheme("Baseline", || Box::new(RawCodec::new()))
+                .store(&scratch.0)
+                .store_readonly(false)
+        };
+        let cold = plan(&trace).run();
+        let warm = plan(&trace).run();
+        assert_eq!(cold, warm);
+        let store = ResultStore::open_read_only(&scratch.0);
+        assert_eq!(store.entries().len(), 1);
+        assert_eq!(store.hit_count(), 1);
+        // A trace with one different record must miss.
+        let mut records: Vec<WriteRecord> = trace.iter().copied().collect();
+        records[7] =
+            WriteRecord::new(records[7].address, records[7].old, records[7].new.complement());
+        let edited = Arc::new(Trace::from_records("gcc", records));
+        let _ = plan(&edited).run();
+        assert_eq!(store.entries().len(), 2, "edited trace is a different cell");
     }
 
     #[test]

@@ -31,19 +31,28 @@
 //! per-bank partitions of its trace — are spread over a scoped worker pool
 //! (`WLCRC_THREADS`, `WLCRC_INTRA_SHARDS`) with bit-identical results for
 //! any worker or shard count.
+//!
+//! Cell results can additionally be cached **across processes** in a
+//! persistent content-addressed store (`WLCRC_STORE`, or
+//! [`engine::ExperimentPlan::store`]): repeated figure/CI/bench runs of
+//! identical cells are served from disk instead of re-simulated, with
+//! byte-identical results for any hit/miss mix. The cache-key rules live in
+//! [`cache`]; the generic store machinery in the `wlcrc_store` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod experiment;
 pub mod memory;
 pub mod simulator;
 pub mod stats;
 
+pub use cache::{CellKey, SIMULATOR_VERSION_SALT, STORE_SALT_ENV};
 pub use engine::{
     resolve_worker_count, ExperimentPlan, TraceSourceFactory, INTRA_SHARDS_ENV, MATERIALISE_ENV,
-    THREADS_ENV,
+    STORE_ENV, STORE_READONLY_ENV, THREADS_ENV,
 };
 pub use experiment::{run_schemes_on_workloads, ExperimentResult, RunMetadata};
 pub use memory::MemoryOrganization;

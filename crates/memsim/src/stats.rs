@@ -275,6 +275,53 @@ mod tests {
     }
 
     #[test]
+    fn imbalance_and_banks_touched_edge_cases() {
+        // Zero writes, no per-bank data: balanced, nothing touched, and
+        // every per-write mean is 0 — never NaN — so a cached empty cell can
+        // be merged and reported safely.
+        let empty = SchemeStats::new("X", "w");
+        assert_eq!(empty.write_imbalance(), 1.0);
+        assert_eq!(empty.banks_touched(), 0);
+        assert_eq!(empty.mean_energy_pj(), 0.0);
+        assert!(!empty.mean_updated_cells().is_nan());
+        // A zero-filled bank vector (a config's banks, none written) is
+        // "balanced": max == min == 0 must not divide.
+        let mut zeros = SchemeStats::new("X", "w");
+        zeros.bank_writes = vec![0; 64];
+        assert_eq!(zeros.write_imbalance(), 1.0);
+        assert_eq!(zeros.banks_touched(), 0);
+        // A single bank holding all writes is perfectly balanced with
+        // itself.
+        let mut single = SchemeStats::new("X", "w");
+        single.bank_writes = vec![17];
+        assert_eq!(single.write_imbalance(), 1.0);
+        assert_eq!(single.banks_touched(), 1);
+    }
+
+    #[test]
+    fn cached_then_merged_stats_divide_safely() {
+        use serde::{Deserialize, Serialize};
+        // The store round-trips a cell, then the engine merges it across
+        // seeds/workloads; none of the derived metrics may NaN or panic,
+        // whatever mix of empty and populated cells is merged.
+        let mut cell = SchemeStats::new("X", "w");
+        cell.writes = 4;
+        cell.data_energy_pj = 100.0;
+        cell.bank_writes = vec![4, 0, 0];
+        let cached = SchemeStats::from_value(&cell.to_value()).unwrap();
+        assert_eq!(cached, cell);
+
+        let mut merged = SchemeStats::from_value(&SchemeStats::new("X", "w2").to_value()).unwrap();
+        merged.merge(&cached);
+        merged.merge(&SchemeStats::new("X", "w3")); // empty: identity
+        assert_eq!(merged.writes, 4);
+        assert_eq!(merged.mean_energy_pj(), 25.0);
+        assert_eq!(merged.write_imbalance(), f64::INFINITY, "untouched bank next to a hot one");
+        assert_eq!(merged.banks_touched(), 1);
+        assert!(!merged.mean_disturb_errors().is_nan());
+    }
+
+    #[test]
     fn disturbance_maximum_is_tracked() {
         let mut stats = SchemeStats::new("X", "w");
         let d1 = DisturbanceOutcome { data_errors: 3, aux_errors: 1, ..Default::default() };

@@ -193,6 +193,17 @@ impl StatePlanes {
         let hi = (self.plane1[w] >> b) & 1;
         CellState::from_index((hi << 1 | lo) as usize)
     }
+
+    /// Rewrites the two bits of cell `cell` — the incremental update
+    /// [`PhysicalLine::set_state`] uses to keep a cached view warm.
+    #[inline]
+    pub(crate) fn set(&mut self, cell: usize, state: CellState) {
+        let (w, b) = (cell / 64, cell % 64);
+        let mask = 1u64 << b;
+        let idx = state.index() as u64;
+        self.plane0[w] = (self.plane0[w] & !mask) | ((idx & 1) << b);
+        self.plane1[w] = (self.plane1[w] & !mask) | ((idx >> 1) << b);
+    }
 }
 
 /// The precomputed transition space of one (symbol→state mapping, energy
@@ -807,6 +818,11 @@ fn select_int_core<const N: usize>(
 
 /// Writes the states encoded by a pair of assembled target planes into the
 /// first `cells` cells of `out` in one pass.
+///
+/// When the planes cover the full 256-cell data region they are also
+/// installed as `out`'s cached [`StatePlanes`] view, so the *next* encode
+/// against this line gets its stored planes for free instead of rebuilding
+/// them cell by cell.
 pub fn write_states_from_planes(
     out: &mut PhysicalLine,
     cells: usize,
@@ -821,6 +837,9 @@ pub fn write_states_from_planes(
             let idx = (((p1 >> b) & 1) << 1) | ((p0 >> b) & 1);
             *slot = CellState::ALL[(idx & 3) as usize];
         }
+    }
+    if cells == LINE_CELLS && out.len() >= LINE_CELLS {
+        out.install_state_planes(StatePlanes { plane0: *plane0, plane1: *plane1 });
     }
 }
 

@@ -1,8 +1,11 @@
 //! Physical (stored) cell content of an encoded memory line.
 
+use crate::kernel::StatePlanes;
 use crate::state::CellState;
-use serde::{Deserialize, Serialize};
+use crate::LINE_CELLS;
+use serde::{de, Deserialize, Serialize, Value};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Classification of a stored cell, used to break write energy and cell-update
 /// counts into the *data block* part and the *auxiliary* part, as the paper's
@@ -23,23 +26,70 @@ pub enum CellClass {
 /// (256 data cells plus zero or more auxiliary cells), so the length is not
 /// fixed. Two physical lines are only comparable cell-by-cell if they were
 /// produced by the same scheme.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The line lazily caches the [`StatePlanes`] bit-plane view of its first
+/// 256 cells (built on the first [`PhysicalLine::state_planes`] call, or
+/// installed directly by the kernel's plane-assembled writes) and keeps it
+/// in sync through [`PhysicalLine::set_state`]/[`PhysicalLine::push`], so
+/// the per-encode plane rebuild the coset kernel used to pay is amortised
+/// away for lines that live across writes. The cache is invisible:
+/// equality, hashing-by-content and serialization see only cells and
+/// classes.
+#[derive(Clone)]
 pub struct PhysicalLine {
     cells: Vec<CellState>,
     classes: Vec<CellClass>,
+    /// Lazily built plane view of `cells[..256]`; `OnceLock` keeps the type
+    /// `Sync` (codecs holding lines are shared across worker threads) while
+    /// allowing interior initialisation from `&self`.
+    planes: OnceLock<StatePlanes>,
+}
+
+impl PartialEq for PhysicalLine {
+    fn eq(&self, other: &PhysicalLine) -> bool {
+        // The plane cache is derived state and must never affect equality.
+        self.cells == other.cells && self.classes == other.classes
+    }
+}
+
+impl Eq for PhysicalLine {}
+
+impl Serialize for PhysicalLine {
+    fn to_value(&self) -> Value {
+        Value::record(
+            "PhysicalLine",
+            vec![("cells", self.cells.to_value()), ("classes", self.classes.to_value())],
+        )
+    }
+}
+
+impl Deserialize for PhysicalLine {
+    fn from_value(value: &Value) -> Result<PhysicalLine, de::Error> {
+        let record = value.as_record("PhysicalLine")?;
+        let cells: Vec<CellState> = record.field("cells")?;
+        let classes: Vec<CellClass> = record.field("classes")?;
+        if cells.len() != classes.len() {
+            return Err(de::Error::custom("cells and classes lengths differ"));
+        }
+        Ok(PhysicalLine { cells, classes, planes: OnceLock::new() })
+    }
 }
 
 impl PhysicalLine {
     /// Creates a physical line of `len` cells, all in the RESET state `S1`,
     /// all classified as data. This models a freshly initialised (erased) line.
     pub fn all_reset(len: usize) -> PhysicalLine {
-        PhysicalLine { cells: vec![CellState::S1; len], classes: vec![CellClass::Data; len] }
+        PhysicalLine {
+            cells: vec![CellState::S1; len],
+            classes: vec![CellClass::Data; len],
+            planes: OnceLock::new(),
+        }
     }
 
     /// Creates a physical line from explicit cell states, all classified as data.
     pub fn from_states(cells: Vec<CellState>) -> PhysicalLine {
         let classes = vec![CellClass::Data; cells.len()];
-        PhysicalLine { cells, classes }
+        PhysicalLine { cells, classes, planes: OnceLock::new() }
     }
 
     /// Creates a physical line from explicit cell states and classes.
@@ -49,7 +99,7 @@ impl PhysicalLine {
     /// Panics if the two vectors have different lengths.
     pub fn from_parts(cells: Vec<CellState>, classes: Vec<CellClass>) -> PhysicalLine {
         assert_eq!(cells.len(), classes.len(), "cells and classes must have the same length");
-        PhysicalLine { cells, classes }
+        PhysicalLine { cells, classes, planes: OnceLock::new() }
     }
 
     /// Number of cells in the encoded line.
@@ -74,7 +124,8 @@ impl PhysicalLine {
         self.cells[index]
     }
 
-    /// Sets the state of cell `index`.
+    /// Sets the state of cell `index`, keeping any warm plane cache in sync
+    /// (a two-bit update, not an invalidation).
     ///
     /// # Panics
     ///
@@ -82,6 +133,11 @@ impl PhysicalLine {
     #[inline]
     pub fn set_state(&mut self, index: usize, state: CellState) {
         self.cells[index] = state;
+        if index < LINE_CELLS {
+            if let Some(planes) = self.planes.get_mut() {
+                planes.set(index, state);
+            }
+        }
     }
 
     /// The classification of cell `index`.
@@ -104,10 +160,17 @@ impl PhysicalLine {
         self.classes[index] = class;
     }
 
-    /// Appends a cell with the given state and class.
+    /// Appends a cell with the given state and class, keeping any warm plane
+    /// cache in sync.
     pub fn push(&mut self, state: CellState, class: CellClass) {
+        let index = self.cells.len();
         self.cells.push(state);
         self.classes.push(class);
+        if index < LINE_CELLS {
+            if let Some(planes) = self.planes.get_mut() {
+                planes.set(index, state);
+            }
+        }
     }
 
     /// The stored cell states.
@@ -117,8 +180,10 @@ impl PhysicalLine {
     }
 
     /// Mutable access to the stored cell states (classes are untouched).
+    /// Invalidates the plane cache — the caller may rewrite any state.
     #[inline]
     pub fn states_mut(&mut self) -> &mut [CellState] {
+        self.planes.take();
         &mut self.cells
     }
 
@@ -155,8 +220,26 @@ impl PhysicalLine {
 
     /// The bit-plane view of the first 256 cells' states, consumed by the
     /// bit-parallel evaluation kernel ([`crate::kernel`]).
-    pub fn state_planes(&self) -> crate::kernel::StatePlanes {
-        crate::kernel::StatePlanes::new(self)
+    ///
+    /// The view is cached: the first call builds it (or the kernel's
+    /// plane-assembled write installs it for free), later calls copy it, and
+    /// every mutation path keeps it consistent — so a stored line that lives
+    /// across writes pays the 256-cell rebuild at most once, not per encode.
+    pub fn state_planes(&self) -> StatePlanes {
+        *self.planes.get_or_init(|| StatePlanes::new(self))
+    }
+
+    /// Installs a known-correct plane cache (the kernel's plane-assembled
+    /// writes already hold the planes they just scattered). Debug builds
+    /// verify the claim against a rebuild.
+    pub(crate) fn install_state_planes(&mut self, planes: StatePlanes) {
+        debug_assert_eq!(
+            planes,
+            StatePlanes::new(self),
+            "installed planes must match the stored states"
+        );
+        self.planes.take();
+        let _ = self.planes.set(planes);
     }
 
     /// Histogram of stored states, indexed by state index.
@@ -242,5 +325,67 @@ mod tests {
     #[should_panic]
     fn from_parts_checks_lengths() {
         let _ = PhysicalLine::from_parts(vec![CellState::S1], vec![]);
+    }
+
+    /// A 300-cell line (256 data + aux tail) with a varied state pattern.
+    fn patterned_line() -> PhysicalLine {
+        let states: Vec<CellState> =
+            (0..300).map(|i| CellState::from_index((i * 7 + i / 9) % 4)).collect();
+        PhysicalLine::from_states(states)
+    }
+
+    #[test]
+    fn plane_cache_stays_consistent_through_mutations() {
+        let mut line = patterned_line();
+        // Warm the cache, then mutate through every supported path.
+        let warm = line.state_planes();
+        assert_eq!(warm, StatePlanes::new(&line));
+        line.set_state(0, CellState::S4);
+        line.set_state(255, CellState::S2);
+        line.set_state(131, CellState::S1);
+        line.set_state(290, CellState::S3); // aux region: not covered by planes
+        line.push(CellState::S4, CellClass::Aux); // beyond 256: ignored
+        assert_eq!(line.state_planes(), StatePlanes::new(&line), "set_state keeps planes in sync");
+        // Raw mutable access invalidates; the next call rebuilds.
+        line.states_mut()[17] = CellState::S3;
+        assert_eq!(line.state_planes(), StatePlanes::new(&line), "states_mut invalidates");
+    }
+
+    #[test]
+    fn plane_cache_tracks_growth_through_the_data_region() {
+        let mut line = PhysicalLine::all_reset(10);
+        let _ = line.state_planes();
+        for i in 0..400 {
+            line.push(CellState::from_index(i % 4), CellClass::Data);
+        }
+        assert_eq!(line.state_planes(), StatePlanes::new(&line));
+    }
+
+    #[test]
+    fn cache_warmth_does_not_affect_equality_or_clones() {
+        let cold = patterned_line();
+        let warmed = patterned_line();
+        let _ = warmed.state_planes();
+        assert_eq!(cold, warmed);
+        let cloned = warmed.clone();
+        assert_eq!(cloned.state_planes(), StatePlanes::new(&cloned));
+        // A clone of a warm line carries a warm, still-correct cache even
+        // after diverging mutations.
+        let mut diverged = warmed.clone();
+        diverged.set_state(3, CellState::S4);
+        assert_eq!(diverged.state_planes(), StatePlanes::new(&diverged));
+        assert_eq!(warmed.state_planes(), StatePlanes::new(&warmed));
+        assert_ne!(diverged, warmed);
+    }
+
+    #[test]
+    fn physical_lines_serialize_without_the_cache() {
+        use serde::{Deserialize, Serialize};
+        let mut line = patterned_line();
+        line.set_class(299, CellClass::Aux);
+        let _ = line.state_planes();
+        let back = PhysicalLine::from_value(&line.to_value()).unwrap();
+        assert_eq!(back, line);
+        assert_eq!(back.class(299), CellClass::Aux);
     }
 }

@@ -1,0 +1,38 @@
+//! `wlcrc_store` — a persistent, content-addressed result store.
+//!
+//! The experiment engine (`wlcrc_memsim::ExperimentPlan`) simulates grids of
+//! (scheme × workload × config × seed) cells whose results are pure
+//! functions of their inputs. This crate caches those results *across
+//! processes*: a cell's inputs are serialized into a self-describing key
+//! [`Value`](serde::Value), hashed to a stable 128-bit [`Fingerprint`], and
+//! the cell's result is stored in a file addressed by that fingerprint. Any
+//! later run — another figure binary, a CI job, a perfsnap — that derives
+//! the same key is served the recorded result instead of re-simulating.
+//!
+//! The crate is deliberately generic: it stores [`Value`] trees, not
+//! simulator types, so it sits below `wlcrc_trace`/`wlcrc_memsim` in the
+//! dependency graph and `storectl` can inspect any entry without the
+//! producing code. The typed layer (cell keys, `SchemeStats` payloads) lives
+//! in `wlcrc_memsim::cache`.
+//!
+//! Module map:
+//!
+//! * [`wire`] — the versioned, self-describing byte format (bit-exact f64s,
+//!   corruption-tolerant decoding);
+//! * [`fingerprint`] — stable FNV-1a-128 content hashing;
+//! * [`store`] — the on-disk store: atomic writes, validated reads, hit
+//!   journal, list/evict/verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod store;
+pub mod wire;
+
+pub use fingerprint::{Fingerprint, StableHasher};
+pub use store::{
+    readonly_from_env, Entry, EntryInfo, ResultStore, StoreError, VerifyReport, FORMAT_VERSION,
+    STORE_ENV, STORE_READONLY_ENV,
+};
+pub use wire::{WireError, WIRE_VERSION};

@@ -1,0 +1,551 @@
+//! The on-disk content-addressed store.
+//!
+//! Layout: every entry is one file under the store root,
+//! `<root>/<first 2 hex digits>/<32 hex digits>.wlcrc`, named by the
+//! [`Fingerprint`] of the entry's *key* value. The file carries a magic +
+//! format version header, the fingerprint it claims to be stored under, and
+//! a checksummed, self-describing payload (key + cached value), so a reader
+//! can validate an entry end-to-end without knowing the Rust types behind
+//! it.
+//!
+//! Concurrency and corruption rules:
+//!
+//! * **writes are atomic**: the entry is written to a temp file in the same
+//!   directory and `rename`d into place, so concurrent processes — or a
+//!   crash mid-write — can never expose a half-written entry under its final
+//!   name;
+//! * **reads never trust the file**: magic, version, fingerprint (recomputed
+//!   from the stored key), checksum and key equality are all verified; any
+//!   mismatch, truncation or decode error is reported as a miss
+//!   ([`ResultStore::get`] returns `None`) — a corrupt cache can cost a
+//!   recomputation, never a wrong result and never a panic;
+//! * **hits are journaled**: each successful `get` appends one line to
+//!   `hits.log` (`O_APPEND`, one `write` syscall per line), which is how CI
+//!   asserts a warm run was actually served from the cache. The journal is
+//!   advisory: corrupt lines are ignored and a read-only store skips it.
+
+use crate::fingerprint::Fingerprint;
+use crate::wire::{self, WireError};
+use serde::Value;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every entry file.
+pub const MAGIC: [u8; 8] = *b"WLCRCSTR";
+
+/// Version of the entry-file layout; bump when the header layout changes.
+/// (Invalidation of *results* goes through the fingerprint salt instead.)
+pub const FORMAT_VERSION: u8 = wire::WIRE_VERSION;
+
+/// File extension of store entries.
+pub const ENTRY_EXTENSION: &str = "wlcrc";
+
+/// Environment variable naming the store directory; when set, the experiment
+/// engine caches cell results there.
+pub const STORE_ENV: &str = "WLCRC_STORE";
+
+/// Environment variable marking the store read-only (`1`/`true`/`yes`/`on`):
+/// hits are served but misses are not written back and no journal is kept.
+pub const STORE_READONLY_ENV: &str = "WLCRC_STORE_READONLY";
+
+/// Name of the advisory hit journal inside the store root.
+const HITS_LOG: &str = "hits.log";
+
+/// Why a store operation failed. Read-path problems are deliberately *not*
+/// errors at the [`ResultStore::get`] level — they surface as misses — but
+/// [`ResultStore::verify`] reports them per entry through this type.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error reading or writing an entry.
+    Io(std::io::Error),
+    /// The file is too short or missing a section.
+    Truncated,
+    /// The magic bytes do not match.
+    BadMagic,
+    /// The format version is not one this build reads.
+    UnsupportedVersion(u8),
+    /// The payload checksum does not match its bytes.
+    ChecksumMismatch,
+    /// The payload could not be decoded.
+    Wire(WireError),
+    /// The payload decoded but is not a `StoreEntry` record.
+    MalformedEntry,
+    /// The fingerprint recomputed from the stored key does not match the
+    /// fingerprint the entry claims (or the filename it sits under).
+    FingerprintMismatch,
+    /// The stored key is not the requested key (fingerprint collision).
+    KeyMismatch,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "i/o error: {err}"),
+            StoreError::Truncated => write!(f, "entry truncated"),
+            StoreError::BadMagic => write!(f, "bad magic bytes"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StoreError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            StoreError::Wire(err) => write!(f, "payload decode error: {err}"),
+            StoreError::MalformedEntry => write!(f, "payload is not a StoreEntry record"),
+            StoreError::FingerprintMismatch => write!(f, "fingerprint mismatch"),
+            StoreError::KeyMismatch => write!(f, "key mismatch (fingerprint collision)"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> StoreError {
+        StoreError::Io(err)
+    }
+}
+
+/// One decoded store entry: the self-describing key and the cached payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The fingerprint the entry is stored under.
+    pub fingerprint: Fingerprint,
+    /// The key value the payload was computed from.
+    pub key: Value,
+    /// The cached payload value.
+    pub payload: Value,
+}
+
+/// Summary of one on-disk entry, returned by [`ResultStore::entries`].
+#[derive(Debug, Clone)]
+pub struct EntryInfo {
+    /// The fingerprint parsed from the filename.
+    pub fingerprint: Fingerprint,
+    /// Path of the entry file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Outcome of [`ResultStore::verify`].
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Entries that validated end-to-end.
+    pub valid: Vec<EntryInfo>,
+    /// Entries that failed validation, with the reason.
+    pub corrupt: Vec<(EntryInfo, StoreError)>,
+}
+
+/// A persistent, content-addressed result store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+    readonly: bool,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a writable store at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ResultStore, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultStore { root, readonly: false })
+    }
+
+    /// Opens a store that serves hits but never writes (no entries, no
+    /// journal). The directory does not have to exist; every lookup is then
+    /// simply a miss.
+    pub fn open_read_only(root: impl Into<PathBuf>) -> ResultStore {
+        ResultStore { root: root.into(), readonly: true }
+    }
+
+    /// Opens a store at `root`, read-only when asked; a writable store whose
+    /// directory cannot be created degrades to read-only rather than
+    /// failing — the cache is an accelerator, not a dependency. This is the
+    /// one resolution policy shared by [`ResultStore::from_env`] and the
+    /// experiment engine.
+    pub fn open_or_read_only(root: impl Into<PathBuf>, readonly: bool) -> ResultStore {
+        let root = root.into();
+        if readonly {
+            return ResultStore::open_read_only(root);
+        }
+        match ResultStore::open(&root) {
+            Ok(store) => store,
+            Err(_) => ResultStore::open_read_only(root),
+        }
+    }
+
+    /// Opens the store named by `WLCRC_STORE` / `WLCRC_STORE_READONLY`, if
+    /// set.
+    pub fn from_env() -> Option<ResultStore> {
+        let root = std::env::var_os(STORE_ENV)?;
+        if root.is_empty() {
+            return None;
+        }
+        Some(ResultStore::open_or_read_only(PathBuf::from(root), readonly_from_env()))
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `true` when the store never writes.
+    pub fn is_read_only(&self) -> bool {
+        self.readonly
+    }
+
+    /// The path an entry for `fingerprint` would live at.
+    pub fn entry_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        let hex = fingerprint.to_hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.{ENTRY_EXTENSION}"))
+    }
+
+    /// Looks up the payload cached under `key`. Any read problem — a missing
+    /// entry, a truncated or tampered file, a foreign format, even a
+    /// fingerprint collision — is a miss, never an error. A hit is appended
+    /// to the journal unless the store is read-only.
+    pub fn get(&self, key: &Value) -> Option<Value> {
+        let fingerprint = Fingerprint::of_value(key);
+        let entry = self.read_entry(fingerprint).ok()?;
+        if &entry.key != key {
+            return None;
+        }
+        if !self.readonly {
+            self.journal_hit(fingerprint);
+        }
+        Some(entry.payload)
+    }
+
+    /// Stores `payload` under `key`, atomically (tmp file + rename). In a
+    /// read-only store this is a no-op returning `Ok(false)`.
+    pub fn put(&self, key: &Value, payload: &Value) -> Result<bool, StoreError> {
+        if self.readonly {
+            return Ok(false);
+        }
+        let fingerprint = Fingerprint::of_value(key);
+        let entry_value = Value::Record {
+            name: "StoreEntry".to_string(),
+            fields: vec![
+                ("key".to_string(), key.clone()),
+                ("payload".to_string(), payload.clone()),
+            ],
+        };
+        let payload_bytes = wire::encode(&entry_value);
+        let mut file_bytes =
+            Vec::with_capacity(MAGIC.len() + 1 + 16 + 4 + payload_bytes.len() + 16);
+        file_bytes.extend_from_slice(&MAGIC);
+        file_bytes.push(FORMAT_VERSION);
+        file_bytes.extend_from_slice(&fingerprint.0.to_be_bytes());
+        file_bytes.extend_from_slice(
+            &u32::try_from(payload_bytes.len()).expect("payload fits u32").to_le_bytes(),
+        );
+        file_bytes.extend_from_slice(&payload_bytes);
+        file_bytes.extend_from_slice(&Fingerprint::of_bytes(&payload_bytes).0.to_be_bytes());
+
+        let path = self.entry_path(fingerprint);
+        let dir = path.parent().expect("entry path has a shard directory");
+        fs::create_dir_all(dir)?;
+        // The temp file lives in the final directory so the rename cannot
+        // cross filesystems; the name is per-process so concurrent writers
+        // of the same entry race only at the (atomic) rename.
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), fingerprint.to_hex()));
+        fs::write(&tmp, &file_bytes)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(true),
+            Err(err) => {
+                let _ = fs::remove_file(&tmp);
+                Err(err.into())
+            }
+        }
+    }
+
+    /// Reads and fully validates the entry stored under `fingerprint`.
+    pub fn read_entry(&self, fingerprint: Fingerprint) -> Result<Entry, StoreError> {
+        let entry = read_entry_file(&self.entry_path(fingerprint))?;
+        if entry.fingerprint != fingerprint {
+            return Err(StoreError::FingerprintMismatch);
+        }
+        Ok(entry)
+    }
+
+    /// Deletes the entry stored under `fingerprint`, returning whether one
+    /// existed. No-op in a read-only store.
+    pub fn evict(&self, fingerprint: Fingerprint) -> Result<bool, StoreError> {
+        if self.readonly {
+            return Ok(false);
+        }
+        match fs::remove_file(self.entry_path(fingerprint)) {
+            Ok(()) => Ok(true),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Lists the on-disk entries (existence only — contents unvalidated),
+    /// sorted by fingerprint for deterministic output.
+    pub fn entries(&self) -> Vec<EntryInfo> {
+        let mut out = Vec::new();
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return out;
+        };
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                    continue;
+                };
+                if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXTENSION) {
+                    continue;
+                }
+                let Some(fingerprint) = Fingerprint::from_hex(stem) else {
+                    continue;
+                };
+                let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+                out.push(EntryInfo { fingerprint, path, bytes });
+            }
+        }
+        out.sort_by_key(|info| info.fingerprint);
+        out
+    }
+
+    /// Validates every on-disk entry end-to-end.
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport::default();
+        for info in self.entries() {
+            match read_entry_file(&info.path) {
+                Ok(entry) if entry.fingerprint == info.fingerprint => report.valid.push(info),
+                Ok(_) => report.corrupt.push((info, StoreError::FingerprintMismatch)),
+                Err(err) => report.corrupt.push((info, err)),
+            }
+        }
+        report
+    }
+
+    /// Number of journaled cache hits over the store's lifetime.
+    pub fn hit_count(&self) -> u64 {
+        let Ok(journal) = fs::read_to_string(self.root.join(HITS_LOG)) else {
+            return 0;
+        };
+        journal.lines().filter(|line| Fingerprint::from_hex(line.trim()).is_some()).count() as u64
+    }
+
+    /// Appends a hit to the advisory journal; failures are ignored (the
+    /// journal must never turn a cache hit into a run failure).
+    fn journal_hit(&self, fingerprint: Fingerprint) {
+        let Ok(mut file) =
+            fs::OpenOptions::new().create(true).append(true).open(self.root.join(HITS_LOG))
+        else {
+            return;
+        };
+        // One write_all of the full line: under O_APPEND the line lands
+        // atomically, so concurrent processes cannot interleave hex and
+        // newline fragments (writeln! would issue separate writes).
+        let _ = file.write_all(format!("{}\n", fingerprint.to_hex()).as_bytes());
+    }
+}
+
+/// Whether `WLCRC_STORE_READONLY` currently marks stores read-only.
+pub fn readonly_from_env() -> bool {
+    std::env::var(STORE_READONLY_ENV).is_ok_and(|v| {
+        let v = v.trim();
+        ["1", "true", "yes", "on"].iter().any(|accepted| v.eq_ignore_ascii_case(accepted))
+    })
+}
+
+/// Parses one entry file: magic, version, claimed fingerprint, length-checked
+/// payload, checksum, decode, and fingerprint-of-key revalidation.
+fn read_entry_file(path: &Path) -> Result<Entry, StoreError> {
+    let bytes = fs::read(path)?;
+    let header_len = MAGIC.len() + 1 + 16 + 4;
+    if bytes.len() < header_len + 16 {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = bytes[MAGIC.len()];
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let claimed = Fingerprint(u128::from_be_bytes(
+        bytes[MAGIC.len() + 1..MAGIC.len() + 17].try_into().expect("16 bytes"),
+    ));
+    let payload_len =
+        u32::from_le_bytes(bytes[MAGIC.len() + 17..header_len].try_into().expect("4 bytes"))
+            as usize;
+    let payload_end = header_len.checked_add(payload_len).ok_or(StoreError::Truncated)?;
+    if payload_end + 16 != bytes.len() {
+        return Err(StoreError::Truncated);
+    }
+    let payload_bytes = &bytes[header_len..payload_end];
+    let checksum =
+        Fingerprint(u128::from_be_bytes(bytes[payload_end..].try_into().expect("16 bytes")));
+    if Fingerprint::of_bytes(payload_bytes) != checksum {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    let entry_value = wire::decode(payload_bytes).map_err(StoreError::Wire)?;
+    let record = entry_value.as_record("StoreEntry").map_err(|_| StoreError::MalformedEntry)?;
+    let key = record.raw("key").ok_or(StoreError::MalformedEntry)?.clone();
+    let payload = record.raw("payload").ok_or(StoreError::MalformedEntry)?.clone();
+    if Fingerprint::of_value(&key) != claimed {
+        return Err(StoreError::FingerprintMismatch);
+    }
+    Ok(Entry { fingerprint: claimed, key, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A scratch directory removed on drop; unique per test without any
+    /// external tempdir dependency.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "wlcrc-store-test-{}-{}-{}",
+                std::process::id(),
+                tag,
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&path);
+            Scratch(path)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key(n: u64) -> Value {
+        Value::record("Key", vec![("n", Value::U64(n)), ("tag", Value::Str("t".into()))])
+    }
+
+    fn payload(x: f64) -> Value {
+        Value::record("Payload", vec![("energy", Value::F64(x))])
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let scratch = Scratch::new("roundtrip");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        assert_eq!(store.get(&key(1)), None);
+        assert!(store.put(&key(1), &payload(42.5)).unwrap());
+        assert_eq!(store.get(&key(1)), Some(payload(42.5)));
+        assert_eq!(store.get(&key(2)), None);
+        assert_eq!(store.entries().len(), 1);
+        assert_eq!(store.hit_count(), 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_the_payload() {
+        let scratch = Scratch::new("overwrite");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        store.put(&key(1), &payload(2.0)).unwrap();
+        assert_eq!(store.get(&key(1)), Some(payload(2.0)));
+        assert_eq!(store.entries().len(), 1);
+    }
+
+    #[test]
+    fn read_only_store_serves_hits_but_never_writes() {
+        let scratch = Scratch::new("readonly");
+        let writer = ResultStore::open(&scratch.0).unwrap();
+        writer.put(&key(1), &payload(7.0)).unwrap();
+        let hits_before = writer.hit_count();
+        let reader = ResultStore::open_read_only(&scratch.0);
+        assert_eq!(reader.get(&key(1)), Some(payload(7.0)));
+        assert!(!reader.put(&key(2), &payload(8.0)).unwrap());
+        assert_eq!(reader.get(&key(2)), None);
+        assert_eq!(reader.entries().len(), 1);
+        // The read-only hit was not journaled.
+        assert_eq!(writer.hit_count(), hits_before);
+    }
+
+    #[test]
+    fn truncation_and_tampering_read_as_misses() {
+        let scratch = Scratch::new("corrupt");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(3), &payload(9.0)).unwrap();
+        let path = store.entry_path(Fingerprint::of_value(&key(3)));
+        let original = fs::read(&path).unwrap();
+
+        // Every truncation point is a miss, not a panic.
+        for cut in [0, 5, MAGIC.len() + 1, original.len() / 2, original.len() - 1] {
+            fs::write(&path, &original[..cut]).unwrap();
+            assert_eq!(store.get(&key(3)), None, "truncation at {cut}");
+        }
+        // Every single-byte flip is a miss.
+        for i in 0..original.len() {
+            let mut tampered = original.clone();
+            tampered[i] ^= 0x40;
+            fs::write(&path, &tampered).unwrap();
+            assert_eq!(store.get(&key(3)), None, "flip at byte {i}");
+        }
+        // Restoring the original bytes restores the hit.
+        fs::write(&path, &original).unwrap();
+        assert_eq!(store.get(&key(3)), Some(payload(9.0)));
+        // And a corrupt entry can simply be rewritten.
+        fs::write(&path, b"garbage").unwrap();
+        assert!(store.put(&key(3), &payload(9.0)).unwrap());
+        assert_eq!(store.get(&key(3)), Some(payload(9.0)));
+    }
+
+    #[test]
+    fn verify_separates_valid_from_corrupt() {
+        let scratch = Scratch::new("verify");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        store.put(&key(2), &payload(2.0)).unwrap();
+        let victim = store.entry_path(Fingerprint::of_value(&key(2)));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&victim, &bytes).unwrap();
+        let report = store.verify();
+        assert_eq!(report.valid.len(), 1);
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].0.fingerprint, Fingerprint::of_value(&key(2)));
+    }
+
+    #[test]
+    fn evict_removes_entries() {
+        let scratch = Scratch::new("evict");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        let fp = Fingerprint::of_value(&key(1));
+        assert!(store.evict(fp).unwrap());
+        assert!(!store.evict(fp).unwrap());
+        assert_eq!(store.get(&key(1)), None);
+        assert!(store.entries().is_empty());
+    }
+
+    #[test]
+    fn entry_under_wrong_filename_is_rejected() {
+        let scratch = Scratch::new("misfiled");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        let from = store.entry_path(Fingerprint::of_value(&key(1)));
+        let to = store.entry_path(Fingerprint::of_value(&key(2)));
+        fs::create_dir_all(to.parent().unwrap()).unwrap();
+        fs::rename(&from, &to).unwrap();
+        // The key-2 lookup finds a file whose content was stored for key 1:
+        // the recomputed fingerprint exposes the mismatch.
+        assert_eq!(store.get(&key(2)), None);
+        assert_eq!(store.get(&key(1)), None);
+    }
+
+    #[test]
+    fn from_env_is_disabled_without_the_variable() {
+        // The test runner may set WLCRC_STORE for child processes it spawns,
+        // but within this process the variable is controlled here.
+        std::env::remove_var(STORE_ENV);
+        assert!(ResultStore::from_env().is_none());
+    }
+}

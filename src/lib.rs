@@ -14,6 +14,7 @@
 //! * [`wlcrc`] — the paper's contribution: WLC-integrated restricted coset
 //!   coding, plus the scheme registry and the hardware-overhead model.
 //! * [`trace`] — synthetic SPEC/PARSEC-like write-trace generation.
+//! * [`store`] — the persistent content-addressed result store.
 //! * [`memsim`] — the trace-driven simulator and statistics.
 //!
 //! ```
@@ -36,4 +37,5 @@ pub use wlcrc_coset as coset;
 pub use wlcrc_ecc as ecc;
 pub use wlcrc_memsim as memsim;
 pub use wlcrc_pcm as pcm;
+pub use wlcrc_store as store;
 pub use wlcrc_trace as trace;

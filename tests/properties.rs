@@ -167,6 +167,72 @@ proptest! {
     }
 
     #[test]
+    fn scheme_stats_records_round_trip_identically(
+        writes in any::<u64>(),
+        energy_bits in prop::array::uniform4(any::<u64>()),
+        cells in prop::array::uniform4(any::<u64>()),
+        errors in prop::array::uniform4(any::<u64>()),
+        bank_writes in prop::collection::vec(any::<u64>(), 0..70),
+        flags in any::<u64>(),
+    ) {
+        use serde::{Deserialize, Serialize};
+        use wlcrc_repro::memsim::SchemeStats;
+        use wlcrc_repro::store::wire;
+
+        // Arbitrary bit patterns for the floats — including NaNs, signed
+        // zeros and infinities — must survive serialize→deserialize exactly.
+        let mut stats = SchemeStats::new("WLCRC-16", "lesl");
+        stats.writes = writes;
+        stats.data_energy_pj = f64::from_bits(energy_bits[0]);
+        stats.aux_energy_pj = f64::from_bits(energy_bits[1]);
+        stats.expected_disturb_errors = f64::from_bits(energy_bits[2]);
+        stats.data_cells_updated = cells[0];
+        stats.aux_cells_updated = cells[1];
+        stats.data_disturb_errors = errors[0];
+        stats.aux_disturb_errors = errors[1];
+        stats.max_disturb_errors_per_write = errors[2];
+        stats.encoded_lines = flags & 0xFFFF;
+        stats.integrity_failures = flags >> 48;
+        stats.bank_writes = bank_writes;
+
+        // Identity through the Value model alone...
+        let back = SchemeStats::from_value(&stats.to_value()).unwrap();
+        // ...and through the full on-disk byte format. Compare as Values:
+        // Value equality is bitwise on floats, so this is the byte-identical
+        // claim even when a float is NaN (where SchemeStats' own PartialEq
+        // would wrongly report a difference).
+        prop_assert_eq!(back.to_value(), stats.to_value());
+        let bytes = wire::encode(&stats.to_value());
+        let decoded = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &stats.to_value());
+        let back2 = SchemeStats::from_value(&decoded).unwrap();
+        prop_assert_eq!(back2.to_value(), stats.to_value());
+    }
+
+    #[test]
+    fn run_metadata_records_round_trip_identically(
+        seeds in prop::collection::vec(any::<u64>(), 0..9),
+        lines in any::<u64>(),
+        config_index in 0usize..64,
+        grid_cells in any::<u64>(),
+    ) {
+        use serde::{Deserialize, Serialize};
+        use wlcrc_repro::memsim::RunMetadata;
+        use wlcrc_repro::store::wire;
+
+        let meta = RunMetadata {
+            seeds,
+            lines_per_workload: (lines >> 16) as usize,
+            config_index,
+            grid_cells: (grid_cells >> 16) as usize,
+        };
+        let back = RunMetadata::from_value(&meta.to_value()).unwrap();
+        prop_assert_eq!(&back, &meta);
+        let bytes = wire::encode(&meta.to_value());
+        prop_assert_eq!(RunMetadata::from_value(&wire::decode(&bytes).unwrap()).unwrap(), meta);
+    }
+
+    #[test]
     fn wlcrc_data_cost_never_exceeds_baseline_against_same_store(b in arb_biased_line()) {
         // Against the same stored content, choosing among {C1, C2, C3} can
         // never be worse than always using C1 (the baseline mapping).

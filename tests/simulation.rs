@@ -8,6 +8,9 @@ use wlcrc_repro::trace::{Benchmark, TraceGenerator, WorkloadProfile};
 use wlcrc_repro::wlcrc::schemes::{standard_schemes, SchemeId};
 
 fn small_experiment() -> wlcrc_repro::memsim::ExperimentResult {
+    // Hermetic: a developer's WLCRC_STORE must not leak cached cells into
+    // (or out of) the paper-findings assertions.
+    std::env::remove_var(wlcrc_repro::memsim::STORE_ENV);
     let schemes: Vec<(&str, Box<dyn LineCodec>)> =
         standard_schemes().into_iter().map(|(id, codec)| (id.label(), codec)).collect();
     run_schemes_on_workloads(schemes, &WorkloadProfile::all_benchmarks(), 150, 99)
@@ -98,6 +101,7 @@ fn experiment_plan_is_deterministic_across_worker_counts() {
     // thread identity or completion order.
     let build = || {
         let mut plan = wlcrc_repro::memsim::ExperimentPlan::new()
+            .store_disabled()
             .seed(99)
             .lines_per_workload(60)
             .workload(Benchmark::Gcc.profile())
@@ -136,6 +140,7 @@ fn streaming_pipeline_matches_materialised_baseline_for_every_scheme() {
     // bank-partitions.
     let build = || {
         let mut plan = wlcrc_repro::memsim::ExperimentPlan::new()
+            .store_disabled()
             .seed(42)
             .lines_per_workload(40)
             .workloads(wlcrc_repro::trace::WorkloadProfile::all_benchmarks());

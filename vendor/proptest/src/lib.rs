@@ -348,6 +348,8 @@ impl_strategy_for_tuple!(A: 0, B: 1);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
 
 /// A strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]

@@ -1,11 +1,517 @@
 //! Offline stand-in for the `serde` facade.
 //!
-//! Only the derive macros are consumed by this workspace (structs opt in to
-//! `#[derive(Serialize, Deserialize)]` so that a future wire format can be
-//! added without touching every type), so this shim simply re-exports the
-//! no-op derives. Swap this path dependency for the real crates.io `serde`
-//! once the build environment has registry access.
+//! Historically this shim only re-exported no-op derive macros; the
+//! persistent result store (`wlcrc_store`) needs actual serialization, so it
+//! now implements a small but real serde-like framework:
+//!
+//! * [`Value`] — a self-describing data model (the equivalent of
+//!   `serde_json::Value`, but carrying struct/enum names so on-disk records
+//!   can be inspected and validated without their Rust types);
+//! * [`Serialize`] / [`Deserialize`] — traits converting types to and from
+//!   [`Value`], implemented for the primitives, `String`, `Option`, `Vec`,
+//!   arrays and small tuples;
+//! * real derive macros (re-exported from `serde_derive`) generating the two
+//!   impls for named-field structs and unit-variant enums — exactly the
+//!   shapes this workspace derives.
+//!
+//! The API is deliberately simpler than real serde (no `Serializer`/
+//! `Visitor` indirection): wire formats consume [`Value`] trees instead.
+//! `f64` values round-trip **bit-exactly** (formats are expected to encode
+//! [`f64::to_bits`]), which the experiment engine's byte-identical-results
+//! guarantee relies on. If the build environment ever gains crates.io
+//! access, swapping this shim for real serde means porting the `Value`
+//! plumbing in `wlcrc_store`; every `#[derive(Serialize, Deserialize)]`
+//! site stays source-compatible.
 
 #![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error types.
+pub mod de {
+    use std::fmt;
+
+    /// Why a [`Value`](super::Value) could not be converted back into a type.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Creates an error with a descriptive message.
+        pub fn custom(message: impl Into<String>) -> Error {
+            Error { message: message.into() }
+        }
+
+        /// The value had a different shape than the target type expects.
+        pub fn unexpected(expected: &str, found: &super::Value) -> Error {
+            Error::custom(format!("expected {expected}, found {}", found.kind()))
+        }
+
+        /// A record was missing a required field.
+        pub fn missing_field(record: &str, field: &str) -> Error {
+            Error::custom(format!("record {record} is missing field {field:?}"))
+        }
+
+        /// An enum value named a variant the type does not have.
+        pub fn unknown_variant(enum_name: &str, variant: &str) -> Error {
+            Error::custom(format!("enum {enum_name} has no variant {variant:?}"))
+        }
+
+        /// The error message.
+        pub fn message(&self) -> &str {
+            &self.message
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+pub use de::Error as DeError;
+
+/// A self-describing serialized value.
+///
+/// Every node carries enough naming information (record and enum names,
+/// field names) that a serialized tree can be rendered, diffed and validated
+/// without access to the originating Rust types — the property the result
+/// store's `storectl inspect` relies on.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any unsigned integer (`u8`..`u64`, `usize`).
+    U64(u64),
+    /// Any signed integer (`i8`..`i64`, `isize`).
+    I64(i64),
+    /// A floating-point number. Formats must preserve the exact bit pattern
+    /// (`to_bits`/`from_bits`); equality here is bitwise so `NaN` payloads
+    /// and signed zeros survive comparisons.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An opaque byte string.
+    Bytes(Vec<u8>),
+    /// A homogeneous sequence (`Vec`, arrays, tuples).
+    Seq(Vec<Value>),
+    /// A named record with named fields (a struct).
+    Record {
+        /// The struct name.
+        name: String,
+        /// The fields, in declaration order.
+        fields: Vec<(String, Value)>,
+    },
+    /// A unit variant of a named enum.
+    Variant {
+        /// The enum name.
+        enum_name: String,
+        /// The variant name.
+        variant: String,
+    },
+}
+
+impl Value {
+    /// Builds a [`Value::Record`] from static field names.
+    pub fn record(name: &str, fields: Vec<(&str, Value)>) -> Value {
+        Value::Record {
+            name: name.to_string(),
+            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    /// Builds a [`Value::Variant`].
+    pub fn unit_variant(enum_name: &str, variant: &str) -> Value {
+        Value::Variant { enum_name: enum_name.to_string(), variant: variant.to_string() }
+    }
+
+    /// A short description of the value's shape, used in error messages.
+    pub fn kind(&self) -> String {
+        match self {
+            Value::Unit => "unit".to_string(),
+            Value::Bool(_) => "bool".to_string(),
+            Value::U64(_) => "unsigned integer".to_string(),
+            Value::I64(_) => "signed integer".to_string(),
+            Value::F64(_) => "float".to_string(),
+            Value::Str(_) => "string".to_string(),
+            Value::Bytes(_) => "bytes".to_string(),
+            Value::Seq(items) => format!("sequence of {} items", items.len()),
+            Value::Record { name, .. } => format!("record {name}"),
+            Value::Variant { enum_name, variant } => format!("variant {enum_name}::{variant}"),
+        }
+    }
+
+    /// Interprets the value as a record named `name` and returns an accessor
+    /// over its fields.
+    pub fn as_record(&self, name: &str) -> Result<RecordFields<'_>, de::Error> {
+        match self {
+            Value::Record { name: found, fields } if found == name => {
+                Ok(RecordFields { record: found, fields })
+            }
+            other => Err(de::Error::unexpected(&format!("record {name}"), other)),
+        }
+    }
+
+    /// Interprets the value as a unit variant of enum `enum_name` and returns
+    /// the variant name.
+    pub fn as_unit_variant(&self, enum_name: &str) -> Result<&str, de::Error> {
+        match self {
+            Value::Variant { enum_name: found, variant } if found == enum_name => Ok(variant),
+            other => Err(de::Error::unexpected(&format!("variant of {enum_name}"), other)),
+        }
+    }
+
+    /// Interprets the value as a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], de::Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(de::Error::unexpected("sequence", other)),
+        }
+    }
+}
+
+/// Bitwise comparison for floats: `NaN == NaN`, `0.0 != -0.0`. Serialized
+/// trees must compare exactly the way their encoded bytes would.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            (Value::Seq(a), Value::Seq(b)) => a == b,
+            (Value::Record { name: an, fields: af }, Value::Record { name: bn, fields: bf }) => {
+                an == bn && af == bf
+            }
+            (
+                Value::Variant { enum_name: ae, variant: av },
+                Value::Variant { enum_name: be, variant: bv },
+            ) => ae == be && av == bv,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+/// Field accessor for [`Value::as_record`].
+pub struct RecordFields<'a> {
+    record: &'a str,
+    fields: &'a [(String, Value)],
+}
+
+impl RecordFields<'_> {
+    /// Deserializes field `name`, failing if it is absent.
+    pub fn field<T: Deserialize>(&self, name: &str) -> Result<T, de::Error> {
+        let value = self.raw(name).ok_or_else(|| de::Error::missing_field(self.record, name))?;
+        T::from_value(value)
+    }
+
+    /// The raw value of field `name`, if present.
+    pub fn raw(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// All fields in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Conversion of a type into the self-describing [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion of a [`Value`] back into a type.
+pub trait Deserialize: Sized {
+    /// Deserializes a [`Value`] tree into `Self`.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+// ---- primitive impls --------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::try_from(*self).expect("unsigned fits u64"))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<$ty, de::Error> {
+                match value {
+                    Value::U64(n) => <$ty>::try_from(*n).map_err(|_| {
+                        de::Error::custom(format!(
+                            "integer {n} out of range for {}", stringify!($ty)
+                        ))
+                    }),
+                    other => Err(de::Error::unexpected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::try_from(*self).expect("signed fits i64"))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<$ty, de::Error> {
+                match value {
+                    Value::I64(n) => <$ty>::try_from(*n).map_err(|_| {
+                        de::Error::custom(format!(
+                            "integer {n} out of range for {}", stringify!($ty)
+                        ))
+                    }),
+                    other => Err(de::Error::unexpected("signed integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, de::Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            other => Err(de::Error::unexpected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, de::Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, de::Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::unit_variant("Option", "None"),
+            Some(inner) => Value::Record {
+                name: "Option::Some".to_string(),
+                fields: vec![("0".to_string(), inner.to_value())],
+            },
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, de::Error> {
+        match value {
+            Value::Variant { enum_name, variant } if enum_name == "Option" && variant == "None" => {
+                Ok(None)
+            }
+            Value::Record { name, fields } if name == "Option::Some" && fields.len() == 1 => {
+                T::from_value(&fields[0].1).map(Some)
+            }
+            other => Err(de::Error::unexpected("Option", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, de::Error> {
+        value.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<[T; N], de::Error> {
+        let items = value.as_seq()?;
+        if items.len() != N {
+            return Err(de::Error::custom(format!(
+                "expected an array of {N} items, found {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        vec.try_into().map_err(|_| de::Error::custom("array length changed during conversion"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let items = value.as_seq()?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(de::Error::custom(format!(
+                        "expected a tuple of {expected} items, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<(), de::Error> {
+        match value {
+            Value::Unit => Ok(()),
+            other => Err(de::Error::unexpected("unit", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(usize::from_value(&7usize.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+        assert_eq!(<()>::from_value(&().to_value()), Ok(()));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [0u64, 1, f64::NAN.to_bits(), (-0.0f64).to_bits(), f64::MAX.to_bits()] {
+            let x = f64::from_bits(bits);
+            let back = f64::from_value(&x.to_value()).unwrap();
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn float_values_compare_bitwise() {
+        assert_eq!(Value::F64(f64::NAN), Value::F64(f64::NAN));
+        assert_ne!(Value::F64(0.0), Value::F64(-0.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+        let a = [1.5f64, -2.5];
+        assert_eq!(<[f64; 2]>::from_value(&a.to_value()), Ok(a));
+        let t = (1u64, "x".to_string());
+        assert_eq!(<(u64, String)>::from_value(&t.to_value()), Ok(t));
+        assert_eq!(Option::<u64>::from_value(&None::<u64>.to_value()), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&Some(9u64).to_value()), Ok(Some(9)));
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        assert!(u64::from_value(&Value::Bool(true)).is_err());
+        assert!(<[u64; 3]>::from_value(&vec![1u64].to_value()).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        let rec = Value::record("A", vec![("x", Value::U64(1))]);
+        assert!(rec.as_record("B").is_err());
+        assert_eq!(rec.as_record("A").unwrap().field::<u64>("x"), Ok(1));
+        assert!(rec.as_record("A").unwrap().field::<u64>("y").is_err());
+    }
+}

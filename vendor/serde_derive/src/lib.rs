@@ -1,21 +1,332 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace is built in a hermetic environment with no crates.io
-//! access, and the codebase only ever *derives* `Serialize`/`Deserialize`
-//! (no code calls serde's runtime APIs). These derive macros therefore
-//! accept the usual syntax — including `#[serde(...)]` helper attributes —
-//! and expand to nothing, which is enough for every current use site.
+//! The workspace is built in a hermetic environment with no crates.io access
+//! (so no `syn`/`quote`), and the persistent result store needs *real*
+//! serialization. These derive macros therefore hand-parse the item's token
+//! stream and generate [`serde::Serialize`]/[`serde::Deserialize`] impls for
+//! the two shapes this workspace actually derives:
+//!
+//! * structs with named fields → a self-describing `Value::Record` carrying
+//!   the struct and field names;
+//! * enums whose variants are all unit variants → a `Value::Variant`
+//!   carrying the enum and variant names.
+//!
+//! Anything else (tuple structs, data-carrying variants, generic items)
+//! produces a `compile_error!` pointing here, so an unsupported derive is a
+//! loud build failure rather than a silently wrong encoding. `#[serde(...)]`
+//! helper attributes are accepted for source compatibility but rejected if
+//! actually used, because this shim would ignore their semantics.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op `#[derive(Serialize)]`.
+/// `#[derive(Serialize)]`: generates `serde::Serialize::to_value`.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
 }
 
-/// No-op `#[derive(Deserialize)]`.
+/// `#[derive(Deserialize)]`: generates `serde::Deserialize::from_value`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the item being derived.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(Type, ...);` — fields are named by position (`"0"`, ...).
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().expect("error tokens")
+        }
+    };
+    let code = match (item, direction) {
+        (Item::Struct { name, fields }, Direction::Serialize) => {
+            let body: String = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::record({name:?}, vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Struct { name, fields }, Direction::Deserialize) => {
+            let body: String =
+                fields.iter().map(|f| format!("{f}: record.field({f:?})?,")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<{name}, ::serde::de::Error> {{\n\
+                         let record = value.as_record({name:?})?;\n\
+                         ::std::result::Result::Ok({name} {{ {body} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::TupleStruct { name, arity }, Direction::Serialize) => {
+            let body: String = (0..arity)
+                .map(|i| format!("(\"{i}\", ::serde::Serialize::to_value(&self.{i})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::record({name:?}, vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::TupleStruct { name, arity }, Direction::Deserialize) => {
+            let body: String = (0..arity).map(|i| format!("record.field(\"{i}\")?,")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<{name}, ::serde::de::Error> {{\n\
+                         let record = value.as_record({name:?})?;\n\
+                         ::std::result::Result::Ok({name}({body}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Direction::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::unit_variant({name:?}, {v:?}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Direction::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<{name}, ::serde::de::Error> {{\n\
+                         match value.as_unit_variant({name:?})? {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::de::Error::unknown_variant({name:?}, other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Parses the derived item down to its name and field/variant names. Only the
+/// names are needed: generated code never has to spell a field's type because
+/// `RecordFields::field` infers it from the struct definition.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as #[doc = ...]) and the
+    // visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected an item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: cannot derive for generic type {name}; \
+                 implement Serialize/Deserialize by hand (see vendor/serde_derive)"
+            ));
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err(format!("serde shim: unexpected parenthesised body in {name}"));
+            }
+            return Ok(Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) });
+        }
+        _ => {
+            return Err(format!(
+                "serde shim: unit struct {name} is not supported; \
+                 implement the traits by hand"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => {
+            let fields = parse_named_fields(name.clone(), body)?;
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => Ok(Item::Enum { name: name.clone(), variants: parse_unit_variants(name, body)? }),
+        other => Err(format!("serde shim: cannot derive for item kind {other:?}")),
+    }
+}
+
+/// Counts the fields of a tuple struct body (`Type, Type, ...`): one more
+/// than the number of top-level commas, unless the body is empty. A trailing
+/// comma is tolerated. The `>` of a `->` return arrow (fn-pointer fields) is
+/// not a closing angle bracket.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    let mut prev_minus = false;
+    for token in body {
+        let minus = matches!(&token, TokenTree::Punct(p) if p.as_char() == '-');
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_minus => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    arity += 1;
+                    in_field = true;
+                }
+            }
+        }
+        prev_minus = minus;
+    }
+    arity
+}
+
+/// Parses `field: Type, ...`, returning the field names. Commas inside angle
+/// brackets (`HashMap<K, V>`) are not separators; groups are atomic tokens so
+/// only `<`/`>` depth needs tracking.
+fn parse_named_fields(item: String, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes, rejecting #[serde(...)] whose semantics we
+        // would otherwise silently drop.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if g.stream().into_iter().next().is_some_and(
+                            |t| matches!(t, TokenTree::Ident(i) if i.to_string() == "serde"),
+                        ) {
+                            return Err(format!(
+                                "serde shim: #[serde(...)] attributes in {item} are not supported"
+                            ));
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field in {item}, found {other:?}")),
+        }
+        // Consume the type, splitting on a top-level comma. The `>` of a
+        // `->` return arrow (fn-pointer fields) is not a closing bracket.
+        let mut angle_depth = 0i32;
+        let mut prev_minus = false;
+        for token in tokens.by_ref() {
+            let minus = matches!(&token, TokenTree::Punct(p) if p.as_char() == '-');
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && !prev_minus => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            prev_minus = minus;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses `Variant, ...`, requiring every variant to be a unit variant.
+fn parse_unit_variants(item: String, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.next() else {
+            break;
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim: enum {item} has a data-carrying variant {}; \
+                     only unit-variant enums can be derived — implement the traits by hand",
+                    variants.last().expect("just pushed")
+                ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde shim: unexpected token {other:?} in enum {item} \
+                     (discriminants are not supported)"
+                ))
+            }
+        }
+    }
+    Ok(variants)
 }
