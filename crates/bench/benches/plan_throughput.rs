@@ -12,7 +12,7 @@ use wlcrc_trace::Benchmark;
 fn plan(workers: usize) -> ExperimentPlan {
     // Store-less: a warm cache would measure file reads, not simulation.
     let mut plan = ExperimentPlan::new()
-        .store_disabled()
+        .store_enabled(false)
         .seed(1)
         .lines_per_workload(40)
         .threads(workers)

@@ -15,7 +15,7 @@ fn plan(lines: usize, shards: usize, materialise: bool) -> ExperimentPlan {
     let wlcrc16 = standard_factories().remove(7);
     // Store-less: a warm cache would measure file reads, not simulation.
     ExperimentPlan::new()
-        .store_disabled()
+        .store_enabled(false)
         .seed(1)
         .lines_per_workload(lines)
         .threads(4)

@@ -22,12 +22,14 @@ use std::time::Instant;
 use wlcrc::schemes::standard_factories;
 use wlcrc::{CocCosetCodec, WlcCosetCodec};
 use wlcrc_coset::{FlipMinCodec, FnwCodec, Granularity, NCosetsCodec, RestrictedCosetCodec};
-use wlcrc_memsim::ExperimentPlan;
+use wlcrc_memsim::{ExperimentPlan, SimulationOptions};
 use wlcrc_pcm::codec::LineCodec;
+use wlcrc_pcm::config::PcmConfig;
 use wlcrc_pcm::energy::EnergyModel;
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::physical::PhysicalLine;
-use wlcrc_trace::Benchmark;
+use wlcrc_serve::{ServeClient, Server, ServerConfig};
+use wlcrc_trace::{Benchmark, TraceStream, WriteRecord};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -452,7 +454,7 @@ fn main() {
             .lines_per_workload(plan_lines)
             .workload(Benchmark::Gcc.profile())
             .workload(Benchmark::Lbm.profile())
-            .store_disabled();
+            .store_enabled(false);
         for (id, factory) in standard_factories() {
             plan = plan.scheme_factory(id.label(), factory);
         }
@@ -497,6 +499,52 @@ fn main() {
         "  disabled {streamed_ms:.0} ms   cold {store_cold_ms:.0} ms   warm {store_warm_ms:.0} ms   warm speedup {warm_speedup:.1}x"
     );
 
+    // Serve suite: the same simulator behind the wire protocol. An
+    // in-process `wlcrc-serve` on an ephemeral port receives fixed-size
+    // write batches over TCP; requests/sec and the p99 batch latency track
+    // the framing + queueing overhead of the service path.
+    let serve_batches: usize = if quick { 50 } else { 400 };
+    let serve_batch_size: usize = 64;
+    println!("perfsnap: serve suite ({serve_batches} batches x {serve_batch_size} writes)");
+    let running = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() })
+        .serve_tcp("127.0.0.1:0")
+        .expect("perfsnap: serve suite could not bind a loopback port");
+    let addr = running.local_addr().expect("tcp server has an address");
+    let mut client = ServeClient::connect(addr).expect("perfsnap: connect to in-process server");
+    let serve_profile = Benchmark::Gcc.profile();
+    let session = client
+        .open(
+            "WLCRC-16",
+            &serve_profile.name,
+            PcmConfig::table_ii(),
+            SimulationOptions { seed, ..SimulationOptions::default() },
+        )
+        .expect("perfsnap: open serve session");
+    let serve_records: Vec<WriteRecord> =
+        TraceStream::new(serve_profile, seed, serve_batches * serve_batch_size).collect();
+    let mut batch_ms = Vec::with_capacity(serve_batches);
+    let serve_start = Instant::now();
+    for chunk in serve_records.chunks(serve_batch_size) {
+        let submit = Instant::now();
+        client.write_all(session, chunk).expect("perfsnap: serve write batch");
+        batch_ms.push(submit.elapsed().as_secs_f64() * 1e3);
+    }
+    client.flush(session).expect("perfsnap: serve flush");
+    let serve_secs = serve_start.elapsed().as_secs_f64();
+    let (serve_stats, _) = client.close(session).expect("perfsnap: serve close");
+    assert_eq!(
+        serve_stats.writes,
+        serve_records.len() as u64,
+        "the service must simulate every submitted write"
+    );
+    client.shutdown().expect("perfsnap: serve shutdown");
+    running.join();
+    batch_ms.sort_by(f64::total_cmp);
+    let p99_batch_ms = batch_ms[(batch_ms.len() * 99).div_ceil(100).saturating_sub(1)];
+    let serve_rps = serve_batches as f64 / serve_secs;
+    let serve_wps = serve_records.len() as f64 / serve_secs;
+    println!("  {serve_rps:.0} req/s   {serve_wps:.0} w/s   p99 batch {p99_batch_ms:.2} ms");
+
     let (git_rev, dirty) = git_describe();
     let timestamp =
         std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs());
@@ -533,7 +581,10 @@ fn main() {
         "    \"plan\": {{\"schemes\": 8, \"workloads\": 2, \"lines\": {plan_lines}, \"writes\": {grid_writes}, \"streamed_wall_ms\": {streamed_ms:.1}, \"materialised_wall_ms\": {materialised_ms:.1}, \"streamed_writes_per_sec\": {stream_wps:.0}}},\n"
     ));
     entry.push_str(&format!(
-        "    \"store\": {{\"disabled_wall_ms\": {streamed_ms:.1}, \"cold_wall_ms\": {store_cold_ms:.1}, \"warm_wall_ms\": {store_warm_ms:.1}, \"warm_speedup\": {warm_speedup:.1}}}\n"
+        "    \"store\": {{\"disabled_wall_ms\": {streamed_ms:.1}, \"cold_wall_ms\": {store_cold_ms:.1}, \"warm_wall_ms\": {store_warm_ms:.1}, \"warm_speedup\": {warm_speedup:.1}}},\n"
+    ));
+    entry.push_str(&format!(
+        "    \"serve\": {{\"batches\": {serve_batches}, \"batch_size\": {serve_batch_size}, \"requests_per_sec\": {serve_rps:.0}, \"writes_per_sec\": {serve_wps:.0}, \"p99_batch_ms\": {p99_batch_ms:.3}}}\n"
     ));
     entry.push_str("  }");
 

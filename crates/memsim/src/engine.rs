@@ -397,7 +397,7 @@ impl ExperimentPlan {
     /// Caches cell results in the persistent store at `path` (see
     /// [`crate::cache`] for what addresses a cell). Without this call the
     /// plan still honours the `WLCRC_STORE` environment variable; use
-    /// [`ExperimentPlan::store_disabled`] to opt out entirely.
+    /// [`ExperimentPlan::store_enabled`]`(false)` to opt out entirely.
     ///
     /// The cache never changes results: hits are byte-identical to
     /// recomputation for any worker count, shard count and hit/miss mix.
@@ -406,10 +406,23 @@ impl ExperimentPlan {
         self
     }
 
-    /// Never consults a result store, even when `WLCRC_STORE` is set.
-    pub fn store_disabled(mut self) -> ExperimentPlan {
-        self.store = StoreChoice::Disabled;
+    /// Enables or disables the persistent result store, uniformly with the
+    /// plan's other boolean knobs ([`ExperimentPlan::verify_integrity`],
+    /// [`ExperimentPlan::isolated`], [`ExperimentPlan::materialise_traces`]).
+    ///
+    /// `store_enabled(false)` never consults a store, even when `WLCRC_STORE`
+    /// is set; `store_enabled(true)` restores the default behaviour (an
+    /// explicit [`ExperimentPlan::store`] path, otherwise the `WLCRC_STORE`
+    /// environment variable, otherwise no store).
+    pub fn store_enabled(mut self, enabled: bool) -> ExperimentPlan {
+        self.store = if enabled { StoreChoice::Auto } else { StoreChoice::Disabled };
         self
+    }
+
+    /// Never consults a result store, even when `WLCRC_STORE` is set.
+    #[deprecated(since = "0.1.0", note = "use the uniform `store_enabled(false)` instead")]
+    pub fn store_disabled(self) -> ExperimentPlan {
+        self.store_enabled(false)
     }
 
     /// Forces the store read-only (hits are served, misses are not written
@@ -660,7 +673,7 @@ impl ExperimentPlan {
             WorkloadSource::Stream { factory, .. } => factory(seed),
             WorkloadSource::Profile(profile) => Box::new(TraceStream::new(
                 profile.clone(),
-                seed ^ hash_name(&profile.name),
+                workload_stream_seed(seed, &profile.name),
                 self.scaled_lines(profile, max_intensity),
             )),
         }
@@ -671,8 +684,7 @@ impl ExperimentPlan {
     /// construction and cache-key derivation so the key always describes
     /// exactly the stream a cell replays.
     fn scaled_lines(&self, profile: &WorkloadProfile, max_intensity: f64) -> usize {
-        ((self.lines_per_workload as f64) * profile.write_intensity / max_intensity).ceil().max(1.0)
-            as usize
+        scaled_workload_lines(self.lines_per_workload, profile, max_intensity)
     }
 
     /// Derives the store key of every cell; `None` marks uncacheable cells
@@ -729,7 +741,7 @@ impl ExperimentPlan {
                 let identity = match &identities[workload] {
                     Identity::Profile { value, name, scaled } => WorkloadIdentity::Profile {
                         profile: value.clone(),
-                        stream_seed: base_seed ^ hash_name(name),
+                        stream_seed: workload_stream_seed(base_seed, name),
                         scaled_lines: *scaled,
                     },
                     Identity::Trace { name, digest } => {
@@ -746,12 +758,7 @@ impl ExperimentPlan {
                     config: self.configs[config].clone(),
                     config_index: config as u64,
                     base_seed,
-                    cell_seed: derive_cell_seed(
-                        base_seed,
-                        config,
-                        label,
-                        self.workloads[workload].name(),
-                    ),
+                    cell_seed: cell_seed(base_seed, config, label, self.workloads[workload].name()),
                     verify_integrity: self.verify_integrity,
                     isolated: self.isolated,
                 })
@@ -778,8 +785,9 @@ impl ExperimentPlan {
         let base_seed = self.seeds[seed_index];
         let simulator = Simulator::with_config(self.configs[config_index].clone()).with_options(
             SimulationOptions {
-                seed: derive_cell_seed(base_seed, config_index, label, workload.name()),
+                seed: cell_seed(base_seed, config_index, label, workload.name()),
                 verify_integrity: self.verify_integrity,
+                sample_disturbance: true,
             },
         );
         codec_source.with_codec(|codec| {
@@ -902,9 +910,31 @@ pub(crate) fn hash_name(name: &str) -> u64 {
     })
 }
 
+/// The stream seed a profile workload generates its trace from, given the
+/// plan's base seed — `base ^ FNV(workload name)`, the derivation every grid
+/// cell uses. Public so external replayers (the serve layer's `serve-replay`,
+/// soak harnesses) can reproduce a plan's exact record streams.
+pub fn workload_stream_seed(base_seed: u64, workload: &str) -> u64 {
+    base_seed ^ hash_name(workload)
+}
+
+/// The scaled trace length of a profile workload within a grid whose highest
+/// profile write intensity is `max_intensity` (1.0 minimum) — the paper's
+/// relative-intensity scaling, shared with external replayers.
+pub fn scaled_workload_lines(
+    lines_per_workload: usize,
+    profile: &WorkloadProfile,
+    max_intensity: f64,
+) -> usize {
+    let max_intensity = max_intensity.max(1.0);
+    ((lines_per_workload as f64) * profile.write_intensity / max_intensity).ceil().max(1.0) as usize
+}
+
 /// Derives a cell's disturbance-sampling seed from the grid coordinates only
 /// — never from worker identity — so parallelism cannot change any figure.
-fn derive_cell_seed(base: u64, config_index: usize, scheme: &str, workload: &str) -> u64 {
+/// Public so a long-lived session replaying one grid cell (the serve layer)
+/// can be seeded byte-identically to the batch engine.
+pub fn cell_seed(base: u64, config_index: usize, scheme: &str, workload: &str) -> u64 {
     let mut h = 0x517c_c1b7_2722_0a95u64
         ^ base.rotate_left(17)
         ^ (config_index as u64).wrapping_mul(0xa24b_aed4_963e_e407);
@@ -931,12 +961,13 @@ mod tests {
     use wlcrc_pcm::line::MemoryLine;
     use wlcrc_trace::{from_fn, Benchmark, TraceGenerator, WriteRecord};
 
-    /// The shared test grid. `store_disabled()` keeps every non-store test
-    /// hermetic: a developer's `WLCRC_STORE` must neither serve these cells
-    /// nor be polluted by them. Store tests override with `.store(path)`.
+    /// The shared test grid. `store_enabled(false)` keeps every non-store
+    /// test hermetic: a developer's `WLCRC_STORE` must neither serve these
+    /// cells nor be polluted by them. Store tests override with
+    /// `.store(path)`.
     fn small_plan() -> ExperimentPlan {
         ExperimentPlan::new()
-            .store_disabled()
+            .store_enabled(false)
             .seed(3)
             .lines_per_workload(40)
             .workload(Benchmark::Gcc.profile())
@@ -967,7 +998,7 @@ mod tests {
         // and not: four executions of the same grid, one result.
         let plan = || {
             ExperimentPlan::new()
-                .store_disabled()
+                .store_enabled(false)
                 .seed(5)
                 .lines_per_workload(30)
                 .workloads(Benchmark::ALL.iter().map(|b| b.profile()))
@@ -1002,7 +1033,7 @@ mod tests {
         };
         let plan = || {
             ExperimentPlan::new()
-                .store_disabled()
+                .store_enabled(false)
                 .seed(1)
                 .verify_integrity(false)
                 .source_factory("endless", source_factory(9))
@@ -1086,7 +1117,7 @@ mod tests {
             Arc::new(generator.generate(30))
         };
         let plan = ExperimentPlan::new()
-            .store_disabled()
+            .store_enabled(false)
             .seed(5)
             .trace(Arc::clone(&trace))
             .scheme("Baseline", || Box::new(RawCodec::new()))
@@ -1163,10 +1194,17 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_store_disabled_matches_store_enabled_false() {
+        // The legacy spelling must stay byte-equivalent until it is removed.
+        assert_eq!(small_plan().run(), small_plan().store_disabled().run());
+    }
+
+    #[test]
     fn store_disabled_cold_and_warm_runs_are_byte_identical() {
         let scratch = Scratch::new("cold-warm");
         let plan = || small_plan().seeds([3, 4]).threads(2);
-        let disabled = plan().store_disabled().run();
+        let disabled = plan().store_enabled(false).run();
         let cold = plan().store(&scratch.0).store_readonly(false).run();
         let warm = plan().store(&scratch.0).store_readonly(false).run();
         let warm_parallel = plan().store(&scratch.0).store_readonly(false).threads(4).run();
@@ -1199,7 +1237,7 @@ mod tests {
             .run();
         // ...then run the full grid: gcc/mcf cells hit, omnetpp cells miss.
         let mixed = small_plan().store(&scratch.0).store_readonly(false).run();
-        let disabled = small_plan().store_disabled().run();
+        let disabled = small_plan().store_enabled(false).run();
         assert_eq!(mixed, disabled);
         for cell in &subset.cells {
             assert_eq!(Some(cell), mixed.get(&cell.scheme, &cell.workload));
@@ -1248,7 +1286,7 @@ mod tests {
         // The remapped codec shares the "Baseline" label; a label-keyed
         // cache would wrongly serve it the default codec's stats.
         let remapped_run = remapped_plan().run();
-        let remapped_disabled = remapped_plan().store_disabled().run();
+        let remapped_disabled = remapped_plan().store_enabled(false).run();
         assert_eq!(remapped_run, remapped_disabled);
         assert_ne!(
             default_run.cells[0].data_energy_pj, remapped_run.cells[0].data_energy_pj,
@@ -1356,12 +1394,12 @@ mod tests {
 
     #[test]
     fn cell_seeds_separate_grid_coordinates() {
-        let base = derive_cell_seed(1, 0, "A", "w");
-        assert_ne!(base, derive_cell_seed(2, 0, "A", "w"), "base seed must matter");
-        assert_ne!(base, derive_cell_seed(1, 1, "A", "w"), "config must matter");
-        assert_ne!(base, derive_cell_seed(1, 0, "B", "w"), "scheme must matter");
-        assert_ne!(base, derive_cell_seed(1, 0, "A", "x"), "workload must matter");
+        let base = cell_seed(1, 0, "A", "w");
+        assert_ne!(base, cell_seed(2, 0, "A", "w"), "base seed must matter");
+        assert_ne!(base, cell_seed(1, 1, "A", "w"), "config must matter");
+        assert_ne!(base, cell_seed(1, 0, "B", "w"), "scheme must matter");
+        assert_ne!(base, cell_seed(1, 0, "A", "x"), "workload must matter");
         // Concatenation ambiguity: ("AB", "C") vs ("A", "BC").
-        assert_ne!(derive_cell_seed(1, 0, "AB", "C"), derive_cell_seed(1, 0, "A", "BC"));
+        assert_ne!(cell_seed(1, 0, "AB", "C"), cell_seed(1, 0, "A", "BC"));
     }
 }

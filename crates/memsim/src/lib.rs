@@ -51,10 +51,11 @@ pub mod stats;
 
 pub use cache::{CellKey, SIMULATOR_VERSION_SALT, STORE_SALT_ENV};
 pub use engine::{
-    resolve_worker_count, ExperimentPlan, TraceSourceFactory, INTRA_SHARDS_ENV, MATERIALISE_ENV,
-    STORE_ENV, STORE_READONLY_ENV, THREADS_ENV,
+    cell_seed, resolve_worker_count, scaled_workload_lines, workload_stream_seed, ExperimentPlan,
+    TraceSourceFactory, INTRA_SHARDS_ENV, MATERIALISE_ENV, STORE_ENV, STORE_READONLY_ENV,
+    THREADS_ENV,
 };
 pub use experiment::{run_schemes_on_workloads, ExperimentResult, RunMetadata};
 pub use memory::MemoryOrganization;
-pub use simulator::{merge_bank_stats, BankStats, SimulationOptions, Simulator};
+pub use simulator::{merge_bank_stats, BankStats, SimulationOptions, Simulator, SimulatorSession};
 pub use stats::SchemeStats;

@@ -18,6 +18,7 @@ use crate::memory::MemoryOrganization;
 use crate::stats::SchemeStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::config::PcmConfig;
@@ -27,7 +28,7 @@ use wlcrc_pcm::write::differential_write;
 use wlcrc_trace::{IntoTraceSource, TraceSource, WriteRecord};
 
 /// Options controlling a simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationOptions {
     /// Base seed for the disturbance-sampling RNGs; each bank lane derives
     /// its own stream from `(seed, bank index)`.
@@ -35,11 +36,17 @@ pub struct SimulationOptions {
     /// When `true`, every write is decoded again and compared with the
     /// original data; mismatches are counted as integrity failures.
     pub verify_integrity: bool,
+    /// When `true` (the default), write disturbance is sampled per write.
+    /// Disabling it skips both the sampling and the RNG draws — the degraded
+    /// mode of the serve layer sheds exactly this work first — so disturbance
+    /// counters stay zero and later re-enabling yields a different (still
+    /// deterministic) RNG stream than an all-sampled run.
+    pub sample_disturbance: bool,
 }
 
 impl Default for SimulationOptions {
     fn default() -> SimulationOptions {
-        SimulationOptions { seed: 0xC0DE, verify_integrity: true }
+        SimulationOptions { seed: 0xC0DE, verify_integrity: true, sample_disturbance: true }
     }
 }
 
@@ -178,6 +185,180 @@ impl Default for Simulator {
     }
 }
 
+/// A long-lived, incrementally fed simulation: the session-friendly face of
+/// the per-bank lane core.
+///
+/// Where [`Simulator::run`] consumes a whole [`TraceSource`] and returns, a
+/// `SimulatorSession` owns its codec and its bank lanes *across calls*:
+/// records arrive one batch at a time (a memory service's request stream),
+/// each is routed to its bank lane exactly as the batch runner would route
+/// it, and [`SimulatorSession::stats`] can be taken at any point without
+/// disturbing the stored state.
+///
+/// **Equivalence guarantee:** feeding the records of a trace through
+/// [`write`](SimulatorSession::write) / [`write_batch`](SimulatorSession::write_batch)
+/// in trace order produces statistics byte-identical to
+/// [`Simulator::run`] over the same trace with the same options — lanes are
+/// keyed by bank, per-lane arrival order is the trace order, and per-lane RNG
+/// streams derive only from `(seed, bank)`. Records of *different* banks may
+/// even be fed in any interleaving (lanes never interact). The serve soak
+/// test pins this end to end over a live socket.
+///
+/// **Degraded mode:** [`set_degraded`](SimulatorSession::set_degraded) sheds
+/// integrity verification and disturbance sampling — the two pieces of work
+/// that do not affect energy/endurance accounting — so an overloaded service
+/// can drain queues faster at an explicit, observable accuracy cost. While
+/// degraded, disturbance RNG draws are skipped entirely; re-enabling restores
+/// full accounting but the sampled-disturbance stream will differ from a
+/// never-degraded run (energy and endurance numbers are RNG-free and remain
+/// exact).
+pub struct SimulatorSession {
+    codec: Box<dyn LineCodec>,
+    config: PcmConfig,
+    options: SimulationOptions,
+    organization: MemoryOrganization,
+    lanes: Vec<Option<BankLane>>,
+    workload: String,
+    writes: u64,
+    degraded: bool,
+}
+
+impl Simulator {
+    /// Opens a long-lived session owning `codec`, labelled `workload` in its
+    /// statistics. The session inherits this simulator's configuration and
+    /// options.
+    pub fn session(
+        &self,
+        codec: Box<dyn LineCodec>,
+        workload: impl Into<String>,
+    ) -> SimulatorSession {
+        let organization = MemoryOrganization::new(&self.config);
+        let mut lanes: Vec<Option<BankLane>> = Vec::new();
+        lanes.resize_with(organization.total_banks(), || None);
+        SimulatorSession {
+            codec,
+            config: self.config.clone(),
+            options: self.options.clone(),
+            organization,
+            lanes,
+            workload: workload.into(),
+            writes: 0,
+            degraded: false,
+        }
+    }
+}
+
+impl SimulatorSession {
+    /// Feeds one write record to its bank lane.
+    pub fn write(&mut self, record: &WriteRecord) {
+        let bank = self.organization.bank_index(record.address);
+        let seed = self.options.seed;
+        let lane = self.lanes[bank].get_or_insert_with(|| BankLane::new(seed, bank));
+        let options = if self.degraded {
+            SimulationOptions {
+                verify_integrity: false,
+                sample_disturbance: false,
+                ..self.options.clone()
+            }
+        } else {
+            self.options.clone()
+        };
+        lane.feed(
+            self.codec.as_ref(),
+            record,
+            &self.config.energy,
+            &self.config,
+            &options,
+            Tracking::Stored,
+        );
+        self.writes += 1;
+    }
+
+    /// Feeds a batch, grouped by bank lane for locality: all records of bank
+    /// 0 first, then bank 1, and so on, each lane preserving the batch's
+    /// arrival order. Statistics are identical to feeding the batch record by
+    /// record — lanes are independent — but the per-lane grouping amortises
+    /// stored-line and LUT locality the way the sharded batch runner does.
+    pub fn write_batch(&mut self, records: &[WriteRecord]) {
+        if records.len() < 2 {
+            for record in records {
+                self.write(record);
+            }
+            return;
+        }
+        // Stable counting sort of record indices by bank.
+        let banks: Vec<usize> =
+            records.iter().map(|r| self.organization.bank_index(r.address)).collect();
+        let mut order: Vec<u32> = (0..records.len() as u32).collect();
+        order.sort_by_key(|&i| banks[i as usize]);
+        for i in order {
+            self.write(&records[i as usize]);
+        }
+    }
+
+    /// Enables or disables degraded mode (shed verify-integrity and
+    /// disturbance sampling; see the type docs for the accuracy contract).
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether the session is currently shedding optional work.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Number of records fed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The codec this session encodes with.
+    pub fn codec(&self) -> &dyn LineCodec {
+        self.codec.as_ref()
+    }
+
+    /// The session's PCM configuration.
+    pub fn config(&self) -> &PcmConfig {
+        &self.config
+    }
+
+    /// The session's simulation options.
+    pub fn options(&self) -> &SimulationOptions {
+        &self.options
+    }
+
+    /// The flat bank index `address` routes to.
+    pub fn bank_index(&self, address: u64) -> usize {
+        self.organization.bank_index(address)
+    }
+
+    /// Total number of banks in the session's organisation.
+    pub fn total_banks(&self) -> usize {
+        self.organization.total_banks()
+    }
+
+    /// The per-bank partial statistics accumulated so far (non-empty lanes in
+    /// ascending bank order), cloned without disturbing the stored state.
+    pub fn bank_stats(&self) -> Vec<BankStats> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(bank, lane)| lane.as_ref().map(|lane| (bank, lane.stats.clone())))
+            .collect()
+    }
+
+    /// The session's aggregated statistics so far — byte-identical to what
+    /// [`Simulator::run`] would return for the records fed to date.
+    pub fn stats(&self) -> SchemeStats {
+        merge_bank_stats(
+            self.codec.name(),
+            &self.workload,
+            self.organization.total_banks(),
+            self.bank_stats(),
+        )
+    }
+}
+
 /// Whether lanes track physically stored lines across writes or treat every
 /// record as an isolated write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,7 +402,11 @@ impl BankLane {
         };
         let new = codec.encode(&record.new, &old, energy);
         let outcome = differential_write(&old, &new, energy);
-        let disturbance = evaluate_disturbance(&old, &new, &config.disturbance, &mut self.rng);
+        let disturbance = if options.sample_disturbance {
+            evaluate_disturbance(&old, &new, &config.disturbance, &mut self.rng)
+        } else {
+            wlcrc_pcm::disturb::DisturbanceOutcome::default()
+        };
         let encoded = match tracking {
             Tracking::Stored => new.aux_cells() > 0 || codec.encoded_cells() == new.len(),
             Tracking::Isolated => true,
@@ -395,6 +580,81 @@ mod tests {
         assert_eq!(stats.bank_writes.iter().sum::<u64>(), stats.writes);
         assert!(stats.banks_touched() > 1, "writes must spread over banks");
         assert!(stats.write_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn session_writes_match_batch_run_byte_for_byte() {
+        let sim = Simulator::new();
+        let trace = TraceGenerator::new(Benchmark::Gcc.profile(), 7).generate(300);
+        let batch = sim.run(&RawCodec::new(), &trace);
+        // Record by record.
+        let mut session = sim.session(Box::new(RawCodec::new()), trace.workload.clone());
+        for record in trace.iter() {
+            session.write(record);
+        }
+        assert_eq!(session.stats(), batch);
+        assert_eq!(session.writes(), 300);
+        // Chunked into uneven batches (write_batch regroups by bank).
+        let mut chunked = sim.session(Box::new(RawCodec::new()), trace.workload.clone());
+        let records: Vec<WriteRecord> = trace.iter().copied().collect();
+        for chunk in records.chunks(37) {
+            chunked.write_batch(chunk);
+        }
+        assert_eq!(chunked.stats(), batch);
+    }
+
+    #[test]
+    fn session_stats_are_reusable_mid_stream() {
+        let sim = Simulator::new();
+        let trace = TraceGenerator::new(Benchmark::Mcf.profile(), 3).generate(120);
+        let records: Vec<WriteRecord> = trace.iter().copied().collect();
+        let mut session = sim.session(Box::new(RawCodec::new()), "mcf");
+        session.write_batch(&records[..60]);
+        let midway = session.stats();
+        assert_eq!(midway.writes, 60);
+        session.write_batch(&records[60..]);
+        let full = session.stats();
+        assert_eq!(full.writes, 120);
+        // Taking stats mid-stream must not have perturbed the stored state.
+        let mut straight = sim.session(Box::new(RawCodec::new()), "mcf");
+        straight.write_batch(&records);
+        assert_eq!(full, straight.stats());
+    }
+
+    #[test]
+    fn degraded_mode_sheds_sampling_but_keeps_energy_exact() {
+        let sim = Simulator::new();
+        let trace = TraceGenerator::new(Benchmark::Lbm.profile(), 5).generate(100);
+        let records: Vec<WriteRecord> = trace.iter().copied().collect();
+        let mut normal = sim.session(Box::new(RawCodec::new()), "lbm");
+        normal.write_batch(&records);
+        let mut degraded = sim.session(Box::new(RawCodec::new()), "lbm");
+        degraded.set_degraded(true);
+        assert!(degraded.degraded());
+        degraded.write_batch(&records);
+        let n = normal.stats();
+        let d = degraded.stats();
+        // Energy and endurance are RNG-free and must be identical; sampled
+        // disturbance and expected-disturbance accounting are shed.
+        assert_eq!(d.writes, n.writes);
+        assert_eq!(d.data_energy_pj, n.data_energy_pj);
+        assert_eq!(d.data_cells_updated, n.data_cells_updated);
+        assert_eq!(d.expected_disturb_errors, 0.0);
+        assert_eq!(d.data_disturb_errors + d.aux_disturb_errors, 0);
+    }
+
+    #[test]
+    fn disabling_disturbance_sampling_zeroes_disturb_counters() {
+        let sim = Simulator::new().with_options(SimulationOptions {
+            sample_disturbance: false,
+            ..SimulationOptions::default()
+        });
+        let trace = TraceGenerator::new(Benchmark::Gcc.profile(), 9).generate(80);
+        let stats = sim.run(&RawCodec::new(), &trace);
+        assert_eq!(stats.writes, 80);
+        assert_eq!(stats.data_disturb_errors + stats.aux_disturb_errors, 0);
+        assert_eq!(stats.expected_disturb_errors, 0.0);
+        assert!(stats.total_energy_pj() > 0.0, "energy accounting must be unaffected");
     }
 
     #[test]

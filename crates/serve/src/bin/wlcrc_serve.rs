@@ -1,0 +1,78 @@
+//! `wlcrc-serve` — the long-lived memory-service daemon.
+//!
+//! ```text
+//! wlcrc-serve [--listen ADDR] [--unix PATH] [--store DIR]
+//!             [--workers N] [--lane-capacity N] [--session-queue-cap N]
+//!             [--degraded-threshold N]
+//! ```
+//!
+//! Binds a TCP listener (default `127.0.0.1:7711`; use port 0 for an
+//! ephemeral port, printed on stdout) or a Unix-domain socket, then serves
+//! until a client sends `Shutdown`. With `--store DIR`, closed sessions are
+//! looked up in / written back to the persistent result store, surfacing
+//! the cross-run hit rate in the metrics scrape.
+
+use wlcrc_serve::{ServeError, Server, ServerConfig};
+
+fn main() -> Result<(), ServeError> {
+    let mut listen = "127.0.0.1:7711".to_string();
+    let mut unix: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| ServeError::Protocol(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--unix" => unix = Some(value("--unix")?),
+            "--store" => config.store = Some(value("--store")?.into()),
+            "--workers" => config.workers = parse(&value("--workers")?, "--workers")?,
+            "--lane-capacity" => {
+                config.lane_capacity = parse(&value("--lane-capacity")?, "--lane-capacity")?
+            }
+            "--session-queue-cap" => {
+                config.session_queue_cap =
+                    parse(&value("--session-queue-cap")?, "--session-queue-cap")?
+            }
+            "--degraded-threshold" => {
+                config.degraded_threshold =
+                    parse(&value("--degraded-threshold")?, "--degraded-threshold")?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: wlcrc-serve [--listen ADDR] [--unix PATH] [--store DIR] \
+                     [--workers N] [--lane-capacity N] [--session-queue-cap N] \
+                     [--degraded-threshold N]"
+                );
+                return Ok(());
+            }
+            other => return Err(ServeError::Protocol(format!("unknown flag {other:?}"))),
+        }
+    }
+    let server = Server::new(config);
+    let running = match unix {
+        #[cfg(unix)]
+        Some(path) => {
+            let running = server.serve_unix(&path)?;
+            println!("wlcrc-serve listening on unix socket {path}");
+            running
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            return Err(ServeError::Protocol("--unix needs a unix platform".to_string()));
+        }
+        None => {
+            let running = server.serve_tcp(&listen)?;
+            let addr = running.local_addr().expect("tcp server has an address");
+            println!("wlcrc-serve listening on {addr}");
+            running
+        }
+    };
+    running.join();
+    Ok(())
+}
+
+fn parse(text: &str, flag: &str) -> Result<usize, ServeError> {
+    text.parse().map_err(|_| ServeError::Protocol(format!("{flag}: not a count: {text:?}")))
+}

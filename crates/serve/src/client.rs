@@ -1,0 +1,174 @@
+//! A minimal blocking client for the serve protocol, used by the soak test,
+//! the `serve-replay` tool and in-process examples.
+
+use crate::error::ServeError;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use wlcrc_memsim::{SchemeStats, SimulationOptions};
+use wlcrc_pcm::config::PcmConfig;
+use wlcrc_trace::WriteRecord;
+
+/// Outcome of [`ServeClient::write_all`]: the records all landed, possibly
+/// after observing backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Records delivered (always the full batch on `Ok`).
+    pub written: u64,
+    /// `Busy` responses absorbed along the way — nonzero means the server
+    /// exercised backpressure and this client resubmitted the remainder.
+    pub busy_responses: u64,
+    /// Highest session queue depth any response reported.
+    pub max_queued: u64,
+}
+
+/// A connected client driving one request/response exchange at a time over
+/// any bidirectional byte stream.
+pub struct ServeClient<S: Read + Write> {
+    stream: S,
+}
+
+impl ServeClient<TcpStream> {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient<TcpStream>, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests and responses strictly alternate, so Nagle's algorithm
+        // would stall every exchange by a delayed-ACK interval.
+        stream.set_nodelay(true)?;
+        Ok(ServeClient::over(stream))
+    }
+}
+
+#[cfg(unix)]
+impl ServeClient<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<ServeClient<UnixStream>, ServeError> {
+        Ok(ServeClient::over(UnixStream::connect(path)?))
+    }
+}
+
+impl<S: Read + Write> ServeClient<S> {
+    /// Wraps an already-connected bidirectional stream.
+    pub fn over(stream: S) -> ServeClient<S> {
+        ServeClient { stream }
+    }
+
+    /// One request/response exchange. Protocol-level `Error` responses are
+    /// surfaced as [`ServeError::Remote`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &request.to_value())?;
+        let value = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Protocol("server hung up mid-exchange".to_string()))?;
+        match Response::from_value(&value)? {
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            response => Ok(response),
+        }
+    }
+
+    /// Opens a session; returns its id.
+    pub fn open(
+        &mut self,
+        scheme: &str,
+        workload: &str,
+        config: PcmConfig,
+        options: SimulationOptions,
+    ) -> Result<u64, ServeError> {
+        match self.call(&Request::Open {
+            scheme: scheme.to_string(),
+            workload: workload.to_string(),
+            config,
+            options,
+        })? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected("Opened", &other)),
+        }
+    }
+
+    /// Submits one batch without retrying: the raw `Accepted`/`Busy`
+    /// outcome, for callers probing backpressure directly.
+    pub fn write(&mut self, session: u64, records: &[WriteRecord]) -> Result<Response, ServeError> {
+        self.call(&Request::Write { session, records: records.to_vec() })
+    }
+
+    /// Delivers *all* records, resubmitting whatever a `Busy` response left
+    /// over (after a `Flush` to let the server drain). Chunks the batch so
+    /// no frame exceeds the protocol cap.
+    pub fn write_all(
+        &mut self,
+        session: u64,
+        records: &[WriteRecord],
+    ) -> Result<WriteReport, ServeError> {
+        const CHUNK: usize = 4096;
+        let mut report = WriteReport { written: 0, busy_responses: 0, max_queued: 0 };
+        for chunk in records.chunks(CHUNK) {
+            let mut rest = chunk;
+            while !rest.is_empty() {
+                match self.write(session, rest)? {
+                    Response::Accepted { accepted, queued } => {
+                        report.written += accepted;
+                        report.max_queued = report.max_queued.max(queued);
+                        rest = &rest[accepted as usize..];
+                    }
+                    Response::Busy { accepted, queued } => {
+                        report.written += accepted;
+                        report.busy_responses += 1;
+                        report.max_queued = report.max_queued.max(queued);
+                        rest = &rest[accepted as usize..];
+                        // Nothing was dropped; give the server room.
+                        self.flush(session)?;
+                    }
+                    other => return Err(unexpected("Accepted|Busy", &other)),
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Blocks until the session's backlog is fully simulated.
+    pub fn flush(&mut self, session: u64) -> Result<u64, ServeError> {
+        match self.call(&Request::Flush { session })? {
+            Response::Flushed { writes } => Ok(writes),
+            other => Err(unexpected("Flushed", &other)),
+        }
+    }
+
+    /// Snapshots the session's statistics (drains first server-side).
+    pub fn stats(&mut self, session: u64) -> Result<(SchemeStats, bool), ServeError> {
+        match self.call(&Request::Stats { session })? {
+            Response::Stats { stats, degraded } => Ok((stats, degraded)),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Closes the session, returning its final statistics and the store
+    /// outcome (`None` when the server runs store-less).
+    pub fn close(&mut self, session: u64) -> Result<(SchemeStats, Option<bool>), ServeError> {
+        match self.call(&Request::Close { session })? {
+            Response::Closed { stats, store_hit } => Ok((stats, store_hit)),
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    /// Scrapes the plain-text metrics.
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsText { text } => Ok(text),
+            other => Err(unexpected("MetricsText", &other)),
+        }
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &str, got: &Response) -> ServeError {
+    ServeError::Protocol(format!("expected {expected} response, got {got:?}"))
+}

@@ -1,0 +1,239 @@
+//! Server-wide counters and the plain-text scrape rendering.
+//!
+//! Counters are lock-free atomics bumped on the request path; gauges that
+//! need session state (queue depths, energy per write, imbalance) are
+//! sampled at scrape time by the server, which owns the session table. The
+//! exposition format is Prometheus text style — `# TYPE` lines followed by
+//! `name{labels} value` — flat enough to be diffed by the CI smoke job and
+//! parsed by the soak test without a real Prometheus client.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters shared by every connection handler and worker.
+#[derive(Debug)]
+pub struct ServeCounters {
+    /// Process-relative start time, the basis for `writes_per_sec`.
+    start: Instant,
+    /// Total protocol requests handled (any kind, including errors).
+    pub requests_total: AtomicU64,
+    /// Records accepted into bank queues.
+    pub writes_accepted_total: AtomicU64,
+    /// Records actually simulated (drained from queues).
+    pub writes_simulated_total: AtomicU64,
+    /// `Busy` responses sent (backpressure events).
+    pub busy_responses_total: AtomicU64,
+    /// Sessions that entered degraded mode (cumulative).
+    pub degraded_entered_total: AtomicU64,
+    /// Result-store hits at session close.
+    pub store_hits_total: AtomicU64,
+    /// Result-store misses at session close.
+    pub store_misses_total: AtomicU64,
+}
+
+impl Default for ServeCounters {
+    fn default() -> ServeCounters {
+        ServeCounters {
+            start: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            writes_accepted_total: AtomicU64::new(0),
+            writes_simulated_total: AtomicU64::new(0),
+            busy_responses_total: AtomicU64::new(0),
+            degraded_entered_total: AtomicU64::new(0),
+            store_hits_total: AtomicU64::new(0),
+            store_misses_total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeCounters {
+    /// Seconds since the server started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Simulated writes per second over the whole uptime.
+    pub fn writes_per_sec(&self) -> f64 {
+        let uptime = self.uptime_seconds();
+        if uptime <= 0.0 {
+            0.0
+        } else {
+            self.writes_simulated_total.load(Ordering::Relaxed) as f64 / uptime
+        }
+    }
+
+    /// Store hit fraction over closes so far (0.0 when store-less or before
+    /// the first close).
+    pub fn store_hit_rate(&self) -> f64 {
+        let hits = self.store_hits_total.load(Ordering::Relaxed) as f64;
+        let total = hits + self.store_misses_total.load(Ordering::Relaxed) as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+/// One gauge sampled from a live session at scrape time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSample {
+    /// The session id, used as the `session` label.
+    pub session: u64,
+    /// Scheme label the session encodes with.
+    pub scheme: String,
+    /// Records currently queued (all bank lanes).
+    pub queue_depth: u64,
+    /// Mean write energy over everything simulated so far (pJ).
+    pub energy_pj_per_write: f64,
+    /// Max/min per-bank write ratio ([`wlcrc_memsim::SchemeStats::write_imbalance`]).
+    pub write_imbalance: f64,
+    /// Whether the session is currently shedding optional work.
+    pub degraded: bool,
+}
+
+/// Renders the scrape body from the counters plus per-session samples.
+pub fn render(
+    counters: &ServeCounters,
+    sessions: &[SessionSample],
+    lane_capacity: usize,
+) -> String {
+    let mut out = String::with_capacity(1024);
+    let counter = |out: &mut String, name: &str, value: u64| {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    };
+    let gauge = |out: &mut String, name: &str, value: f64| {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value:?}\n"));
+    };
+    gauge(&mut out, "wlcrc_serve_uptime_seconds", counters.uptime_seconds());
+    out.push_str(&format!(
+        "# TYPE wlcrc_serve_sessions gauge\nwlcrc_serve_sessions {}\n",
+        sessions.len()
+    ));
+    counter(
+        &mut out,
+        "wlcrc_serve_requests_total",
+        counters.requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "wlcrc_serve_writes_accepted_total",
+        counters.writes_accepted_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "wlcrc_serve_writes_simulated_total",
+        counters.writes_simulated_total.load(Ordering::Relaxed),
+    );
+    gauge(&mut out, "wlcrc_serve_writes_per_sec", counters.writes_per_sec());
+    counter(
+        &mut out,
+        "wlcrc_serve_busy_responses_total",
+        counters.busy_responses_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "wlcrc_serve_degraded_entered_total",
+        counters.degraded_entered_total.load(Ordering::Relaxed),
+    );
+    out.push_str(&format!(
+        "# TYPE wlcrc_serve_lane_capacity gauge\nwlcrc_serve_lane_capacity {lane_capacity}\n"
+    ));
+    counter(
+        &mut out,
+        "wlcrc_serve_store_hits_total",
+        counters.store_hits_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "wlcrc_serve_store_misses_total",
+        counters.store_misses_total.load(Ordering::Relaxed),
+    );
+    gauge(&mut out, "wlcrc_serve_store_hit_rate", counters.store_hit_rate());
+    let degraded = sessions.iter().filter(|s| s.degraded).count();
+    out.push_str(&format!(
+        "# TYPE wlcrc_serve_degraded_sessions gauge\nwlcrc_serve_degraded_sessions {degraded}\n"
+    ));
+    out.push_str("# TYPE wlcrc_serve_queue_depth gauge\n");
+    for sample in sessions {
+        out.push_str(&format!(
+            "wlcrc_serve_queue_depth{{session=\"{}\",scheme=\"{}\"}} {}\n",
+            sample.session, sample.scheme, sample.queue_depth
+        ));
+    }
+    out.push_str("# TYPE wlcrc_serve_energy_pj_per_write gauge\n");
+    for sample in sessions {
+        out.push_str(&format!(
+            "wlcrc_serve_energy_pj_per_write{{session=\"{}\",scheme=\"{}\"}} {:?}\n",
+            sample.session, sample.scheme, sample.energy_pj_per_write
+        ));
+    }
+    out.push_str("# TYPE wlcrc_serve_write_imbalance gauge\n");
+    for sample in sessions {
+        out.push_str(&format!(
+            "wlcrc_serve_write_imbalance{{session=\"{}\",scheme=\"{}\"}} {:?}\n",
+            sample.session, sample.scheme, sample.write_imbalance
+        ));
+    }
+    out
+}
+
+/// Extracts the value of an unlabelled metric from a scrape body — the tiny
+/// parser the soak test and `serve-replay` reconcile counters with.
+pub fn scrape_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.trim_start();
+        if rest.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        rest.parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_every_advertised_metric() {
+        let counters = ServeCounters::default();
+        counters.writes_simulated_total.store(42, Ordering::Relaxed);
+        let sessions = vec![SessionSample {
+            session: 1,
+            scheme: "WLCRC-16".to_string(),
+            queue_depth: 7,
+            energy_pj_per_write: 123.25,
+            write_imbalance: 1.5,
+            degraded: true,
+        }];
+        let text = render(&counters, &sessions, 256);
+        for name in [
+            "wlcrc_serve_uptime_seconds",
+            "wlcrc_serve_sessions 1",
+            "wlcrc_serve_requests_total",
+            "wlcrc_serve_writes_accepted_total",
+            "wlcrc_serve_writes_simulated_total 42",
+            "wlcrc_serve_writes_per_sec",
+            "wlcrc_serve_busy_responses_total",
+            "wlcrc_serve_lane_capacity 256",
+            "wlcrc_serve_store_hit_rate",
+            "wlcrc_serve_degraded_sessions 1",
+            "wlcrc_serve_queue_depth{session=\"1\",scheme=\"WLCRC-16\"} 7",
+            "wlcrc_serve_energy_pj_per_write{session=\"1\",scheme=\"WLCRC-16\"} 123.25",
+            "wlcrc_serve_write_imbalance{session=\"1\",scheme=\"WLCRC-16\"} 1.5",
+        ] {
+            assert!(text.contains(name), "missing {name:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn scrape_value_reads_back_counters() {
+        let counters = ServeCounters::default();
+        counters.writes_simulated_total.store(9, Ordering::Relaxed);
+        let text = render(&counters, &[], 64);
+        assert_eq!(scrape_value(&text, "wlcrc_serve_writes_simulated_total"), Some(9.0));
+        assert_eq!(scrape_value(&text, "wlcrc_serve_lane_capacity"), Some(64.0));
+        assert_eq!(scrape_value(&text, "no_such_metric"), None);
+    }
+}

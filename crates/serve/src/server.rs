@@ -1,0 +1,539 @@
+//! The blocking listener, worker pool, session table and request dispatch.
+//!
+//! ## Architecture
+//!
+//! Every connection gets a handler thread that reads frames, dispatches
+//! [`Request`]s and writes [`Response`]s. A `Write` request only *enqueues*
+//! records into the session's per-bank lanes (bounded [`VecDeque`]s mirroring
+//! the simulator's bank partitioning) and wakes the worker pool; workers
+//! drain dirty sessions in the background, lane by lane in ascending bank
+//! order with per-lane FIFO preserved — exactly the order contract under
+//! which [`SimulatorSession`] is byte-identical to a batch run. `Flush`,
+//! `Stats` and `Close` drain inline before answering, so their snapshots
+//! always cover every accepted record.
+//!
+//! ## Backpressure and degradation
+//!
+//! Queues never grow without bound. A `Write` that would overflow a bank
+//! lane (or the session's total budget) is **partially accepted**: the
+//! server answers [`Response::Busy`] carrying how many records it took, and
+//! the client owns the rest — nothing is ever dropped silently. Before that
+//! hard edge there is a soft one: when a session's backlog crosses
+//! `degraded_threshold`, the session enters *degraded mode*, shedding
+//! integrity verification and disturbance sampling (the two costs that do
+//! not affect energy/endurance accounting) until its backlog fully drains.
+//! The escalation is therefore: full fidelity → degraded (faster drain,
+//! observable in `Stats` and metrics) → `Busy` (fail closed).
+
+use crate::error::ServeError;
+use crate::metrics::{render, ServeCounters, SessionSample};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use serde::{Serialize, Value};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wlcrc::schemes::SchemeId;
+use wlcrc_memsim::cache::{codec_fingerprint, effective_salt};
+use wlcrc_memsim::{SimulationOptions, Simulator, SimulatorSession};
+use wlcrc_pcm::config::PcmConfig;
+use wlcrc_store::{ResultStore, StableHasher};
+use wlcrc_trace::WriteRecord;
+
+/// Tuning knobs of a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bound on each per-bank lane queue, in records. A `Write` hitting a
+    /// full lane is answered `Busy`.
+    pub lane_capacity: usize,
+    /// Bound on one session's total backlog across all lanes, in records.
+    pub session_queue_cap: usize,
+    /// Backlog (records) above which a session enters degraded mode; it
+    /// exits when the backlog drains to zero. Set `>= session_queue_cap` to
+    /// disable degradation entirely.
+    pub degraded_threshold: usize,
+    /// Background drain worker threads. `0` is allowed: queues then drain
+    /// only inline on `Flush`/`Stats`/`Close`, which makes backpressure
+    /// fully deterministic (useful for tests).
+    pub workers: usize,
+    /// Records a worker drains per session visit before re-queueing it, so
+    /// one deep session cannot monopolise a session lock.
+    pub drain_batch: usize,
+    /// Optional persistent result store consulted/filled at session close.
+    pub store: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            lane_capacity: 512,
+            session_queue_cap: 4096,
+            degraded_threshold: 3072,
+            workers: 2,
+            drain_batch: 1024,
+            store: None,
+        }
+    }
+}
+
+/// One session's mutable state, guarded by its slot's mutex.
+struct SessionInner {
+    sim: SimulatorSession,
+    /// Per-bank FIFO queues, indexed by flat bank index.
+    queues: Vec<VecDeque<WriteRecord>>,
+    /// Total queued records across all lanes.
+    backlog: usize,
+    /// Running digest of every accepted record, in accept order — the
+    /// stream identity in the session's store key.
+    digest: StableHasher,
+    scheme: String,
+    workload: String,
+    config: PcmConfig,
+    options: SimulationOptions,
+}
+
+struct SessionSlot {
+    id: u64,
+    inner: Mutex<SessionInner>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    counters: ServeCounters,
+    sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
+    next_session: AtomicU64,
+    /// Session ids with a non-empty backlog, in wake order.
+    dirty: Mutex<VecDeque<u64>>,
+    dirty_wake: Condvar,
+    shutdown: AtomicBool,
+    store: Option<ResultStore>,
+}
+
+/// A configured-but-not-yet-listening server.
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+/// A live server: listener thread + worker pool. Dropping the handle does
+/// not stop the server; call [`RunningServer::shutdown`] (or send a
+/// `Shutdown` request) and then [`RunningServer::join`].
+pub struct RunningServer {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Creates a server with `config`. Opens the result store eagerly (a
+    /// store directory that cannot be created degrades to read-only, exactly
+    /// like the batch engine).
+    pub fn new(config: ServerConfig) -> Server {
+        let store = config.store.as_ref().map(|path| ResultStore::open_or_read_only(path, false));
+        Server {
+            shared: Arc::new(Shared {
+                counters: ServeCounters::default(),
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(1),
+                dirty: Mutex::new(VecDeque::new()),
+                dirty_wake: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                store,
+                config,
+            }),
+        }
+    }
+
+    /// Binds a TCP listener on `addr` (use port 0 for an ephemeral port),
+    /// spawns the worker pool and the accept loop, and returns the running
+    /// handle.
+    pub fn serve_tcp(self, addr: impl ToSocketAddrs) -> Result<RunningServer, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let tcp_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let mut threads = spawn_workers(&self.shared);
+        let shared = Arc::clone(&self.shared);
+        threads.push(std::thread::spawn(move || accept_loop(shared, listener)));
+        Ok(RunningServer { shared: self.shared, tcp_addr: Some(tcp_addr), threads })
+    }
+
+    /// Binds a Unix-domain socket at `path` (removing a stale socket file),
+    /// spawns the worker pool and the accept loop.
+    #[cfg(unix)]
+    pub fn serve_unix(self, path: impl Into<PathBuf>) -> Result<RunningServer, ServeError> {
+        let path = path.into();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let mut threads = spawn_workers(&self.shared);
+        let shared = Arc::clone(&self.shared);
+        threads.push(std::thread::spawn(move || accept_loop(shared, listener)));
+        Ok(RunningServer { shared: self.shared, tcp_addr: None, threads })
+    }
+}
+
+impl RunningServer {
+    /// The bound TCP address (`None` for a Unix-socket server).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Asks the accept loop and workers to exit; idempotent, also triggered
+    /// by a protocol `Shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.dirty_wake.notify_all();
+    }
+
+    /// Waits for the accept loop and worker pool to exit. Open connections
+    /// are not force-closed; handlers exit at their next request boundary.
+    pub fn join(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    (0..shared.config.workers)
+        .map(|_| {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect()
+}
+
+/// Pops dirty sessions and drains them in bounded batches until shutdown.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let id = {
+            let mut dirty = shared.dirty.lock().expect("dirty queue poisoned");
+            loop {
+                if let Some(id) = dirty.pop_front() {
+                    break id;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .dirty_wake
+                    .wait_timeout(dirty, Duration::from_millis(50))
+                    .expect("dirty queue poisoned");
+                dirty = guard;
+            }
+        };
+        let slot = shared.sessions.lock().expect("session table poisoned").get(&id).cloned();
+        let Some(slot) = slot else { continue };
+        let mut inner = slot.inner.lock().expect("session poisoned");
+        let drained = drain(&mut inner, shared, shared.config.drain_batch);
+        let still_dirty = inner.backlog > 0;
+        drop(inner);
+        let _ = drained;
+        if still_dirty {
+            mark_dirty(shared, id);
+        }
+    }
+}
+
+/// Drains up to `limit` queued records (lane by lane, ascending bank order,
+/// per-lane FIFO), returning how many were simulated. Exits degraded mode
+/// when the backlog reaches zero.
+fn drain(inner: &mut SessionInner, shared: &Shared, limit: usize) -> usize {
+    let mut simulated = 0;
+    for bank in 0..inner.queues.len() {
+        while simulated < limit {
+            let Some(record) = inner.queues[bank].pop_front() else { break };
+            inner.sim.write(&record);
+            inner.backlog -= 1;
+            simulated += 1;
+        }
+        if simulated >= limit {
+            break;
+        }
+    }
+    shared.counters.writes_simulated_total.fetch_add(simulated as u64, Ordering::Relaxed);
+    if inner.backlog == 0 && inner.sim.degraded() {
+        inner.sim.set_degraded(false);
+    }
+    simulated
+}
+
+fn mark_dirty(shared: &Shared, id: u64) {
+    let mut dirty = shared.dirty.lock().expect("dirty queue poisoned");
+    if !dirty.contains(&id) {
+        dirty.push_back(id);
+    }
+    drop(dirty);
+    shared.dirty_wake.notify_one();
+}
+
+/// Abstraction over the two listener flavours for the shared accept loop.
+trait Acceptor: Send + 'static {
+    type Stream: Read + Write + Send + 'static;
+    fn poll_accept(&self) -> std::io::Result<Option<Self::Stream>>;
+}
+
+impl Acceptor for TcpListener {
+    type Stream = TcpStream;
+    fn poll_accept(&self) -> std::io::Result<Option<TcpStream>> {
+        match self.accept() {
+            Ok((stream, _)) => {
+                // The listener polls non-blocking; the per-connection handler
+                // thread wants plain blocking reads. Nagle would add ~40 ms
+                // to every request/response round trip on loopback, so turn
+                // it off — frames are written in one syscall each.
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                Ok(Some(stream))
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Acceptor for UnixListener {
+    type Stream = UnixStream;
+    fn poll_accept(&self) -> std::io::Result<Option<UnixStream>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(stream)),
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: impl Acceptor) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.poll_accept() {
+            Ok(Some(stream)) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(&shared, stream));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads frames until EOF/shutdown, answering each request. I/O or protocol
+/// errors tear down only this connection; sessions survive (a client can
+/// reconnect and keep using its ids).
+fn handle_connection(shared: &Shared, mut stream: impl Read + Write) {
+    loop {
+        let value = match read_frame(&mut stream) {
+            Ok(Some(value)) => value,
+            Ok(None) | Err(_) => return,
+        };
+        shared.counters.requests_total.fetch_add(1, Ordering::Relaxed);
+        let response = match Request::from_value(&value) {
+            Ok(request) => dispatch(shared, request),
+            Err(err) => Response::Error { message: err.to_string() },
+        };
+        if write_frame(&mut stream, &response.to_value()).is_err() {
+            return;
+        }
+        if matches!(response, Response::ShuttingDown) {
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, request: Request) -> Response {
+    match handle(shared, request) {
+        Ok(response) => response,
+        Err(err) => Response::Error { message: err.to_string() },
+    }
+}
+
+fn handle(shared: &Shared, request: Request) -> Result<Response, ServeError> {
+    match request {
+        Request::Open { scheme, workload, config, options } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Err(ServeError::ShuttingDown);
+            }
+            open_session(shared, scheme, workload, config, options)
+        }
+        Request::Write { session, records } => write_records(shared, session, &records),
+        Request::Flush { session } => {
+            let slot = lookup(shared, session)?;
+            let mut inner = slot.inner.lock().expect("session poisoned");
+            drain(&mut inner, shared, usize::MAX);
+            Ok(Response::Flushed { writes: inner.sim.writes() })
+        }
+        Request::Stats { session } => {
+            let slot = lookup(shared, session)?;
+            let mut inner = slot.inner.lock().expect("session poisoned");
+            drain(&mut inner, shared, usize::MAX);
+            Ok(Response::Stats { stats: inner.sim.stats(), degraded: inner.sim.degraded() })
+        }
+        Request::Close { session } => close_session(shared, session),
+        Request::Metrics => Ok(Response::MetricsText { text: metrics_text(shared) }),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.dirty_wake.notify_all();
+            Ok(Response::ShuttingDown)
+        }
+    }
+}
+
+fn lookup(shared: &Shared, id: u64) -> Result<Arc<SessionSlot>, ServeError> {
+    shared
+        .sessions
+        .lock()
+        .expect("session table poisoned")
+        .get(&id)
+        .cloned()
+        .ok_or(ServeError::UnknownSession(id))
+}
+
+fn open_session(
+    shared: &Shared,
+    scheme: String,
+    workload: String,
+    config: PcmConfig,
+    options: SimulationOptions,
+) -> Result<Response, ServeError> {
+    let codec = SchemeId::ALL
+        .iter()
+        .find(|id| id.label() == scheme)
+        .map(|id| id.build())
+        .ok_or_else(|| ServeError::Open(format!("unknown scheme label {scheme:?}")))?;
+    let sim = Simulator::with_config(config.clone())
+        .with_options(options.clone())
+        .session(codec, workload.clone());
+    let mut queues = Vec::new();
+    queues.resize_with(sim.total_banks(), VecDeque::new);
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let slot = Arc::new(SessionSlot {
+        id,
+        inner: Mutex::new(SessionInner {
+            sim,
+            queues,
+            backlog: 0,
+            digest: StableHasher::new(),
+            scheme,
+            workload,
+            config,
+            options,
+        }),
+    });
+    shared.sessions.lock().expect("session table poisoned").insert(id, slot);
+    Ok(Response::Opened { session: id })
+}
+
+fn write_records(
+    shared: &Shared,
+    session: u64,
+    records: &[WriteRecord],
+) -> Result<Response, ServeError> {
+    let slot = lookup(shared, session)?;
+    let mut inner = slot.inner.lock().expect("session poisoned");
+    let config = &shared.config;
+    let mut accepted = 0u64;
+    let mut busy = false;
+    for record in records {
+        if inner.backlog >= config.session_queue_cap {
+            busy = true;
+            break;
+        }
+        let bank = inner.sim.bank_index(record.address);
+        if inner.queues[bank].len() >= config.lane_capacity {
+            busy = true;
+            break;
+        }
+        inner.digest.update_value(&record.to_value());
+        inner.queues[bank].push_back(*record);
+        inner.backlog += 1;
+        accepted += 1;
+    }
+    if inner.backlog > config.degraded_threshold && !inner.sim.degraded() {
+        inner.sim.set_degraded(true);
+        shared.counters.degraded_entered_total.fetch_add(1, Ordering::Relaxed);
+    }
+    let queued = inner.backlog as u64;
+    let backlog = inner.backlog;
+    drop(inner);
+    shared.counters.writes_accepted_total.fetch_add(accepted, Ordering::Relaxed);
+    if backlog > 0 {
+        mark_dirty(shared, slot.id);
+    }
+    if busy {
+        shared.counters.busy_responses_total.fetch_add(1, Ordering::Relaxed);
+        Ok(Response::Busy { accepted, queued })
+    } else {
+        Ok(Response::Accepted { accepted, queued })
+    }
+}
+
+fn close_session(shared: &Shared, session: u64) -> Result<Response, ServeError> {
+    let slot = {
+        let mut sessions = shared.sessions.lock().expect("session table poisoned");
+        sessions.remove(&session).ok_or(ServeError::UnknownSession(session))?
+    };
+    let mut inner = slot.inner.lock().expect("session poisoned");
+    drain(&mut inner, shared, usize::MAX);
+    let stats = inner.sim.stats();
+    let store_hit = shared.store.as_ref().map(|store| {
+        let key = session_key(&inner);
+        let hit = store.get(&key).is_some_and(|cached| cached == stats.to_value());
+        if hit {
+            shared.counters.store_hits_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.counters.store_misses_total.fetch_add(1, Ordering::Relaxed);
+            let _ = store.put(&key, &stats.to_value());
+        }
+        hit
+    });
+    Ok(Response::Closed { stats, store_hit })
+}
+
+/// The store key of a finished session: everything its statistics are a
+/// function of. Mirrors the batch engine's cell key, with the accepted
+/// stream's digest standing in for the workload identity.
+fn session_key(inner: &SessionInner) -> Value {
+    Value::record(
+        "ServeSessionKey",
+        vec![
+            ("salt", effective_salt().to_value()),
+            ("scheme", inner.scheme.to_value()),
+            (
+                "codec",
+                codec_fingerprint(inner.sim.codec(), &inner.config.energy).to_hex().to_value(),
+            ),
+            ("workload", inner.workload.to_value()),
+            ("config", inner.config.to_value()),
+            ("options", inner.options.to_value()),
+            ("stream_digest", inner.digest.finish().to_hex().to_value()),
+            ("writes", (inner.sim.writes() + inner.backlog as u64).to_value()),
+        ],
+    )
+}
+
+fn metrics_text(shared: &Shared) -> String {
+    let slots: Vec<Arc<SessionSlot>> =
+        shared.sessions.lock().expect("session table poisoned").values().cloned().collect();
+    let mut samples: Vec<SessionSample> = slots
+        .iter()
+        .map(|slot| {
+            let inner = slot.inner.lock().expect("session poisoned");
+            let stats = inner.sim.stats();
+            SessionSample {
+                session: slot.id,
+                scheme: inner.scheme.clone(),
+                queue_depth: inner.backlog as u64,
+                energy_pj_per_write: stats.mean_energy_pj(),
+                write_imbalance: stats.write_imbalance(),
+                degraded: inner.sim.degraded(),
+            }
+        })
+        .collect();
+    samples.sort_by_key(|sample| sample.session);
+    render(&shared.counters, &samples, shared.config.lane_capacity)
+}

@@ -3,13 +3,10 @@
 //!
 //! Run with `cargo run --release --example custom_energy_model`.
 
-use wlcrc_repro::memsim::ExperimentPlan;
-use wlcrc_repro::pcm::codec::RawCodec;
-use wlcrc_repro::pcm::config::PcmConfig;
-use wlcrc_repro::pcm::disturb::DisturbanceModel;
-use wlcrc_repro::pcm::energy::EnergyModel;
-use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
-use wlcrc_repro::wlcrc::WlcCosetCodec;
+use wlcrc_repro::{
+    Benchmark, DisturbanceModel, EnergyModel, ExperimentPlan, PcmConfig, RawCodec, TraceSource,
+    TraceStream, WlcCosetCodec,
+};
 
 fn main() {
     // A hypothetical next-generation device: cheaper intermediate states and

@@ -4,9 +4,10 @@
 //!
 //! Run with `cargo run --release --example endurance_tradeoff`.
 
-use wlcrc_repro::memsim::{ExperimentPlan, SchemeStats};
-use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
-use wlcrc_repro::wlcrc::{MultiObjectiveConfig, WlcCosetCodec};
+use wlcrc_repro::{
+    Benchmark, ExperimentPlan, MultiObjectiveConfig, SchemeStats, TraceSource, TraceStream,
+    WlcCosetCodec,
+};
 
 fn run(threshold: Option<f64>) -> SchemeStats {
     // One plan per threshold: 12 workloads streamed over the worker pool.

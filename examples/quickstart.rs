@@ -5,11 +5,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wlcrc_repro::memsim::ExperimentPlan;
-use wlcrc_repro::pcm::disturb::evaluate_disturbance;
-use wlcrc_repro::pcm::prelude::*;
-use wlcrc_repro::trace::Benchmark;
-use wlcrc_repro::wlcrc::WlcCosetCodec;
+use wlcrc_repro::{
+    differential_write, evaluate_disturbance, Benchmark, DisturbanceModel, EnergyModel,
+    ExperimentPlan, LineCodec, MemoryLine, RawCodec, WlcCosetCodec,
+};
 
 fn main() {
     let energy = EnergyModel::paper_default();

@@ -4,9 +4,7 @@
 //! Run with `cargo run --release --example scheme_comparison [-- <benchmark>]`
 //! where `<benchmark>` is one of the paper's short names (default: `gcc`).
 
-use wlcrc_repro::memsim::ExperimentPlan;
-use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
-use wlcrc_repro::wlcrc::schemes::standard_factories;
+use wlcrc_repro::{standard_factories, Benchmark, ExperimentPlan, TraceSource, TraceStream};
 
 fn main() {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());

@@ -1,0 +1,56 @@
+//! Serve a memory instance in-process and drive it through the wire client.
+//!
+//! Starts `wlcrc-serve` on an ephemeral port inside this process, opens a
+//! WLCRC-16 session over TCP, streams a gcc-like write trace through it, and
+//! reads the statistics and metrics back — the same path an external client
+//! would take against a long-lived daemon. Everything, including the unified
+//! [`wlcrc_repro::Error`], comes from the root facade.
+//!
+//! Run with `cargo run --release --example serve_session`.
+
+use wlcrc_repro::{
+    Benchmark, Error, PcmConfig, ServeClient, Server, ServerConfig, SimulationOptions, TraceStream,
+};
+
+fn main() -> Result<(), Error> {
+    // A small in-process server: one worker, default queue limits, no store.
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let running = Server::new(config).serve_tcp("127.0.0.1:0")?;
+    let addr = running.local_addr().expect("tcp server has an address");
+    println!("serving on {addr}");
+
+    let mut client = ServeClient::connect(addr)?;
+    let profile = Benchmark::Gcc.profile();
+    let options = SimulationOptions { seed: 0xC0DE, ..SimulationOptions::default() };
+    let session = client.open("WLCRC-16", &profile.name, PcmConfig::table_ii(), options)?;
+
+    let records: Vec<_> = TraceStream::new(profile, 7, 400).collect();
+    let report = client.write_all(session, &records)?;
+    println!(
+        "streamed {} writes ({} Busy responses, peak queue {})",
+        report.written, report.busy_responses, report.max_queued
+    );
+
+    let (stats, degraded) = client.stats(session)?;
+    println!(
+        "scheme {} on {}: {:.1} pJ/write over {} writes (degraded: {degraded})",
+        stats.scheme,
+        stats.workload,
+        stats.mean_energy_pj(),
+        stats.writes
+    );
+
+    let scrape = client.metrics_text()?;
+    let served_line = scrape
+        .lines()
+        .find(|l| l.starts_with("wlcrc_serve_writes_simulated_total"))
+        .unwrap_or("wlcrc_serve_writes_simulated_total <missing>");
+    println!("metrics: {served_line}");
+
+    let (final_stats, _store_hit) = client.close(session)?;
+    assert_eq!(final_stats.writes, records.len() as u64);
+    client.shutdown()?;
+    running.join();
+    println!("server stopped cleanly");
+    Ok(())
+}

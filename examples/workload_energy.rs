@@ -4,11 +4,9 @@
 //!
 //! Run with `cargo run --release --example workload_energy`.
 
-use wlcrc_repro::compress::{Compressor, Wlc};
-use wlcrc_repro::memsim::ExperimentPlan;
-use wlcrc_repro::pcm::codec::RawCodec;
-use wlcrc_repro::trace::{Benchmark, TraceSource, TraceStream};
-use wlcrc_repro::wlcrc::WlcCosetCodec;
+use wlcrc_repro::{
+    Benchmark, Compressor, ExperimentPlan, RawCodec, TraceSource, TraceStream, Wlc, WlcCosetCodec,
+};
 
 /// One lazy stream per benchmark: nothing is materialised; the engine
 /// replays the stream per scheme (and per bank-partition shard), so peak

@@ -117,8 +117,8 @@ fn wlcrc16_round_trips_through_the_simulator() {
     use wlcrc_repro::wlcrc::WlcCosetCodec;
 
     let codec = WlcCosetCodec::wlcrc16();
-    let simulator =
-        Simulator::new().with_options(SimulationOptions { seed: 0xD15C, verify_integrity: true });
+    let simulator = Simulator::new()
+        .with_options(SimulationOptions { seed: 0xD15C, ..SimulationOptions::default() });
     for benchmark in [Benchmark::Milc, Benchmark::Gcc, Benchmark::Canneal] {
         let mut generator = TraceGenerator::new(benchmark.profile(), 0xBEEF);
         let trace = generator.generate(300);

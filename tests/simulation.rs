@@ -101,7 +101,7 @@ fn experiment_plan_is_deterministic_across_worker_counts() {
     // thread identity or completion order.
     let build = || {
         let mut plan = wlcrc_repro::memsim::ExperimentPlan::new()
-            .store_disabled()
+            .store_enabled(false)
             .seed(99)
             .lines_per_workload(60)
             .workload(Benchmark::Gcc.profile())
@@ -125,7 +125,7 @@ fn simulator_is_reproducible_across_runs() {
     let trace = generator.generate(400);
     let run = || {
         Simulator::with_config(PcmConfig::table_ii())
-            .with_options(SimulationOptions { seed: 11, verify_integrity: true })
+            .with_options(SimulationOptions { seed: 11, ..SimulationOptions::default() })
             .run(codec.as_ref(), &trace)
     };
     assert_eq!(run(), run());
@@ -140,7 +140,7 @@ fn streaming_pipeline_matches_materialised_baseline_for_every_scheme() {
     // bank-partitions.
     let build = || {
         let mut plan = wlcrc_repro::memsim::ExperimentPlan::new()
-            .store_disabled()
+            .store_enabled(false)
             .seed(42)
             .lines_per_workload(40)
             .workloads(wlcrc_repro::trace::WorkloadProfile::all_benchmarks());
@@ -169,7 +169,7 @@ fn streamed_trace_source_matches_materialised_trace_in_the_simulator() {
     use wlcrc_repro::trace::TraceStream;
     let codec = standard_schemes().remove(7).1; // WLCRC-16
     let simulator = Simulator::with_config(PcmConfig::table_ii())
-        .with_options(SimulationOptions { seed: 13, verify_integrity: true });
+        .with_options(SimulationOptions { seed: 13, ..SimulationOptions::default() });
     for benchmark in Benchmark::ALL {
         let trace = TraceGenerator::new(benchmark.profile(), 8).generate(60);
         let materialised = simulator.run(codec.as_ref(), &trace);

@@ -44,7 +44,7 @@ fn registry_plan() -> ExperimentPlan {
         .lines_per_workload(30)
         .workload(Benchmark::Gcc.profile())
         .workload(Benchmark::Omnetpp.profile())
-        .store_disabled();
+        .store_enabled(false);
     for (id, factory) in standard_factories() {
         plan = plan.scheme_factory(id.label(), factory);
     }
@@ -192,7 +192,7 @@ fn config_axis_cells_cache_independently() {
         if store {
             plan.store(&scratch.0).store_readonly(false)
         } else {
-            plan.store_disabled()
+            plan.store_enabled(false)
         }
     };
     let disabled = plan(false).run_grid();
