@@ -10,18 +10,28 @@
 //! cargo run --release --bin perfsnap                  # full snapshot
 //! cargo run --release --bin perfsnap -- --quick       # CI smoke (tiny grid)
 //! cargo run --release --bin perfsnap -- --out my.json # alternative file
+//! cargo run --release --bin perfsnap -- --quick --check   # CI perf gate
 //! ```
 //!
 //! For every coset-style scheme the snapshot measures both the production
 //! bit-parallel kernel (`encode`) and the retained scalar oracle
 //! (`encode_scalar`), recording the speedup — this is the number the
-//! "≥2× on coset-heavy schemes" acceptance gate reads. No thresholds are
-//! enforced here; the snapshot records trajectory only.
+//! "≥2× on coset-heavy schemes" acceptance gate reads. A batched suite
+//! additionally times [`LineCodec::encode_batch`] at 1/8/64 lines per call
+//! to track the amortisation the batch API buys.
+//!
+//! `--check` turns the snapshot into an enforced regression gate: the codec
+//! suite is measured best-of-3 and compared against the **last** entry in
+//! the trajectory file (override with `--check-against <file>`); any codec
+//! whose encode or decode throughput regresses by more than 15% fails the
+//! run with a non-zero exit. Nothing is appended in check mode.
 
 use std::time::Instant;
 use wlcrc::schemes::standard_factories;
 use wlcrc::{CocCosetCodec, WlcCosetCodec};
-use wlcrc_coset::{FlipMinCodec, FnwCodec, Granularity, NCosetsCodec, RestrictedCosetCodec};
+use wlcrc_coset::{
+    DinCodec, FlipMinCodec, FnwCodec, Granularity, NCosetsCodec, RestrictedCosetCodec,
+};
 use wlcrc_memsim::{ExperimentPlan, SimulationOptions};
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::config::PcmConfig;
@@ -190,6 +200,16 @@ struct Target {
     scalar: Option<ScalarEncode>,
 }
 
+/// One measured codec-suite row (also the unit the `--check` gate compares).
+struct CodecRow {
+    name: String,
+    encode_wps: f64,
+    /// `NAN` for rows without a decode measurement (the `@wlc` corpus rows).
+    decode_rps: f64,
+    scalar_wps: Option<f64>,
+    speedup: Option<f64>,
+}
+
 fn targets() -> Vec<Target> {
     let g16 = Granularity::new(16);
     let mut out: Vec<Target> = Vec::new();
@@ -206,6 +226,10 @@ fn targets() -> Vec<Target> {
             }
             "6cosets" => {
                 let c = NCosetsCodec::six_cosets(Granularity::new(512));
+                Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
+            }
+            "DIN" => {
+                let c = DinCodec::new();
                 Some(Box::new(move |d, o, e| c.encode_scalar(d, o, e)))
             }
             "COC+4cosets" => {
@@ -358,63 +382,63 @@ fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
     std::fs::write(path, content)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let flag = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
-    };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_codec.json".to_string());
-    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let default_iters = if quick { 300 } else { 4000 };
-    let iters: usize = flag("--iters").and_then(|v| v.parse().ok()).unwrap_or(default_iters);
-    let plan_lines: usize =
-        flag("--lines").and_then(|v| v.parse().ok()).unwrap_or(if quick { 40 } else { 400 });
-
-    let energy = EnergyModel::paper_default();
-    let lines = workload_lines(256, seed);
-    verify_legacy_restricted(&lines, &energy);
-
-    println!("perfsnap: codec suite ({iters} writes per scheme)");
-    let mut codec_rows = Vec::new();
+/// Runs the full codec suite (mixed corpus plus the WLC-compressible corpus)
+/// once and returns the rows in a deterministic order.
+fn measure_codec_suite(
+    lines: &[MemoryLine],
+    wlc_lines: &[MemoryLine],
+    energy: &EnergyModel,
+    iters: usize,
+    print: bool,
+) -> Vec<CodecRow> {
+    let mut rows = Vec::new();
     for target in targets() {
         let codec = target.codec.as_ref();
         let encode_wps =
-            measure_encode(&lines, codec.initial_line(), iters, |d, o| codec.encode(d, o, &energy));
+            measure_encode(lines, codec.initial_line(), iters, |d, o| codec.encode(d, o, energy));
         let stored: Vec<PhysicalLine> = {
             let mut old = codec.initial_line();
             lines
                 .iter()
                 .map(|l| {
-                    old = codec.encode(l, &old, &energy);
+                    old = codec.encode(l, &old, energy);
                     old.clone()
                 })
                 .collect()
         };
         let decode_rps = measure_decode(codec, &stored, iters);
         let scalar_wps = target.scalar.as_ref().map(|scalar| {
-            measure_encode(&lines, codec.initial_line(), iters, |d, o| scalar(d, o, &energy))
+            measure_encode(lines, codec.initial_line(), iters, |d, o| scalar(d, o, energy))
         });
         let speedup = scalar_wps.map(|s| encode_wps / s);
-        match (scalar_wps, speedup) {
-            (Some(s), Some(x)) => println!(
-                "  {:<14} encode {:>12.0} w/s   decode {:>12.0} r/s   scalar {:>12.0} w/s   kernel speedup {x:.2}x",
-                target.name, encode_wps, decode_rps, s
-            ),
-            _ => println!(
-                "  {:<14} encode {:>12.0} w/s   decode {:>12.0} r/s",
-                target.name, encode_wps, decode_rps
-            ),
+        if print {
+            match (scalar_wps, speedup) {
+                (Some(s), Some(x)) => println!(
+                    "  {:<14} encode {:>12.0} w/s   decode {:>12.0} r/s   scalar {:>12.0} w/s   kernel speedup {x:.2}x",
+                    target.name, encode_wps, decode_rps, s
+                ),
+                _ => println!(
+                    "  {:<14} encode {:>12.0} w/s   decode {:>12.0} r/s",
+                    target.name, encode_wps, decode_rps
+                ),
+            }
         }
-        codec_rows.push((target.name, encode_wps, decode_rps, scalar_wps, speedup));
+        rows.push(CodecRow {
+            name: target.name.to_string(),
+            encode_wps,
+            decode_rps,
+            scalar_wps,
+            speedup,
+        });
     }
 
     // The WLC-integrated schemes take their encoded path only on
     // WLC-compressible content; the mixed corpus above dilutes them with
     // raw-format writes, so they are additionally measured on the paper's
     // favourable content (every line compressible, suffix "@wlc").
-    println!("perfsnap: WLC-compressible corpus ({iters} writes per scheme)");
-    let wlc_lines = wlc_compressible_lines(256, seed.wrapping_add(1));
+    if print {
+        println!("perfsnap: WLC-compressible corpus ({iters} writes per scheme)");
+    }
     let wlc_targets: Vec<(&'static str, Box<dyn LineCodec>, ScalarEncode)> = vec![
         ("WLCRC-16@wlc", Box::new(WlcCosetCodec::wlcrc16()), {
             let c = WlcCosetCodec::wlcrc16();
@@ -431,16 +455,228 @@ fn main() {
     ];
     for (name, codec, scalar) in &wlc_targets {
         let codec = codec.as_ref();
-        let encode_wps = measure_encode(&wlc_lines, codec.initial_line(), iters, |d, o| {
-            codec.encode(d, o, &energy)
+        let encode_wps = measure_encode(wlc_lines, codec.initial_line(), iters, |d, o| {
+            codec.encode(d, o, energy)
         });
         let scalar_wps =
-            measure_encode(&wlc_lines, codec.initial_line(), iters, |d, o| scalar(d, o, &energy));
+            measure_encode(wlc_lines, codec.initial_line(), iters, |d, o| scalar(d, o, energy));
         let speedup = encode_wps / scalar_wps;
+        if print {
+            println!(
+                "  {name:<14} encode {encode_wps:>12.0} w/s   scalar {scalar_wps:>12.0} w/s   kernel speedup {speedup:.2}x"
+            );
+        }
+        rows.push(CodecRow {
+            name: name.to_string(),
+            encode_wps,
+            decode_rps: f64::NAN,
+            scalar_wps: Some(scalar_wps),
+            speedup: Some(speedup),
+        });
+    }
+    rows
+}
+
+/// A baseline codec row parsed from the trajectory file.
+struct BaselineRow {
+    name: String,
+    encode_wps: f64,
+    decode_rps: Option<f64>,
+}
+
+/// Extracts a quoted string field from a single JSON row.
+fn field_str(row: &str, key: &str) -> Option<String> {
+    let start = row.find(key)? + key.len();
+    let rest = &row[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a numeric field from a single JSON row.
+fn field_num(row: &str, key: &str) -> Option<f64> {
+    let start = row.find(key)? + key.len();
+    let rest = &row[start..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the codec rows of the **last** entry in the trajectory file. The
+/// file is the plain pretty-printed array `append_entry` maintains (one codec
+/// row per line), so a line scan of the final `"codecs": [` block suffices —
+/// no JSON parser, no new dependency.
+fn parse_last_entry_codecs(path: &str) -> Option<Vec<BaselineRow>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let start = text.rfind("\"codecs\": [")?;
+    let block = &text[start..];
+    let block = &block[..block.find(']')?];
+    let mut rows = Vec::new();
+    for row in block.lines() {
+        let Some(name) = field_str(row, "\"name\": \"") else { continue };
+        let Some(encode_wps) = field_num(row, "\"encode_writes_per_sec\": ") else { continue };
+        let decode_rps = field_num(row, "\"decode_reads_per_sec\": ");
+        rows.push(BaselineRow { name, encode_wps, decode_rps });
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+/// Fractional regression that fails the `--check` gate (15%).
+const CHECK_REGRESSION_LIMIT: f64 = 0.15;
+
+/// The `--check` perf gate: measures the codec suite best-of-3 and compares
+/// every codec's encode/decode throughput against the last trajectory entry.
+/// Returns `false` when any codec regressed by more than
+/// [`CHECK_REGRESSION_LIMIT`] or a baseline codec is missing from this build.
+fn run_check(
+    baseline_path: &str,
+    lines: &[MemoryLine],
+    wlc_lines: &[MemoryLine],
+    energy: &EnergyModel,
+    iters: usize,
+) -> bool {
+    let Some(baseline) = parse_last_entry_codecs(baseline_path) else {
+        eprintln!("perfsnap --check: no codec rows found in {baseline_path}");
+        return false;
+    };
+    println!(
+        "perfsnap: --check gate — best of 3 rounds ({iters} writes per scheme) vs last entry in {baseline_path}"
+    );
+    let mut best = measure_codec_suite(lines, wlc_lines, energy, iters, false);
+    for _ in 1..3 {
+        let round = measure_codec_suite(lines, wlc_lines, energy, iters, false);
+        for (b, r) in best.iter_mut().zip(round) {
+            b.encode_wps = b.encode_wps.max(r.encode_wps);
+            if b.decode_rps.is_finite() && r.decode_rps.is_finite() {
+                b.decode_rps = b.decode_rps.max(r.decode_rps);
+            }
+        }
+    }
+    let verdict = |name: &str, metric: &str, current: f64, recorded: f64| -> bool {
+        let delta = current / recorded - 1.0;
+        let fail = delta < -CHECK_REGRESSION_LIMIT;
         println!(
-            "  {name:<14} encode {encode_wps:>12.0} w/s   scalar {scalar_wps:>12.0} w/s   kernel speedup {speedup:.2}x"
+            "  {name:<16} {metric} {current:>12.0} vs {recorded:>12.0} recorded  {:>+7.1}%  {}",
+            delta * 100.0,
+            if fail { "FAIL" } else { "ok" }
         );
-        codec_rows.push((name, encode_wps, f64::NAN, Some(scalar_wps), Some(speedup)));
+        !fail
+    };
+    let mut ok = true;
+    for base in &baseline {
+        let Some(current) = best.iter().find(|r| r.name == base.name) else {
+            println!("  {:<16} missing from this build  FAIL", base.name);
+            ok = false;
+            continue;
+        };
+        ok &= verdict(&base.name, "encode", current.encode_wps, base.encode_wps);
+        if let Some(dec) = base.decode_rps {
+            if current.decode_rps.is_finite() {
+                ok &= verdict(&base.name, "decode", current.decode_rps, dec);
+            }
+        }
+    }
+    if ok {
+        println!(
+            "perfsnap --check: all codecs within {:.0}% of the recorded trajectory",
+            CHECK_REGRESSION_LIMIT * 100.0
+        );
+    } else {
+        eprintln!(
+            "perfsnap --check: throughput regressed more than {:.0}% against {baseline_path}",
+            CHECK_REGRESSION_LIMIT * 100.0
+        );
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_codec.json".to_string());
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let default_iters = if quick { 300 } else { 4000 };
+    let iters: usize = flag("--iters").and_then(|v| v.parse().ok()).unwrap_or(default_iters);
+    let plan_lines: usize =
+        flag("--lines").and_then(|v| v.parse().ok()).unwrap_or(if quick { 40 } else { 400 });
+
+    let energy = EnergyModel::paper_default();
+    let lines = workload_lines(256, seed);
+    verify_legacy_restricted(&lines, &energy);
+    let wlc_lines = wlc_compressible_lines(256, seed.wrapping_add(1));
+
+    if check {
+        let baseline_path = flag("--check-against").unwrap_or_else(|| out_path.clone());
+        let ok = run_check(&baseline_path, &lines, &wlc_lines, &energy, iters);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    println!("perfsnap: codec suite ({iters} writes per scheme)");
+    let codec_rows = measure_codec_suite(&lines, &wlc_lines, &energy, iters, true);
+
+    // Batched suite: the same chained workload pushed through
+    // `LineCodec::encode_batch` at 1, 8 and 64 lines per call, for the
+    // schemes that amortise per-batch setup (transition tables, plane
+    // extraction). The 1-line column is the API's fixed overhead; the gap
+    // to the 64-line column is what batching buys the simulator/serve path.
+    const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+    println!("perfsnap: batched suite ({iters} writes per scheme per batch size)");
+    let batch_targets: Vec<(&'static str, Box<dyn LineCodec>)> = vec![
+        ("FlipMin", Box::new(FlipMinCodec::new())),
+        ("FNW", Box::new(FnwCodec::paper_default())),
+        ("DIN", Box::new(DinCodec::new())),
+        ("6cosets", Box::new(NCosetsCodec::six_cosets(Granularity::new(512)))),
+        ("3cosets-16", Box::new(NCosetsCodec::three_cosets(Granularity::new(16)))),
+    ];
+    let mut batched_rows = Vec::new();
+    for (name, codec) in &batch_targets {
+        let codec = codec.as_ref();
+        // Independent jobs: each line written over the chained encoding of
+        // its predecessor, so the stored side carries realistic content.
+        let olds: Vec<PhysicalLine> = {
+            let mut old = codec.initial_line();
+            lines
+                .iter()
+                .map(|l| {
+                    old = codec.encode(l, &old, &energy);
+                    old.clone()
+                })
+                .collect()
+        };
+        let jobs: Vec<(&MemoryLine, &PhysicalLine)> =
+            (0..lines.len()).map(|i| (&lines[(i + 1) % lines.len()], &olds[i])).collect();
+        let mut wps = [0.0f64; BATCH_SIZES.len()];
+        for (slot, &size) in BATCH_SIZES.iter().enumerate() {
+            for chunk in jobs.chunks(size).take(4) {
+                std::hint::black_box(codec.encode_batch(chunk, &energy));
+            }
+            let start = Instant::now();
+            let mut done = 0usize;
+            'timed: loop {
+                for chunk in jobs.chunks(size) {
+                    std::hint::black_box(codec.encode_batch(chunk, &energy));
+                    done += chunk.len();
+                    if done >= iters {
+                        break 'timed;
+                    }
+                }
+            }
+            wps[slot] = done as f64 / start.elapsed().as_secs_f64();
+        }
+        println!(
+            "  {name:<14} 1/call {:>12.0} w/s   8/call {:>12.0} w/s   64/call {:>12.0} w/s   batch64 gain {:.2}x",
+            wps[0],
+            wps[1],
+            wps[2],
+            wps[2] / wps[0]
+        );
+        batched_rows.push((*name, wps));
     }
 
     // Plan + stream suites: the full scheme registry over two workloads,
@@ -559,22 +795,36 @@ fn main() {
         "    \"config\": {{\"iters\": {iters}, \"plan_lines\": {plan_lines}, \"seed\": {seed}, \"quick\": {quick}}},\n"
     ));
     entry.push_str("    \"codecs\": [\n");
-    for (i, (name, enc, dec, scalar, speedup)) in codec_rows.iter().enumerate() {
-        let mut row = format!("      {{\"name\": \"{name}\", \"encode_writes_per_sec\": {enc:.0}");
-        if dec.is_finite() {
-            row.push_str(&format!(", \"decode_reads_per_sec\": {dec:.0}"));
+    for (i, row) in codec_rows.iter().enumerate() {
+        let mut line = format!(
+            "      {{\"name\": \"{}\", \"encode_writes_per_sec\": {:.0}",
+            row.name, row.encode_wps
+        );
+        if row.decode_rps.is_finite() {
+            line.push_str(&format!(", \"decode_reads_per_sec\": {:.0}", row.decode_rps));
         }
-        if let (Some(s), Some(x)) = (scalar, speedup) {
-            row.push_str(&format!(
+        if let (Some(s), Some(x)) = (row.scalar_wps, row.speedup) {
+            line.push_str(&format!(
                 ", \"scalar_encode_writes_per_sec\": {s:.0}, \"kernel_speedup\": {x:.2}"
             ));
         }
-        row.push('}');
+        line.push('}');
         if i + 1 < codec_rows.len() {
-            row.push(',');
+            line.push(',');
         }
-        entry.push_str(&row);
+        entry.push_str(&line);
         entry.push('\n');
+    }
+    entry.push_str("    ],\n");
+    entry.push_str("    \"batched\": [\n");
+    for (i, (name, wps)) in batched_rows.iter().enumerate() {
+        entry.push_str(&format!(
+            "      {{\"name\": \"{name}\", \"lines_per_call_1_wps\": {:.0}, \"lines_per_call_8_wps\": {:.0}, \"lines_per_call_64_wps\": {:.0}}}{}\n",
+            wps[0],
+            wps[1],
+            wps[2],
+            if i + 1 < batched_rows.len() { "," } else { "" }
+        ));
     }
     entry.push_str("    ],\n");
     entry.push_str(&format!(

@@ -9,14 +9,15 @@
 //! symbol per line distinguishes the two formats.
 
 use wlcrc_compress::{Bdi, Fpc};
-use wlcrc_ecc::{Bch, BitBuf};
+use wlcrc_ecc::{Bch, BitBuf, PackedBch};
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
+use wlcrc_pcm::kernel::{self, TransitionTable, PLANE_WORDS};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
 use wlcrc_pcm::state::CellState;
-use wlcrc_pcm::{LINE_BITS, LINE_CELLS};
+use wlcrc_pcm::{LINE_BITS, LINE_CELLS, LINE_WORDS};
 
 /// Maximum compressed payload (including the compressor-select bit) that can
 /// be expanded 3-to-4 and still fit, with the BCH parity, in a 512-bit line.
@@ -31,53 +32,58 @@ pub struct DinCodec {
     fpc: Fpc,
     bdi: Bdi,
     bch: Bch,
+    /// Word-parallel parity/syndrome tables for the fixed 492-bit payload.
+    packed: PackedBch,
     mapping: SymbolMapping,
+    /// Target-plane select masks of the fixed mapping. DIN's encoding never
+    /// depends on the energy model (it picks code words by content, not
+    /// cost), so the table is built once at construction; only its
+    /// mapping-derived masks are consumed.
+    table: TransitionTable,
 }
 
 impl DinCodec {
     /// Creates a DIN codec with the paper's parameters (FPC+BDI, 369-bit
     /// threshold, BCH with 20 parity bits).
     pub fn new() -> DinCodec {
-        DinCodec {
-            fpc: Fpc::new(),
-            bdi: Bdi::new(),
-            bch: Bch::din_default(),
-            mapping: SymbolMapping::default_mapping(),
-        }
+        let bch = Bch::din_default();
+        let packed = bch.packed(EXPANDED_BITS);
+        let mapping = SymbolMapping::default_mapping();
+        let table = TransitionTable::new(&mapping, &EnergyModel::paper_default());
+        DinCodec { fpc: Fpc::new(), bdi: Bdi::new(), bch, packed, mapping, table }
     }
 
     /// `true` when the line compresses far enough to be DIN-encoded.
     pub fn is_encodable(&self, line: &MemoryLine) -> bool {
-        self.compressed_stream(line).is_some()
+        self.compressed_payload(line).is_some()
     }
 
-    /// The compressed bit stream (with a leading compressor-select bit), if
-    /// the line compresses to the 369-bit threshold.
-    fn compressed_stream(&self, line: &MemoryLine) -> Option<BitBuf> {
+    /// The raw compressed stream (without the compressor-select bit) and
+    /// which compressor produced it (`true` = BDI), if the line compresses
+    /// to the 369-bit threshold.
+    fn compressed_payload(&self, line: &MemoryLine) -> Option<(bool, BitBuf)> {
         // Prefer FPC (self-terminating, always decodable), fall back to BDI.
-        let fpc_stream = {
-            let s = self.fpc.encode_stream(line);
-            if s.len() < COMPRESSION_THRESHOLD_BITS {
-                Some(s)
-            } else {
-                None
-            }
-        };
-        if let Some(s) = fpc_stream {
-            let mut out = BitBuf::with_capacity(s.len() + 1);
-            out.push(false);
-            out.extend_from(&s);
-            return Some(out);
+        let fpc_stream = self.fpc.encode_stream(line);
+        if fpc_stream.len() < COMPRESSION_THRESHOLD_BITS {
+            return Some((false, fpc_stream));
         }
         let bdi_stream = self.bdi.encode_stream(line)?;
         if bdi_stream.len() < COMPRESSION_THRESHOLD_BITS {
-            let mut out = BitBuf::with_capacity(bdi_stream.len() + 1);
-            out.push(true);
-            out.extend_from(&bdi_stream);
-            Some(out)
+            Some((true, bdi_stream))
         } else {
             None
         }
+    }
+
+    /// The compressed bit stream (with a leading compressor-select bit), if
+    /// the line compresses to the 369-bit threshold. Used by the scalar
+    /// oracle path.
+    fn compressed_stream(&self, line: &MemoryLine) -> Option<BitBuf> {
+        let (bdi, payload) = self.compressed_payload(line)?;
+        let mut out = BitBuf::with_capacity(payload.len() + 1);
+        out.push(bdi);
+        out.extend_from(&payload);
+        Some(out)
     }
 
     /// The eight 4-bit code words of the 3-to-4 expansion: pairs of symbols
@@ -108,6 +114,40 @@ impl DinCodec {
         table
     };
 
+    /// Table-driven 3-to-4 expansion of a whole 12-bit chunk: four input
+    /// groups expand to four code-word nibbles in one load. Group `g` (bits
+    /// `3g..3g+3` of the index) lands in output bits `4g..4g+4`, matching
+    /// the LSB-first order of the scalar expansion loop.
+    const EXPAND12: [u16; 4096] = {
+        let mut table = [0u16; 4096];
+        let mut v = 0;
+        while v < 4096 {
+            let mut out = 0u16;
+            let mut g = 0;
+            while g < 4 {
+                out |= (DinCodec::CODEWORDS[(v >> (3 * g)) & 0b111] as u16) << (4 * g);
+                g += 1;
+            }
+            table[v] = out;
+            v += 1;
+        }
+        table
+    };
+
+    /// Table-driven 4-to-3 contraction of a whole byte (two code words): the
+    /// low nibble's 3 data bits land in output bits `0..3`, the high
+    /// nibble's in bits `3..6`.
+    const CONTRACT8: [u8; 256] = {
+        let mut table = [0u8; 256];
+        let mut b = 0;
+        while b < 256 {
+            table[b] =
+                DinCodec::CODEWORD_INDEX[b & 0b1111] | (DinCodec::CODEWORD_INDEX[b >> 4] << 3);
+            b += 1;
+        }
+        table
+    };
+
     /// Expands 3 data bits into a 4-bit code word that avoids the
     /// highest-energy symbol (`01` → S4) entirely and uses at most one `11`
     /// (S3) symbol per pair of cells.
@@ -123,24 +163,59 @@ impl DinCodec {
     fn flag_cell(&self) -> usize {
         LINE_CELLS
     }
-}
 
-impl Default for DinCodec {
-    fn default() -> DinCodec {
-        DinCodec::new()
+    /// Bit-parallel encode of a compressed payload: prepends the
+    /// compressor-select bit, runs the 3-to-4 expansion a u64 chunk at a
+    /// time through [`Self::EXPAND12`], and folds in the word-parallel BCH
+    /// parity. Returns the full 512-bit stored content as a line.
+    fn expand_words(&self, bdi: bool, payload: &BitBuf) -> MemoryLine {
+        // Selector-prepended stream, assembled in fixed words: the payload
+        // words shifted left one bit with carry, the selector at bit 0. The
+        // payload is at most 368 bits (6 words), so the carries stay in
+        // bounds.
+        let mut stream = [0u64; LINE_WORDS];
+        stream[0] = u64::from(bdi);
+        for (i, &w) in payload.words().iter().enumerate() {
+            stream[i] |= w << 1;
+            stream[i + 1] |= w >> 63;
+        }
+        let stream_len = payload.len() + 1;
+
+        let mut full = [0u64; LINE_WORDS];
+        let mut pos = 0usize;
+        let mut opos = 0usize;
+        while pos + 12 <= stream_len {
+            let v = read_bits(&stream, pos, 12) as usize;
+            push_bits(&mut full, opos, u64::from(DinCodec::EXPAND12[v]), 16);
+            pos += 12;
+            opos += 16;
+        }
+        // Tail: the same take-up-to-3 loop as the scalar path, so partial
+        // final groups expand identically.
+        while pos < stream_len {
+            let take = (stream_len - pos).min(3);
+            let v = read_bits(&stream, pos, take) as u8;
+            pos += take;
+            push_bits(&mut full, opos, u64::from(DinCodec::expand3to4(v)), 4);
+            opos += 4;
+        }
+        debug_assert!(opos <= EXPANDED_BITS);
+        // The expanded payload is 492 bits: the 20 parity bits occupy
+        // exactly the top 20 bits of word 7.
+        let parity = self.packed.parity_words(&full);
+        full[EXPANDED_BITS / 64] |= u64::from(parity) << (EXPANDED_BITS % 64);
+        MemoryLine::from_words(full)
     }
-}
 
-impl LineCodec for DinCodec {
-    fn name(&self) -> &str {
-        "DIN"
-    }
-
-    fn encoded_cells(&self) -> usize {
-        LINE_CELLS + 1
-    }
-
-    fn encode(&self, data: &MemoryLine, old: &PhysicalLine, _energy: &EnergyModel) -> PhysicalLine {
+    /// Scalar reference encoder: the original per-bit implementation, kept
+    /// callable as the oracle the `kernel_equivalence` proptests pin the
+    /// bit-parallel [`LineCodec::encode`] against.
+    pub fn encode_scalar(
+        &self,
+        data: &MemoryLine,
+        old: &PhysicalLine,
+        _energy: &EnergyModel,
+    ) -> PhysicalLine {
         assert_eq!(old.len(), self.encoded_cells());
         let mut out = PhysicalLine::all_reset(self.encoded_cells());
         out.set_class(self.flag_cell(), CellClass::Aux);
@@ -181,7 +256,9 @@ impl LineCodec for DinCodec {
         out
     }
 
-    fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
+    /// Scalar reference decoder matching [`DinCodec::encode_scalar`], kept
+    /// as the oracle for the bit-parallel [`LineCodec::decode`].
+    pub fn decode_scalar(&self, stored: &PhysicalLine) -> MemoryLine {
         assert_eq!(stored.len(), self.encoded_cells());
         let mut bits = MemoryLine::ZERO;
         for cell in 0..LINE_CELLS {
@@ -212,6 +289,126 @@ impl LineCodec for DinCodec {
         }
         let selector_bdi = stream.get(0);
         let payload = stream.slice_from(1);
+        if selector_bdi {
+            self.bdi.decode_stream(&payload)
+        } else {
+            self.fpc.decode_stream(&payload)
+        }
+    }
+}
+
+/// Reads `nbits` (≤ 12) bits starting at bit `pos` from a fixed word buffer,
+/// LSB-first like [`BitBuf::read_u64`].
+#[inline]
+fn read_bits(words: &[u64; LINE_WORDS], pos: usize, nbits: usize) -> u64 {
+    let (w, off) = (pos / 64, pos % 64);
+    let mut v = words[w] >> off;
+    if off + nbits > 64 {
+        v |= words[w + 1] << (64 - off);
+    }
+    v & ((1u64 << nbits) - 1)
+}
+
+/// ORs `nbits` (≤ 16) bits of `value` into a fixed word buffer starting at
+/// bit `pos`; the destination bits must currently be zero.
+#[inline]
+fn push_bits(words: &mut [u64; LINE_WORDS], pos: usize, value: u64, nbits: usize) {
+    let (w, off) = (pos / 64, pos % 64);
+    words[w] |= value << off;
+    if off + nbits > 64 {
+        words[w + 1] |= value >> (64 - off);
+    }
+}
+
+impl Default for DinCodec {
+    fn default() -> DinCodec {
+        DinCodec::new()
+    }
+}
+
+impl LineCodec for DinCodec {
+    fn name(&self) -> &str {
+        "DIN"
+    }
+
+    fn encoded_cells(&self) -> usize {
+        LINE_CELLS + 1
+    }
+
+    fn encode(&self, data: &MemoryLine, old: &PhysicalLine, _energy: &EnergyModel) -> PhysicalLine {
+        assert_eq!(old.len(), self.encoded_cells());
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        out.set_class(self.flag_cell(), CellClass::Aux);
+
+        // Compressed lines are flagged with the lowest-energy state.
+        let (stored_bits, flag) = match self.compressed_payload(data) {
+            Some((bdi, payload)) => (self.expand_words(bdi, &payload), CellState::S1),
+            None => (*data, CellState::S2),
+        };
+        let planes = stored_bits.symbol_planes();
+        let mut plane0 = [0u64; PLANE_WORDS];
+        let mut plane1 = [0u64; PLANE_WORDS];
+        for w in 0..PLANE_WORDS {
+            let (t0, t1) = self.table.target_planes(&planes, w);
+            plane0[w] = t0;
+            plane1[w] = t1;
+        }
+        kernel::write_states_from_planes(&mut out, LINE_CELLS, &plane0, &plane1);
+        out.set_state(self.flag_cell(), flag);
+        out
+    }
+
+    fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
+        assert_eq!(stored.len(), self.encoded_cells());
+        let states = stored.state_planes();
+        let (p0, p1) = kernel::symbol_planes_from_states(&states, self.mapping.symbols_per_state());
+        let bits = kernel::line_from_planes(&p0, &p1);
+        if stored.state(self.flag_cell()) != CellState::S1 {
+            return bits;
+        }
+        // BCH-check the expanded payload word-parallel; only lines with
+        // non-zero syndromes (disturbed cells) pay the scalar corrector.
+        let recv = *bits.words();
+        let corrected: [u64; LINE_WORDS] = if self.packed.syndromes(&recv) == [0; 4] {
+            // Already a codeword: the message is its first 492 bits.
+            let mut msg = recv;
+            msg[EXPANDED_BITS / 64] &= (1u64 << (EXPANDED_BITS % 64)) - 1;
+            msg
+        } else {
+            let received = BitBuf::from_words(recv.to_vec(), LINE_BITS);
+            let corrected_buf = self.bch.decode(&received).unwrap_or_else(|_| {
+                // Uncorrectable: fall back to the raw payload bits.
+                received.iter().take(EXPANDED_BITS).collect()
+            });
+            let mut msg = [0u64; LINE_WORDS];
+            for (slot, &w) in msg.iter_mut().zip(corrected_buf.words()) {
+                *slot = w;
+            }
+            msg
+        };
+        // 4-to-3 contraction, a byte (two code words) per load; 492 bits
+        // leave one final lone code word after the byte loop.
+        let mut stream = [0u64; LINE_WORDS];
+        let mut opos = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= EXPANDED_BITS {
+            let b = read_bits(&corrected, i, 8) as usize;
+            push_bits(&mut stream, opos, u64::from(DinCodec::CONTRACT8[b]), 6);
+            i += 8;
+            opos += 6;
+        }
+        while i + 4 <= EXPANDED_BITS {
+            let code = read_bits(&corrected, i, 4) as u8;
+            push_bits(&mut stream, opos, u64::from(DinCodec::contract4to3(code)), 3);
+            i += 4;
+            opos += 3;
+        }
+        let selector_bdi = stream[0] & 1 == 1;
+        let mut payload_words = vec![0u64; (opos - 1).div_ceil(64)];
+        for (w, slot) in payload_words.iter_mut().enumerate() {
+            *slot = (stream[w] >> 1) | (stream[w + 1] << 63);
+        }
+        let payload = BitBuf::from_words(payload_words, opos - 1);
         if selector_bdi {
             self.bdi.decode_stream(&payload)
         } else {
@@ -306,6 +503,55 @@ mod tests {
             enc.set_state(cell, SymbolMapping::default_mapping().state_of(flipped));
         }
         assert_eq!(codec.decode(&enc), data);
+    }
+
+    #[test]
+    fn kernel_encode_matches_scalar_encode() {
+        let codec = DinCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(21);
+        for round in 0..60 {
+            // Alternate compressible and incompressible content so both the
+            // expanded and the passthrough paths are pinned.
+            let data = if round % 3 == 0 {
+                let mut words = [0u64; 8];
+                for w in &mut words {
+                    *w = rng.gen::<u64>() | 0x8000_0000_0000_0000;
+                }
+                MemoryLine::from_words(words)
+            } else {
+                compressible_line(&mut rng)
+            };
+            let old = codec.initial_line();
+            let kernel_enc = codec.encode(&data, &old, &energy);
+            let scalar_enc = codec.encode_scalar(&data, &old, &energy);
+            assert_eq!(kernel_enc, scalar_enc, "round {round}");
+            assert_eq!(codec.decode(&kernel_enc), codec.decode_scalar(&scalar_enc));
+            assert_eq!(codec.decode(&kernel_enc), data);
+        }
+    }
+
+    #[test]
+    fn kernel_decode_matches_scalar_decode_on_disturbed_lines() {
+        // Flip stored bits (0, 1, 2 and 3 cells) so the zero-syndrome fast
+        // path, the corrector and the uncorrectable fallback all stay
+        // byte-identical to the scalar decoder.
+        let codec = DinCodec::new();
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(23);
+        for flips in 0..4usize {
+            for _ in 0..20 {
+                let data = compressible_line(&mut rng);
+                let mut enc = codec.encode(&data, &codec.initial_line(), &energy);
+                for _ in 0..flips {
+                    let cell = rng.gen_range(0..LINE_CELLS);
+                    let sym = SymbolMapping::default_mapping().symbol_of(enc.state(cell));
+                    let flipped = Symbol::new(sym.value() ^ 0b01);
+                    enc.set_state(cell, SymbolMapping::default_mapping().state_of(flipped));
+                }
+                assert_eq!(codec.decode(&enc), codec.decode_scalar(&enc), "flips {flips}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use wlcrc_ecc::coset_masks;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
-use wlcrc_pcm::kernel::{self, SymbolPlanes, TransitionTable};
+use wlcrc_pcm::kernel::{self, StatePlanes, SymbolPlanes, TransitionTable, PLANE_WORDS};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
@@ -63,52 +63,47 @@ impl FlipMinCodec {
         cost
     }
 
-    /// Shared encode body; `use_kernel` switches the whole-line candidate
-    /// costs between the bit-parallel kernel (with branch-and-bound against
-    /// the incumbent) and the scalar [`Self::cost_of`].
-    fn encode_impl(
+    /// Bit-parallel encode body against prebuilt plane views and the
+    /// mapping's transition table; [`LineCodec::encode_batch`] builds the
+    /// table once per batch.
+    fn encode_kernel(
         &self,
-        data: &MemoryLine,
-        old: &PhysicalLine,
-        energy: &EnergyModel,
-        use_kernel: bool,
+        planes: &SymbolPlanes,
+        stored: &StatePlanes,
+        table: &TransitionTable,
     ) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
         let mut best_index = 0usize;
         let mut best_cost = f64::INFINITY;
-        if use_kernel {
-            let table = TransitionTable::new(&self.mapping, energy);
-            let planes = data.symbol_planes();
-            let stored = old.state_planes();
-            for (i, mask_planes) in self.mask_planes.iter().enumerate() {
-                let candidate = planes.xor(mask_planes);
-                if let Some(cost) = kernel::block_cost_bounded(
-                    &candidate,
-                    &stored,
-                    0..LINE_CELLS,
-                    &table,
-                    0.0,
-                    best_cost,
-                ) {
-                    best_cost = cost;
-                    best_index = i;
-                }
-            }
-        } else {
-            for (i, mask) in self.masks.iter().enumerate() {
-                let candidate = data.xor(mask);
-                let cost = self.cost_of(&candidate, old, energy);
-                if cost < best_cost {
-                    best_cost = cost;
-                    best_index = i;
-                }
+        for (i, mask_planes) in self.mask_planes.iter().enumerate() {
+            let candidate = planes.xor(mask_planes);
+            if let Some(cost) =
+                kernel::block_cost_bounded(&candidate, stored, 0..LINE_CELLS, table, 0.0, best_cost)
+            {
+                best_cost = cost;
+                best_index = i;
             }
         }
-        let best_line = data.xor(&self.masks[best_index]);
+        self.write_chosen(&planes.xor(&self.mask_planes[best_index]), best_index, table)
+    }
+
+    /// Plane-assembled write of the winning candidate: the target planes are
+    /// scattered in one pass, which also installs the new line's
+    /// `StatePlanes` cache for the next write against it.
+    fn write_chosen(
+        &self,
+        candidate: &SymbolPlanes,
+        best_index: usize,
+        table: &TransitionTable,
+    ) -> PhysicalLine {
         let mut out = PhysicalLine::all_reset(self.encoded_cells());
-        for cell in 0..LINE_CELLS {
-            out.set_state(cell, self.mapping.state_of(best_line.symbol(cell)));
+        let mut out0 = [0u64; PLANE_WORDS];
+        let mut out1 = [0u64; PLANE_WORDS];
+        for w in 0..PLANE_WORDS {
+            let (t0, t1) = table.target_planes(candidate, w);
+            out0[w] = t0;
+            out1[w] = t1;
         }
+        kernel::write_states_from_planes(&mut out, LINE_CELLS, &out0, &out1);
         // The 4-bit candidate index is stored in two auxiliary cells.
         for (i, shift) in [(0usize, 0u32), (1, 2)] {
             let bits = ((best_index >> shift) & 0b11) as u8;
@@ -127,7 +122,28 @@ impl FlipMinCodec {
         old: &PhysicalLine,
         energy: &EnergyModel,
     ) -> PhysicalLine {
-        self.encode_impl(data, old, energy, false)
+        assert_eq!(old.len(), self.encoded_cells());
+        let mut best_index = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (i, mask) in self.masks.iter().enumerate() {
+            let candidate = data.xor(mask);
+            let cost = self.cost_of(&candidate, old, energy);
+            if cost < best_cost {
+                best_cost = cost;
+                best_index = i;
+            }
+        }
+        let best_line = data.xor(&self.masks[best_index]);
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in 0..LINE_CELLS {
+            out.set_state(cell, self.mapping.state_of(best_line.symbol(cell)));
+        }
+        for (i, shift) in [(0usize, 0u32), (1, 2)] {
+            let bits = ((best_index >> shift) & 0b11) as u8;
+            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::new(bits)));
+            out.set_class(LINE_CELLS + i, CellClass::Aux);
+        }
+        out
     }
 }
 
@@ -147,7 +163,21 @@ impl LineCodec for FlipMinCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        self.encode_impl(data, old, energy, true)
+        assert_eq!(old.len(), self.encoded_cells());
+        let table = TransitionTable::new(&self.mapping, energy);
+        self.encode_kernel(&data.symbol_planes(), &old.state_planes(), &table)
+    }
+
+    fn encode_batch(
+        &self,
+        jobs: &[(&MemoryLine, &PhysicalLine)],
+        energy: &EnergyModel,
+    ) -> Vec<PhysicalLine> {
+        let table = TransitionTable::new(&self.mapping, energy);
+        kernel::encode_batch(jobs, |planes, stored, _data, old| {
+            assert_eq!(old.len(), self.encoded_cells());
+            self.encode_kernel(planes, stored, &table)
+        })
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
@@ -155,11 +185,11 @@ impl LineCodec for FlipMinCodec {
         let lo = self.mapping.symbol_of(stored.state(LINE_CELLS)).value() as usize;
         let hi = self.mapping.symbol_of(stored.state(LINE_CELLS + 1)).value() as usize;
         let index = (lo | (hi << 2)).min(CANDIDATES - 1);
-        let mut encoded = MemoryLine::ZERO;
-        for cell in 0..LINE_CELLS {
-            encoded.set_symbol(cell, self.mapping.symbol_of(stored.state(cell)));
-        }
-        encoded.xor(&self.masks[index])
+        // Bit-parallel inverse mapping of the data cells (warm on lines the
+        // plane-assembled encode produced), then one XOR to strip the mask.
+        let states = stored.state_planes();
+        let (p0, p1) = kernel::symbol_planes_from_states(&states, self.mapping.symbols_per_state());
+        kernel::line_from_planes(&p0, &p1).xor(&self.masks[index])
     }
 }
 

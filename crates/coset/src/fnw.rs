@@ -10,7 +10,7 @@
 use crate::granularity::Granularity;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
-use wlcrc_pcm::kernel::{self, TransitionTable};
+use wlcrc_pcm::kernel::{self, StatePlanes, SymbolPlanes, TransitionTable, PLANE_WORDS};
 use wlcrc_pcm::line::MemoryLine;
 use wlcrc_pcm::mapping::SymbolMapping;
 use wlcrc_pcm::physical::{CellClass, PhysicalLine};
@@ -92,49 +92,57 @@ impl FnwCodec {
         [keep, TransitionTable::from_states(flipped_states, energy)]
     }
 
-    /// Shared encode body; `use_kernel` switches the per-block flip costs
-    /// between the bit-parallel kernel and the scalar [`Self::flip_cost`].
-    fn encode_impl(
+    /// Packs the per-block flip decisions into the auxiliary cells, two
+    /// flip bits per aux symbol through the default mapping.
+    fn write_aux(&self, out: &mut PhysicalLine, flips: u64, blocks: usize) {
+        for i in 0..self.aux_cells() {
+            let msb = (flips >> (2 * i)) & 1 == 1;
+            let lsb = 2 * i + 1 < blocks && (flips >> (2 * i + 1)) & 1 == 1;
+            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::from_bits(msb, lsb)));
+        }
+    }
+
+    /// Bit-parallel encode body against prebuilt plane views and transition
+    /// tables; [`LineCodec::encode_batch`] builds the tables once per batch.
+    fn encode_kernel(
         &self,
-        data: &MemoryLine,
-        old: &PhysicalLine,
-        energy: &EnergyModel,
-        use_kernel: bool,
+        planes: &SymbolPlanes,
+        stored: &StatePlanes,
+        tables: &[TransitionTable; 2],
     ) -> PhysicalLine {
-        assert_eq!(old.len(), self.encoded_cells());
         let blocks = self.granularity.blocks_per_line();
         debug_assert!(blocks <= 64, "flip mask is a u64");
         let mut out = PhysicalLine::all_reset(self.encoded_cells());
         for cell in LINE_CELLS..self.encoded_cells() {
             out.set_class(cell, CellClass::Aux);
         }
-        let tables = self.tables(energy);
-        let kernel_ctx = use_kernel.then(|| (data.symbol_planes(), old.state_planes()));
         let mut flips = 0u64;
+        // Per-cell select mask of the flipped blocks, one bit per cell.
+        let mut flip_mask = [0u64; PLANE_WORDS];
         for block in 0..blocks {
             let cells = self.granularity.block_cells(block);
-            let (keep, inverted) = match &kernel_ctx {
-                Some((planes, stored)) => (
-                    kernel::block_cost(planes, stored, cells.clone(), &tables[0]),
-                    kernel::block_cost(planes, stored, cells.clone(), &tables[1]),
-                ),
-                None => (
-                    self.flip_cost(data, old, cells.clone(), false, energy),
-                    self.flip_cost(data, old, cells.clone(), true, energy),
-                ),
-            };
-            let flip = inverted < keep;
-            if flip {
+            let keep = kernel::block_cost(planes, stored, cells.clone(), &tables[0]);
+            let inverted = kernel::block_cost(planes, stored, cells.clone(), &tables[1]);
+            if inverted < keep {
                 flips |= 1 << block;
+                set_cell_range(&mut flip_mask, cells);
             }
-            kernel::write_block(data, &mut out, cells, &tables[usize::from(flip)]);
         }
-        // Pack flip bits, two per auxiliary cell, through the default mapping.
-        for i in 0..self.aux_cells() {
-            let msb = (flips >> (2 * i)) & 1 == 1;
-            let lsb = 2 * i + 1 < blocks && (flips >> (2 * i + 1)) & 1 == 1;
-            out.set_state(LINE_CELLS + i, self.mapping.state_of(Symbol::from_bits(msb, lsb)));
+        // Plane-assembled write: select each word's target planes between
+        // the keep and the flipped table, then scatter once. This also
+        // installs the new line's StatePlanes cache, so the next write
+        // against it skips the per-cell plane rebuild.
+        let mut out0 = [0u64; PLANE_WORDS];
+        let mut out1 = [0u64; PLANE_WORDS];
+        for w in 0..PLANE_WORDS {
+            let (k0, k1) = tables[0].target_planes(planes, w);
+            let (f0, f1) = tables[1].target_planes(planes, w);
+            let fm = flip_mask[w];
+            out0[w] = (k0 & !fm) | (f0 & fm);
+            out1[w] = (k1 & !fm) | (f1 & fm);
         }
+        kernel::write_states_from_planes(&mut out, LINE_CELLS, &out0, &out1);
+        self.write_aux(&mut out, flips, blocks);
         out
     }
 
@@ -147,7 +155,48 @@ impl FnwCodec {
         old: &PhysicalLine,
         energy: &EnergyModel,
     ) -> PhysicalLine {
-        self.encode_impl(data, old, energy, false)
+        assert_eq!(old.len(), self.encoded_cells());
+        let blocks = self.granularity.blocks_per_line();
+        let mut out = PhysicalLine::all_reset(self.encoded_cells());
+        for cell in LINE_CELLS..self.encoded_cells() {
+            out.set_class(cell, CellClass::Aux);
+        }
+        let tables = self.tables(energy);
+        let mut flips = 0u64;
+        for block in 0..blocks {
+            let cells = self.granularity.block_cells(block);
+            let keep = self.flip_cost(data, old, cells.clone(), false, energy);
+            let inverted = self.flip_cost(data, old, cells.clone(), true, energy);
+            let flip = inverted < keep;
+            if flip {
+                flips |= 1 << block;
+            }
+            kernel::write_block(data, &mut out, cells, &tables[usize::from(flip)]);
+        }
+        self.write_aux(&mut out, flips, blocks);
+        out
+    }
+}
+
+/// Sets one bit per cell of `cells` in a per-cell plane-word mask.
+fn set_cell_range(mask: &mut [u64; PLANE_WORDS], cells: std::ops::Range<usize>) {
+    let (mut c, end) = (cells.start, cells.end);
+    while c < end {
+        let (w, off) = (c / 64, c % 64);
+        let n = (64 - off).min(end - c);
+        mask[w] |= (u64::MAX >> (64 - n)) << off;
+        c += n;
+    }
+}
+
+/// Sets line bits `start..end` in a fixed word buffer.
+fn set_bit_range(words: &mut [u64; wlcrc_pcm::LINE_WORDS], start: usize, end: usize) {
+    let mut b = start;
+    while b < end {
+        let (w, off) = (b / 64, b % 64);
+        let n = (64 - off).min(end - b);
+        words[w] |= (u64::MAX >> (64 - n)) << off;
+        b += n;
     }
 }
 
@@ -161,31 +210,45 @@ impl LineCodec for FnwCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        self.encode_impl(data, old, energy, true)
+        assert_eq!(old.len(), self.encoded_cells());
+        let tables = self.tables(energy);
+        self.encode_kernel(&data.symbol_planes(), &old.state_planes(), &tables)
+    }
+
+    fn encode_batch(
+        &self,
+        jobs: &[(&MemoryLine, &PhysicalLine)],
+        energy: &EnergyModel,
+    ) -> Vec<PhysicalLine> {
+        let tables = self.tables(energy);
+        kernel::encode_batch(jobs, |planes, stored, _data, old| {
+            assert_eq!(old.len(), self.encoded_cells());
+            self.encode_kernel(planes, stored, &tables)
+        })
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
         assert_eq!(stored.len(), self.encoded_cells());
         let blocks = self.granularity.blocks_per_line();
-        let mut flips = vec![false; blocks];
-        for (i, chunk) in flips.chunks_mut(2).enumerate() {
+        // Bit-parallel inverse mapping of the data cells; the warm plane
+        // cache installed by the encode side makes this a handful of word
+        // shuffles on lines that live across writes.
+        let states = stored.state_planes();
+        let (p0, p1) = kernel::symbol_planes_from_states(&states, self.mapping.symbols_per_state());
+        let encoded = kernel::line_from_planes(&p0, &p1);
+        // A flipped block stores the symbol complement, so un-flipping is an
+        // XOR with all-ones over the block's bits.
+        let mut flip_bits = [0u64; wlcrc_pcm::LINE_WORDS];
+        for i in 0..self.aux_cells() {
             let symbol = self.mapping.symbol_of(stored.state(LINE_CELLS + i));
-            chunk[0] = symbol.msb();
-            if chunk.len() > 1 {
-                chunk[1] = symbol.lsb();
-            }
-        }
-        let mut data = MemoryLine::ZERO;
-        for (block, flip) in flips.iter().enumerate() {
-            for cell in self.granularity.block_cells(block) {
-                let mut symbol = self.mapping.symbol_of(stored.state(cell));
-                if *flip {
-                    symbol = Symbol::new(!symbol.value() & 0b11);
+            for (bit, flagged) in [(2 * i, symbol.msb()), (2 * i + 1, symbol.lsb())] {
+                if flagged && bit < blocks {
+                    let cells = self.granularity.block_cells(bit);
+                    set_bit_range(&mut flip_bits, 2 * cells.start, 2 * cells.end);
                 }
-                data.set_symbol(cell, symbol);
             }
         }
-        data
+        encoded.xor(&MemoryLine::from_words(flip_bits))
     }
 }
 

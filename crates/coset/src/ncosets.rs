@@ -7,7 +7,7 @@
 //! 8 to 512 bits.
 
 use crate::candidate::CandidateSet;
-use crate::cost::{block_cost, read_block, write_block};
+use crate::cost::{block_cost, write_block};
 use crate::granularity::Granularity;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::energy::EnergyModel;
@@ -160,21 +160,32 @@ impl NCosetsCodec {
         }
     }
 
-    /// Shared encode body. With `use_kernel` the per-candidate block costs
+    /// One transition table per candidate, on the stack (no heap allocation
+    /// per write). Built once per encode — or once per *batch* by
+    /// [`LineCodec::encode_batch`].
+    fn build_tables(&self, energy: &EnergyModel) -> [TransitionTable; MAX_CANDIDATES] {
+        let mut tables = [TransitionTable::placeholder(); MAX_CANDIDATES];
+        for (table, candidate) in tables.iter_mut().zip(self.set.candidates()) {
+            *table = TransitionTable::new(&candidate.mapping(), energy);
+        }
+        tables
+    }
+
+    /// Shared encode body. With `kernel_ctx` the per-candidate block costs
     /// run on the bit-parallel kernel: fine granularities (blocks smaller
     /// than a 64-cell plane word) precompute every candidate's per-block cost
     /// with the amortised word sweep ([`kernel::block_costs_uniform`]), while
     /// coarse blocks are evaluated per candidate with branch-and-bound (a
     /// candidate is abandoned as soon as its partial cost reaches the
     /// incumbent — it could no longer win the strict `<` comparison, so the
-    /// winner is unchanged). Without `use_kernel` the costs come from the
+    /// winner is unchanged). Without `kernel_ctx` the costs come from the
     /// scalar reference in [`crate::cost`].
     fn encode_impl(
         &self,
         data: &MemoryLine,
         old: &PhysicalLine,
         energy: &EnergyModel,
-        use_kernel: bool,
+        kernel_ctx: Option<(&SymbolPlanes, &StatePlanes, &[TransitionTable; MAX_CANDIDATES])>,
     ) -> PhysicalLine {
         assert_eq!(old.len(), self.encoded_cells());
         let blocks = self.granularity.blocks_per_line();
@@ -183,23 +194,13 @@ impl NCosetsCodec {
         for cell in LINE_CELLS..self.encoded_cells() {
             out.set_class(cell, CellClass::Aux);
         }
-        // Per-encode precomputation: the plane views and one transition table
-        // per candidate, all on the stack (no heap allocation per write).
-        let kernel_ctx: Option<(SymbolPlanes, StatePlanes, [TransitionTable; MAX_CANDIDATES])> =
-            use_kernel.then(|| {
-                let mut tables = [TransitionTable::placeholder(); MAX_CANDIDATES];
-                for (table, candidate) in tables.iter_mut().zip(self.set.candidates()) {
-                    *table = TransitionTable::new(&candidate.mapping(), energy);
-                }
-                (data.symbol_planes(), old.state_planes(), tables)
-            });
         // Fine granularity: the fused kernel sweep evaluates every candidate
         // per block while the bucket masks are in registers — the selection
         // minimises the full differential-write cost (data block plus the
         // auxiliary cells recording the choice) exactly like the scalar loop
         // below — and assembles the winners' target planes, which are
         // scattered to cells in a single pass at the end.
-        if let Some((planes, stored, tables)) = &kernel_ctx {
+        if let Some((planes, stored, tables)) = kernel_ctx {
             // Granularities finer than 8 bits (more than 64 blocks) exceed
             // the fixed-size scratch and take the generic per-block loop
             // below instead, which handles any block count.
@@ -307,7 +308,7 @@ impl NCosetsCodec {
                 // the data block plus the auxiliary cells that record the
                 // chosen candidate.
                 let selector = self.selector_cost(old, block, idx, energy);
-                let cost = match &kernel_ctx {
+                let cost = match kernel_ctx {
                     Some((planes, stored, tables)) => {
                         match kernel::block_cost_bounded(
                             planes,
@@ -345,7 +346,7 @@ impl NCosetsCodec {
         old: &PhysicalLine,
         energy: &EnergyModel,
     ) -> PhysicalLine {
-        self.encode_impl(data, old, energy, false)
+        self.encode_impl(data, old, energy, None)
     }
 }
 
@@ -359,24 +360,62 @@ impl LineCodec for NCosetsCodec {
     }
 
     fn encode(&self, data: &MemoryLine, old: &PhysicalLine, energy: &EnergyModel) -> PhysicalLine {
-        self.encode_impl(data, old, energy, true)
+        let tables = self.build_tables(energy);
+        self.encode_impl(
+            data,
+            old,
+            energy,
+            Some((&data.symbol_planes(), &old.state_planes(), &tables)),
+        )
+    }
+
+    fn encode_batch(
+        &self,
+        jobs: &[(&MemoryLine, &PhysicalLine)],
+        energy: &EnergyModel,
+    ) -> Vec<PhysicalLine> {
+        let tables = self.build_tables(energy);
+        kernel::encode_batch(jobs, |planes, stored, data, old| {
+            self.encode_impl(data, old, energy, Some((planes, stored, &tables)))
+        })
     }
 
     fn decode(&self, stored: &PhysicalLine) -> MemoryLine {
         assert_eq!(stored.len(), self.encoded_cells());
-        let mut data = MemoryLine::ZERO;
+        // Bit-parallel inverse mapping: one plane transform per candidate
+        // (at most six), then a per-block select of whichever candidate the
+        // stored selector names. Byte-identical to the per-cell
+        // [`read_block`] reference, which remains the oracle in tests.
+        let states = stored.state_planes();
+        let mut inverses = [([0u64; PLANE_WORDS], [0u64; PLANE_WORDS]); MAX_CANDIDATES];
+        for (slot, candidate) in inverses.iter_mut().zip(self.set.candidates()) {
+            *slot =
+                kernel::symbol_planes_from_states(&states, candidate.mapping().symbols_per_state());
+        }
+        let mut p0 = [0u64; PLANE_WORDS];
+        let mut p1 = [0u64; PLANE_WORDS];
         for block in 0..self.granularity.blocks_per_line() {
             let index = self.read_selector(stored, block);
+            let (c0, c1) = &inverses[index];
             let cells = self.granularity.block_cells(block);
-            read_block(stored, &mut data, cells, self.set.candidate(index));
+            let (mut c, end) = (cells.start, cells.end);
+            while c < end {
+                let (w, off) = (c / 64, c % 64);
+                let n = (64 - off).min(end - c);
+                let mask = (u64::MAX >> (64 - n)) << off;
+                p0[w] |= c0[w] & mask;
+                p1[w] |= c1[w] & mask;
+                c += n;
+            }
         }
-        data
+        kernel::line_from_planes(&p0, &p1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::read_block;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use wlcrc_pcm::write::differential_write;
@@ -492,6 +531,53 @@ mod tests {
                     old = kernel;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn kernel_decode_matches_scalar_read_blocks() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(93);
+        for set in
+            [CandidateSet::three_cosets(), CandidateSet::four_cosets(), CandidateSet::six_cosets()]
+        {
+            for g in [8usize, 16, 64, 512] {
+                let codec = NCosetsCodec::new(set.clone(), Granularity::new(g));
+                let mut old = codec.initial_line();
+                for _ in 0..5 {
+                    let data = random_line(&mut rng);
+                    let enc = codec.encode(&data, &old, &energy);
+                    let mut expected = MemoryLine::ZERO;
+                    for block in 0..codec.granularity().blocks_per_line() {
+                        let index = codec.read_selector(&enc, block);
+                        let cells = codec.granularity().block_cells(block);
+                        read_block(
+                            &enc,
+                            &mut expected,
+                            cells,
+                            codec.candidate_set().candidate(index),
+                        );
+                    }
+                    assert_eq!(codec.decode(&enc), expected, "{} g={}", set.name(), g);
+                    old = enc;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_encode_matches_one_at_a_time() {
+        let energy = EnergyModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(95);
+        let codec = NCosetsCodec::six_cosets(Granularity::new(16));
+        let lines: Vec<MemoryLine> = (0..12).map(|_| random_line(&mut rng)).collect();
+        let olds: Vec<PhysicalLine> =
+            lines.iter().map(|l| codec.encode(l, &codec.initial_line(), &energy)).collect();
+        let jobs: Vec<(&MemoryLine, &PhysicalLine)> = lines.iter().zip(olds.iter().rev()).collect();
+        let batched = codec.encode_batch(&jobs, &energy);
+        assert_eq!(batched.len(), jobs.len());
+        for ((data, old), enc) in jobs.iter().zip(&batched) {
+            assert_eq!(*enc, codec.encode(data, old, &energy));
         }
     }
 

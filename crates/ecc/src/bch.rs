@@ -227,6 +227,151 @@ impl fmt::Debug for Bch {
     }
 }
 
+/// Number of `u64` words in a [`PackedBch`] codeword buffer (512 bits).
+pub const PACKED_WORDS: usize = 8;
+
+/// Word-parallel encode/syndrome tables for one fixed shortened-code length
+/// whose codeword fits in 512 bits.
+///
+/// Parity and syndromes are GF(2)-linear in the received bits, so both reduce
+/// to AND + XOR-fold + popcount-parity against precomputed per-bit masks:
+///
+/// * `parity_masks[j]` marks the message bits whose remainder `x^(p+i) mod g`
+///   has parity bit `j` set — parity bit `j` of a message is the XOR-parity
+///   of the masked message words.
+/// * `synd_masks[a][b]` marks the received bits whose codeword degree `d`
+///   satisfies "bit `b` of `alpha^((a ? 3 : 1) * d)` is set" — GF bit `b` of
+///   syndrome S1/S3 is the XOR-parity of the masked received words. S2 and
+///   S4 follow for free from the Frobenius identity `r(alpha^2) = r(alpha)^2`
+///   over GF(2) polynomials, so they are bit-identical to the scalar sums.
+#[derive(Clone)]
+pub struct PackedBch {
+    gf: GaloisField,
+    message_len: usize,
+    parity_bits: usize,
+    parity_masks: Vec<[u64; PACKED_WORDS]>,
+    synd_masks: [Vec<[u64; PACKED_WORDS]>; 2],
+}
+
+impl Bch {
+    /// Builds the word-parallel tables for messages of exactly `message_len`
+    /// bits (codeword `message_len + parity_bits` bits, at most 512).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codeword would not fit in [`PACKED_WORDS`] words or the
+    /// message exceeds [`Bch::max_message_bits`].
+    pub fn packed(&self, message_len: usize) -> PackedBch {
+        assert!(message_len <= self.max_message_bits, "message too long for this BCH code");
+        let n = message_len + self.parity_bits;
+        assert!(n <= PACKED_WORDS * 64, "codeword does not fit the packed buffer");
+        // g = x^p + g_lo  =>  x^p ≡ g_lo (mod g); step the remainder of
+        // x^(p+i) with a shift and a conditional reduction.
+        let mut g_full = 0u32;
+        for j in 0..=self.parity_bits {
+            if self.generator.get(j) {
+                g_full |= 1 << j;
+            }
+        }
+        let g_lo = g_full & ((1u32 << self.parity_bits) - 1);
+        let mut parity_masks = vec![[0u64; PACKED_WORDS]; self.parity_bits];
+        let mut r = g_lo;
+        for i in 0..message_len {
+            for (j, mask) in parity_masks.iter_mut().enumerate() {
+                if (r >> j) & 1 == 1 {
+                    mask[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            r <<= 1;
+            if (r >> self.parity_bits) & 1 == 1 {
+                r ^= g_full;
+            }
+        }
+        // Received bit p has codeword degree p + parity_bits (message) or
+        // p - message_len (parity) — same mapping as the scalar decode.
+        let mut synd_masks = [
+            vec![[0u64; PACKED_WORDS]; self.gf.degree()],
+            vec![[0u64; PACKED_WORDS]; self.gf.degree()],
+        ];
+        for (which, a) in [1usize, 3].into_iter().enumerate() {
+            for p in 0..n {
+                let d = if p < message_len { self.parity_bits + p } else { p - message_len };
+                let elem = self.gf.alpha_pow((a * d) % self.gf.order());
+                for (b, mask) in synd_masks[which].iter_mut().enumerate() {
+                    if (elem >> b) & 1 == 1 {
+                        mask[p / 64] |= 1u64 << (p % 64);
+                    }
+                }
+            }
+        }
+        PackedBch {
+            gf: self.gf.clone(),
+            message_len,
+            parity_bits: self.parity_bits,
+            parity_masks,
+            synd_masks,
+        }
+    }
+}
+
+impl PackedBch {
+    /// The fixed message length these tables were built for.
+    pub fn message_len(&self) -> usize {
+        self.message_len
+    }
+
+    /// Number of parity bits produced per message.
+    pub fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    /// The parity bits of `message` (LSB-first in the returned word), where
+    /// `message` holds exactly [`Self::message_len`] bits little-endian with
+    /// every higher bit zero. Matches [`Bch::parity`] bit for bit.
+    pub fn parity_words(&self, message: &[u64; PACKED_WORDS]) -> u32 {
+        let mut parity = 0u32;
+        for (j, mask) in self.parity_masks.iter().enumerate() {
+            // popcount(a ^ b) ≡ popcount(a) + popcount(b) (mod 2), so one
+            // XOR-fold plus a single popcount gives the bit parity.
+            let mut folded = 0u64;
+            for w in 0..PACKED_WORDS {
+                folded ^= mask[w] & message[w];
+            }
+            parity |= (folded.count_ones() & 1) << j;
+        }
+        parity
+    }
+
+    /// The four syndromes `S1..S4` of a received codeword of
+    /// `message_len + parity_bits` bits (little-endian, higher bits zero).
+    /// All zero iff the word is a codeword; matches the scalar sums in
+    /// [`Bch::decode`] exactly.
+    pub fn syndromes(&self, received: &[u64; PACKED_WORDS]) -> [u32; 4] {
+        let mut odd = [0u32; 2];
+        for (which, masks) in self.synd_masks.iter().enumerate() {
+            let mut acc = 0u32;
+            for (b, mask) in masks.iter().enumerate() {
+                let mut folded = 0u64;
+                for w in 0..PACKED_WORDS {
+                    folded ^= mask[w] & received[w];
+                }
+                acc |= (folded.count_ones() & 1) << b;
+            }
+            odd[which] = acc;
+        }
+        let [s1, s3] = odd;
+        let s2 = self.gf.mul(s1, s1);
+        let s4 = self.gf.mul(s2, s2);
+        [s1, s2, s3, s4]
+    }
+}
+
+impl fmt::Debug for PackedBch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedBch(message_len={}, parity_bits={})", self.message_len, self.parity_bits)
+    }
+}
+
 /// Flips the bit whose codeword-polynomial degree is `pos`.
 fn flip_codeword_bit(word: &mut BitVec, pos: usize, message_len: usize, parity_bits: usize) {
     let idx = if pos < parity_bits { message_len + pos } else { pos - parity_bits };
@@ -345,6 +490,80 @@ mod tests {
     fn length_mismatch_is_reported() {
         let bch = Bch::din_default();
         assert_eq!(bch.decode(&BitVec::zeros(5)), Err(BchError::LengthMismatch));
+    }
+
+    fn to_words(bits: &BitVec) -> [u64; PACKED_WORDS] {
+        let mut words = [0u64; PACKED_WORDS];
+        for (i, &w) in bits.words().iter().enumerate() {
+            words[i] = w;
+        }
+        words
+    }
+
+    #[test]
+    fn packed_parity_matches_scalar_parity() {
+        let bch = Bch::din_default();
+        let packed = bch.packed(492);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..50 {
+            let msg = random_message(492, &mut rng);
+            let scalar = bch.parity(&msg);
+            let fast = packed.parity_words(&to_words(&msg));
+            for j in 0..20 {
+                assert_eq!((fast >> j) & 1 == 1, scalar.get(j), "parity bit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_syndromes_are_zero_exactly_on_codewords() {
+        let bch = Bch::din_default();
+        let packed = bch.packed(492);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let msg = random_message(492, &mut rng);
+            let code = bch.encode(&msg);
+            let clean = to_words(&code);
+            assert_eq!(packed.syndromes(&clean), [0; 4]);
+            // Any single flipped bit must produce a non-zero S1 equal to
+            // alpha^degree — the value the scalar decoder locates errors by.
+            let p = rng.gen_range(0..512usize);
+            let mut corrupted = clean;
+            corrupted[p / 64] ^= 1u64 << (p % 64);
+            let [s1, s2, s3, s4] = packed.syndromes(&corrupted);
+            let gf = GaloisField::new(10);
+            let d = if p < 492 { 20 + p } else { p - 492 };
+            assert_eq!(s1, gf.alpha_pow(d % gf.order()));
+            assert_eq!(s2, gf.pow(gf.alpha_pow(2), d));
+            assert_eq!(s3, gf.pow(gf.alpha_pow(3), d));
+            assert_eq!(s4, gf.pow(gf.alpha_pow(4), d));
+        }
+    }
+
+    #[test]
+    fn packed_syndromes_match_scalar_decode_verdict_on_double_errors() {
+        // Two flipped bits: syndromes non-zero, and the scalar decoder (the
+        // fallback path of the kernelised DIN decode) still recovers.
+        let bch = Bch::din_default();
+        let packed = bch.packed(492);
+        let mut rng = StdRng::seed_from_u64(29);
+        let msg = random_message(492, &mut rng);
+        let code = bch.encode(&msg);
+        for _ in 0..20 {
+            let i = rng.gen_range(0..512usize);
+            let mut j = rng.gen_range(0..512usize);
+            while j == i {
+                j = rng.gen_range(0..512usize);
+            }
+            let mut words = to_words(&code);
+            words[i / 64] ^= 1u64 << (i % 64);
+            words[j / 64] ^= 1u64 << (j % 64);
+            assert_ne!(packed.syndromes(&words), [0; 4]);
+            let mut corrupted = code.clone();
+            corrupted.set(i, !corrupted.get(i));
+            corrupted.set(j, !corrupted.get(j));
+            assert_eq!(bch.decode(&corrupted).unwrap(), msg);
+        }
     }
 
     #[test]

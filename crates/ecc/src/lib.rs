@@ -23,7 +23,7 @@ pub mod bits;
 pub mod gf;
 pub mod hamming;
 
-pub use bch::Bch;
+pub use bch::{Bch, PackedBch};
 pub use bits::{BitBuf, BitVec};
 pub use gf::GaloisField;
 pub use hamming::Hamming7264;

@@ -249,12 +249,10 @@ impl Simulator {
 }
 
 impl SimulatorSession {
-    /// Feeds one write record to its bank lane.
-    pub fn write(&mut self, record: &WriteRecord) {
-        let bank = self.organization.bank_index(record.address);
-        let seed = self.options.seed;
-        let lane = self.lanes[bank].get_or_insert_with(|| BankLane::new(seed, bank));
-        let options = if self.degraded {
+    /// The options in effect for the next write, with degraded mode's shed
+    /// work applied.
+    fn effective_options(&self) -> SimulationOptions {
+        if self.degraded {
             SimulationOptions {
                 verify_integrity: false,
                 sample_disturbance: false,
@@ -262,7 +260,15 @@ impl SimulatorSession {
             }
         } else {
             self.options.clone()
-        };
+        }
+    }
+
+    /// Feeds one write record to its bank lane.
+    pub fn write(&mut self, record: &WriteRecord) {
+        let bank = self.organization.bank_index(record.address);
+        let seed = self.options.seed;
+        let options = self.effective_options();
+        let lane = self.lanes[bank].get_or_insert_with(|| BankLane::new(seed, bank));
         lane.feed(
             self.codec.as_ref(),
             record,
@@ -276,9 +282,13 @@ impl SimulatorSession {
 
     /// Feeds a batch, grouped by bank lane for locality: all records of bank
     /// 0 first, then bank 1, and so on, each lane preserving the batch's
-    /// arrival order. Statistics are identical to feeding the batch record by
-    /// record — lanes are independent — but the per-lane grouping amortises
-    /// stored-line and LUT locality the way the sharded batch runner does.
+    /// arrival order. Within a lane, maximal runs of distinct addresses are
+    /// encoded through [`LineCodec::encode_batch`], so codecs that hoist
+    /// their transition-table setup pay it once per run instead of once per
+    /// record. Statistics are byte-identical to feeding the batch record by
+    /// record — encoding is pure, and every side effect (RNG draws,
+    /// integrity checks, accumulation, insertion) still happens per record
+    /// in the lane's arrival order.
     pub fn write_batch(&mut self, records: &[WriteRecord]) {
         if records.len() < 2 {
             for record in records {
@@ -286,13 +296,32 @@ impl SimulatorSession {
             }
             return;
         }
-        // Stable counting sort of record indices by bank.
+        let options = self.effective_options();
+        // Stable sort of record indices by bank keeps arrival order per lane.
         let banks: Vec<usize> =
             records.iter().map(|r| self.organization.bank_index(r.address)).collect();
         let mut order: Vec<u32> = (0..records.len() as u32).collect();
         order.sort_by_key(|&i| banks[i as usize]);
-        for i in order {
-            self.write(&records[i as usize]);
+        let mut start = 0usize;
+        while start < order.len() {
+            let bank = banks[order[start] as usize];
+            let mut end = start;
+            while end < order.len() && banks[order[end] as usize] == bank {
+                end += 1;
+            }
+            let lane_records: Vec<&WriteRecord> =
+                order[start..end].iter().map(|&k| &records[k as usize]).collect();
+            let seed = self.options.seed;
+            let lane = self.lanes[bank].get_or_insert_with(|| BankLane::new(seed, bank));
+            lane.feed_batch(
+                self.codec.as_ref(),
+                &lane_records,
+                &self.config.energy,
+                &self.config,
+                &options,
+            );
+            self.writes += lane_records.len() as u64;
+            start = end;
         }
     }
 
@@ -416,6 +445,71 @@ impl BankLane {
         self.stats.record(outcome, disturbance, encoded, integrity_ok);
         if tracking == Tracking::Stored {
             self.stored.insert(record.address, new);
+        }
+    }
+
+    /// Feeds one lane's arrival-order slice of a batch, batch-encoding
+    /// maximal runs of *distinct* addresses through
+    /// [`LineCodec::encode_batch`] (within such a run no record's encoding
+    /// depends on another's outcome, so the encodes are independent).
+    /// Byte-identical to calling [`BankLane::feed`] per record: encoding is
+    /// pure, and the side effects — disturbance RNG draws, integrity
+    /// checks, statistics accumulation and stored-line insertion — run per
+    /// record in arrival order after each run's encodes.
+    fn feed_batch(
+        &mut self,
+        codec: &dyn LineCodec,
+        records: &[&WriteRecord],
+        energy: &wlcrc_pcm::energy::EnergyModel,
+        config: &PcmConfig,
+        options: &SimulationOptions,
+    ) {
+        let initial = codec.initial_line();
+        let mut seen: std::collections::HashSet<u64> =
+            std::collections::HashSet::with_capacity(records.len().min(64));
+        let mut start = 0usize;
+        while start < records.len() {
+            seen.clear();
+            let mut end = start;
+            while end < records.len() && seen.insert(records[end].address) {
+                end += 1;
+            }
+            let run = &records[start..end];
+            // Stored content per record: take what the lane holds, then
+            // batch-encode the first-touch misses against the initial line.
+            let mut olds: Vec<Option<PhysicalLine>> =
+                run.iter().map(|r| self.stored.remove(&r.address)).collect();
+            let miss_jobs: Vec<(&wlcrc_pcm::line::MemoryLine, &PhysicalLine)> = run
+                .iter()
+                .zip(&olds)
+                .filter(|(_, old)| old.is_none())
+                .map(|(r, _)| (&r.old, &initial))
+                .collect();
+            if !miss_jobs.is_empty() {
+                let mut encoded = codec.encode_batch(&miss_jobs, energy).into_iter();
+                for slot in olds.iter_mut().filter(|o| o.is_none()) {
+                    *slot = encoded.next();
+                }
+            }
+            let olds: Vec<PhysicalLine> =
+                olds.into_iter().map(|o| o.expect("every miss was filled")).collect();
+            let new_jobs: Vec<(&wlcrc_pcm::line::MemoryLine, &PhysicalLine)> =
+                run.iter().zip(&olds).map(|(r, old)| (&r.new, old)).collect();
+            let news = codec.encode_batch(&new_jobs, energy);
+            for ((record, old), new) in run.iter().zip(&olds).zip(news) {
+                let outcome = differential_write(old, &new, energy);
+                let disturbance = if options.sample_disturbance {
+                    evaluate_disturbance(old, &new, &config.disturbance, &mut self.rng)
+                } else {
+                    wlcrc_pcm::disturb::DisturbanceOutcome::default()
+                };
+                let encoded = new.aux_cells() > 0 || codec.encoded_cells() == new.len();
+                let integrity_ok =
+                    if options.verify_integrity { codec.decode(&new) == record.new } else { true };
+                self.stats.record(outcome, disturbance, encoded, integrity_ok);
+                self.stored.insert(record.address, new);
+            }
+            start = end;
         }
     }
 }

@@ -52,6 +52,18 @@ fn even_bits(mut x: u64) -> u64 {
     (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
 }
 
+/// Inverse of [`even_bits`]: spreads the low 32 bits of `x` onto the even
+/// positions (bit `i` of the input lands on bit `2i`).
+#[inline]
+fn spread_bits(mut x: u64) -> u64 {
+    x &= 0x0000_0000_FFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    (x | (x << 1)) & 0x5555_5555_5555_5555
+}
+
 /// The 2-bit symbols of a [`MemoryLine`], de-interleaved into two bit planes.
 ///
 /// Bit `c` of `plane0` word `c / 64` is the **low** bit of cell `c`'s symbol;
@@ -381,10 +393,23 @@ fn word_cost(
     let c2 = (changed & !t1 & t0).count_ones();
     let c3 = (changed & t1 & !t0).count_ones();
     let c4 = (changed & t1 & t0).count_ones();
-    let cost = f64::from(c1) * table.write_pj[0]
-        + f64::from(c2) * table.write_pj[1]
-        + f64::from(c3) * table.write_pj[2]
-        + f64::from(c4) * table.write_pj[3];
+    let cost = match table.write_int {
+        // Integer energies: the u64 total is the same integer the f64 dot
+        // product produces (all terms far below 2^53), minus the four
+        // int→float conversions.
+        Some(wi) => {
+            (u64::from(c1) * wi[0]
+                + u64::from(c2) * wi[1]
+                + u64::from(c3) * wi[2]
+                + u64::from(c4) * wi[3]) as f64
+        }
+        None => {
+            f64::from(c1) * table.write_pj[0]
+                + f64::from(c2) * table.write_pj[1]
+                + f64::from(c3) * table.write_pj[2]
+                + f64::from(c4) * table.write_pj[3]
+        }
+    };
     (cost, changed.count_ones())
 }
 
@@ -397,6 +422,23 @@ pub fn block_cost(
     cells: Range<usize>,
     table: &TransitionTable,
 ) -> f64 {
+    if let Some(wi) = table.write_int {
+        // Fixed-width chunked form: accumulate the four bucket counts across
+        // every word with straight-line AND/XOR/popcount (no per-word float
+        // dependency chain, autovectorisable), then one dot product at the
+        // end. Exact regrouping — every partial sum is an integer.
+        let mut counts = [0u64; 4];
+        for (w, mask) in plane_words(cells) {
+            let (t0, t1) = table.target_planes(data, w);
+            let changed = ((t0 ^ old.plane0[w]) | (t1 ^ old.plane1[w])) & mask;
+            counts[0] += u64::from((changed & !t1 & !t0).count_ones());
+            counts[1] += u64::from((changed & !t1 & t0).count_ones());
+            counts[2] += u64::from((changed & t1 & !t0).count_ones());
+            counts[3] += u64::from((changed & t1 & t0).count_ones());
+        }
+        return (counts[0] * wi[0] + counts[1] * wi[1] + counts[2] * wi[2] + counts[3] * wi[3])
+            as f64;
+    }
     let mut cost = 0.0;
     for (w, mask) in plane_words(cells) {
         cost += word_cost(data, old, table, w, mask).0;
@@ -878,10 +920,20 @@ pub fn word_block_costs_updated(
         let end = (start + cells_per_block).min(data_cells);
         let width = end - start;
         let mask = (if width == 64 { u64::MAX } else { (1u64 << width) - 1 }) << (offset + start);
-        let cost = f64::from((buckets[0] & mask).count_ones()) * table.write_pj[0]
-            + f64::from((buckets[1] & mask).count_ones()) * table.write_pj[1]
-            + f64::from((buckets[2] & mask).count_ones()) * table.write_pj[2]
-            + f64::from((buckets[3] & mask).count_ones()) * table.write_pj[3];
+        let cost = match table.write_int {
+            Some(wi) => {
+                (u64::from((buckets[0] & mask).count_ones()) * wi[0]
+                    + u64::from((buckets[1] & mask).count_ones()) * wi[1]
+                    + u64::from((buckets[2] & mask).count_ones()) * wi[2]
+                    + u64::from((buckets[3] & mask).count_ones()) * wi[3]) as f64
+            }
+            None => {
+                f64::from((buckets[0] & mask).count_ones()) * table.write_pj[0]
+                    + f64::from((buckets[1] & mask).count_ones()) * table.write_pj[1]
+                    + f64::from((buckets[2] & mask).count_ones()) * table.write_pj[2]
+                    + f64::from((buckets[3] & mask).count_ones()) * table.write_pj[3]
+            }
+        };
         *slot = (cost, (changed & mask).count_ones() as usize);
     }
     blocks
@@ -929,12 +981,12 @@ pub fn bucket_counts(data: &SymbolPlanes, old: &StatePlanes, cells: Range<usize>
     let mut counts = [0u32; 16];
     for (w, mask) in plane_words(cells) {
         let (o0, o1) = (old.plane0[w], old.plane1[w]);
-        let state_masks = [!o1 & !o0, !o1 & o0, o1 & !o0, o1 & o0];
-        for (s, sm) in state_masks.iter().enumerate() {
-            let sm = sm & mask;
-            if sm == 0 {
-                continue;
-            }
+        // Fixed-width form: sixteen unconditional masked popcounts per word.
+        // No data-dependent branches, so the whole word reduces to a flat
+        // AND/popcount grid the compiler can vectorise.
+        let state_masks =
+            [(!o1 & !o0) & mask, (!o1 & o0) & mask, (o1 & !o0) & mask, (o1 & o0) & mask];
+        for (s, &sm) in state_masks.iter().enumerate() {
             for v in 0..4 {
                 counts[s * 4 + v] += (sm & data.masks[v][w]).count_ones();
             }
@@ -966,6 +1018,75 @@ pub fn planes_of_words(words: &[u64]) -> SymbolPlanes {
         line.set_word(i, w);
     }
     SymbolPlanes::new(&line)
+}
+
+/// Re-interleaves a pair of bit planes back into a [`MemoryLine`]: cell `c`
+/// of the result holds the 2-bit value `(plane1 bit c) << 1 | (plane0 bit c)`.
+/// Exact inverse of [`SymbolPlanes::new`]'s de-interleave, so decode paths
+/// can assemble the whole data line with a handful of word shuffles instead
+/// of 256 `set_symbol` calls.
+pub fn line_from_planes(plane0: &[u64; PLANE_WORDS], plane1: &[u64; PLANE_WORDS]) -> MemoryLine {
+    let mut words = [0u64; LINE_WORDS];
+    for w in 0..PLANE_WORDS {
+        let (p0, p1) = (plane0[w], plane1[w]);
+        words[2 * w] = spread_bits(p0) | (spread_bits(p1) << 1);
+        words[2 * w + 1] = spread_bits(p0 >> 32) | (spread_bits(p1 >> 32) << 1);
+    }
+    MemoryLine::from_words(words)
+}
+
+/// Maps stored-state planes to symbol planes under a per-state symbol
+/// assignment (`symbols[i]` is the symbol read from state `S(i+1)`): the
+/// bit-parallel inverse mapping every decode path needs. Returns
+/// `(plane0, plane1)` of the symbols.
+pub fn symbol_planes_from_states(
+    old: &StatePlanes,
+    symbols: [Symbol; 4],
+) -> ([u64; PLANE_WORDS], [u64; PLANE_WORDS]) {
+    // Branchless select masks, exactly like TransitionTable::target_planes
+    // but in the state→symbol direction.
+    let mut lo_bits = 0u8;
+    let mut hi_bits = 0u8;
+    for (s, sym) in symbols.iter().enumerate() {
+        lo_bits |= (sym.value() & 1) << s;
+        hi_bits |= ((sym.value() >> 1) & 1) << s;
+    }
+    let select = |bits: u8| -> [u64; 4] {
+        core::array::from_fn(|s| 0u64.wrapping_sub(u64::from(bits >> s & 1)))
+    };
+    let (s0_sel, s1_sel) = (select(lo_bits), select(hi_bits));
+    let mut plane0 = [0u64; PLANE_WORDS];
+    let mut plane1 = [0u64; PLANE_WORDS];
+    for w in 0..PLANE_WORDS {
+        let (o0, o1) = (old.plane0[w], old.plane1[w]);
+        let m = [!o1 & !o0, !o1 & o0, o1 & !o0, o1 & o0];
+        plane0[w] =
+            (m[0] & s0_sel[0]) | (m[1] & s0_sel[1]) | (m[2] & s0_sel[2]) | (m[3] & s0_sel[3]);
+        plane1[w] =
+            (m[0] & s1_sel[0]) | (m[1] & s1_sel[1]) | (m[2] & s1_sel[2]) | (m[3] & s1_sel[3]);
+    }
+    (plane0, plane1)
+}
+
+/// Shared driver for batched encodes: extracts each job's symbol and stored
+/// plane views once and hands them to `encode_one` in order. The per-codec
+/// `encode_batch` overrides build their transition tables a single time and
+/// capture them in the closure, so table setup amortises across the batch
+/// while plane extraction stays out of the per-codec code.
+pub fn encode_batch<F>(
+    jobs: &[(&MemoryLine, &PhysicalLine)],
+    mut encode_one: F,
+) -> Vec<PhysicalLine>
+where
+    F: FnMut(&SymbolPlanes, &StatePlanes, &MemoryLine, &PhysicalLine) -> PhysicalLine,
+{
+    let mut out = Vec::with_capacity(jobs.len());
+    for &(data, old) in jobs {
+        let planes = data.symbol_planes();
+        let stored = old.state_planes();
+        out.push(encode_one(&planes, &stored, data, old));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1179,6 +1300,44 @@ mod tests {
         let xored = SymbolPlanes::new(&a).xor(&SymbolPlanes::new(&b));
         let direct = SymbolPlanes::new(&a.xor(&b));
         assert_eq!(xored, direct);
+    }
+
+    #[test]
+    fn line_from_planes_inverts_symbol_plane_extraction() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let line = random_line(&mut rng);
+            let planes = SymbolPlanes::new(&line);
+            assert_eq!(line_from_planes(planes.plane0(), planes.plane1()), line);
+        }
+    }
+
+    #[test]
+    fn symbol_planes_from_states_matches_scalar_inverse_mapping() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for mapping in [SymbolMapping::default_mapping(), SymbolMapping::all_mappings()[19]] {
+            let stored = random_stored(&mut rng);
+            let planes = StatePlanes::new(&stored);
+            let (p0, p1) = symbol_planes_from_states(&planes, mapping.symbols_per_state());
+            let line = line_from_planes(&p0, &p1);
+            for cell in 0..LINE_CELLS {
+                assert_eq!(line.symbol(cell), mapping.symbol_of(stored.state(cell)), "cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_batch_driver_hands_out_consistent_planes() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let data: Vec<MemoryLine> = (0..4).map(|_| random_line(&mut rng)).collect();
+        let stored: Vec<PhysicalLine> = (0..4).map(|_| random_stored(&mut rng)).collect();
+        let jobs: Vec<(&MemoryLine, &PhysicalLine)> = data.iter().zip(stored.iter()).collect();
+        let out = encode_batch(&jobs, |planes, old, line, old_line| {
+            assert_eq!(*planes, SymbolPlanes::new(line));
+            assert_eq!(old.plane0(), StatePlanes::new(old_line).plane0());
+            old_line.clone()
+        });
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

@@ -245,13 +245,21 @@ fn worker_loop(shared: &Shared) {
 /// when the backlog reaches zero.
 fn drain(inner: &mut SessionInner, shared: &Shared, limit: usize) -> usize {
     let mut simulated = 0;
+    let mut chunk: Vec<WriteRecord> = Vec::new();
     for bank in 0..inner.queues.len() {
-        while simulated < limit {
-            let Some(record) = inner.queues[bank].pop_front() else { break };
-            inner.sim.write(&record);
-            inner.backlog -= 1;
-            simulated += 1;
+        // Pop the lane's share of the budget as one contiguous chunk and
+        // feed it through the session's batched write path, so the codec's
+        // per-batch setup (transition tables, plane extraction) amortises
+        // across the lane's queued records.
+        let take = inner.queues[bank].len().min(limit - simulated);
+        if take == 0 {
+            continue;
         }
+        chunk.clear();
+        chunk.extend(inner.queues[bank].drain(..take));
+        inner.sim.write_batch(&chunk);
+        inner.backlog -= take;
+        simulated += take;
         if simulated >= limit {
             break;
         }

@@ -41,6 +41,24 @@ fn arb_biased_line() -> impl Strategy<Value = MemoryLine> {
     .prop_map(MemoryLine::from_words)
 }
 
+/// DIN content classes: the biased real-workload mix (mostly compressible,
+/// taking the expanded path behind the flag symbol), full-entropy lines, and
+/// forced-incompressible lines (every word random with the top bit set, so
+/// FPC/BDI both miss the threshold) that take the raw fallback path.
+fn arb_din_line() -> impl Strategy<Value = MemoryLine> {
+    (0u8..3, arb_biased_line(), arb_line()).prop_map(|(class, biased, raw)| match class {
+        0 => biased,
+        1 => raw,
+        _ => {
+            let mut words = *raw.words();
+            for w in &mut words {
+                *w |= 0x8000_0000_0000_0000;
+            }
+            MemoryLine::from_words(words)
+        }
+    })
+}
+
 fn arb_energy() -> impl Strategy<Value = EnergyModel> {
     prop::sample::select(vec![0usize, 1, 2, 3])
         .prop_map(|i| EnergyModel::figure14_configurations()[i].clone())
@@ -107,6 +125,57 @@ proptest! {
         let codec = FlipMinCodec::new();
         let scalar = FlipMinCodec::new();
         assert_kernel_equals_scalar(&codec, |d, o, e| scalar.encode_scalar(d, o, e), &a, &b, &energy);
+    }
+
+    #[test]
+    fn din_kernel_matches_scalar(a in arb_din_line(), b in arb_din_line(), energy in arb_energy()) {
+        let codec = DinCodec::new();
+        let scalar = DinCodec::new();
+        assert_kernel_equals_scalar(&codec, |d, o, e| scalar.encode_scalar(d, o, e), &a, &b, &energy);
+        // Both decoders must also agree on both stored lines — the expanded
+        // BCH-protected format behind the flag symbol and the raw
+        // uncompressible fallback.
+        let initial = codec.initial_line();
+        let first = codec.encode(&a, &initial, &energy);
+        let second = codec.encode(&b, &first, &energy);
+        prop_assert_eq!(codec.decode(&first), codec.decode_scalar(&first));
+        prop_assert_eq!(codec.decode(&second), codec.decode_scalar(&second));
+    }
+
+    #[test]
+    fn batched_encode_matches_one_at_a_time(
+        lines in prop::collection::vec(arb_biased_line(), 1..20),
+        chunk in 1usize..9,
+        energy in arb_energy(),
+    ) {
+        let codecs: Vec<Box<dyn LineCodec>> = vec![
+            Box::new(NCosetsCodec::six_cosets(Granularity::new(512))),
+            Box::new(FnwCodec::paper_default()),
+            Box::new(FlipMinCodec::new()),
+            Box::new(DinCodec::new()),
+        ];
+        for codec in &codecs {
+            // Independent jobs: each line paired with the chained encoding of
+            // its predecessors, so stored content is realistic and distinct.
+            let mut olds = Vec::with_capacity(lines.len());
+            let mut old = codec.initial_line();
+            for line in &lines {
+                old = codec.encode(line, &old, &energy);
+                olds.push(old.clone());
+            }
+            let jobs: Vec<(&MemoryLine, &PhysicalLine)> =
+                lines.iter().rev().zip(olds.iter()).collect();
+            for piece in jobs.chunks(chunk) {
+                let batch = codec.encode_batch(piece, &energy);
+                prop_assert_eq!(batch.len(), piece.len());
+                for ((data, stored), enc) in piece.iter().zip(&batch) {
+                    prop_assert_eq!(
+                        &codec.encode(data, stored, &energy), enc,
+                        "{}: batched encode diverged from one-at-a-time", codec.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
