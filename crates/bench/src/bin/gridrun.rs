@@ -1,0 +1,140 @@
+//! `wlcrc-gridrun` — a multi-process grid runner over the persistent store.
+//!
+//! Each invocation is one *worker*: it walks the plan's cell grid, claims
+//! unowned cells through claim markers in the shared result store, simulates
+//! what it claims, and serves everything else from the store once the owning
+//! worker has written it back. Any number of concurrent workers converge on
+//! the same store contents, and every worker ends with the complete merged
+//! grid — byte-identical to a single-process `run_grid` of the same plan.
+//!
+//! ```text
+//! wlcrc-gridrun --store DIR [--plan perfsnap|fig08] [--lines N] [--seed N]
+//!               [--threads N] [--stale-secs N] [--no-plan-cache] [--direct]
+//! ```
+//!
+//! The merged grid is dumped to **stdout** (one full-precision line per cell,
+//! shortest-roundtrip floats) and the claim report (computed / loaded /
+//! taken-over / plan-hits) to **stderr**, so CI can `diff` the dumps of
+//! concurrent workers against each other and against `--direct` — the
+//! ordinary store-less in-process engine, the ground truth the claim
+//! protocol must reproduce exactly.
+//!
+//! `--stale-secs` bounds how long a crashed worker's claim blocks progress
+//! (default 300 s; claims of dead same-host processes are taken over
+//! immediately). The store directory comes from `--store`, else
+//! `$WLCRC_STORE`.
+
+use wlcrc::schemes::standard_factories;
+use wlcrc_bench::figures::standard_plan;
+use wlcrc_memsim::{ExperimentPlan, ExperimentResult, STORE_ENV};
+use wlcrc_trace::Benchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wlcrc-gridrun [--store DIR] [--plan perfsnap|fig08] [--lines N] [--seed N] \
+         [--threads N] [--stale-secs N] [--no-plan-cache] [--direct]"
+    );
+    std::process::exit(2);
+}
+
+/// The two plan shapes the runner knows: the perfsnap plan-suite grid
+/// (2 workloads × 8 schemes) and the full Figure 8–10 grid
+/// (12 workloads × 8 schemes).
+fn build_plan(kind: &str, lines: usize, seed: u64) -> ExperimentPlan {
+    match kind {
+        "fig08" => standard_plan(lines, seed),
+        "perfsnap" => {
+            let mut plan = ExperimentPlan::new()
+                .seed(seed)
+                .lines_per_workload(lines)
+                .workload(Benchmark::Gcc.profile())
+                .workload(Benchmark::Lbm.profile());
+            for (id, factory) in standard_factories() {
+                plan = plan.scheme_factory(id.label(), factory);
+            }
+            plan
+        }
+        other => {
+            eprintln!("wlcrc-gridrun: unknown plan {other:?} (expected perfsnap or fig08)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Deterministic full-precision dump of the merged grid: `{:?}` floats are
+/// shortest-roundtrip, so two byte-identical result grids produce
+/// byte-identical dumps and nothing less.
+fn dump(results: &[ExperimentResult]) {
+    for (config, result) in results.iter().enumerate() {
+        println!(
+            "config {config} seeds={:?} lines={} cells={}",
+            result.meta.seeds,
+            result.meta.lines_per_workload,
+            result.cells.len()
+        );
+        for s in &result.cells {
+            println!(
+                "{}|{}|writes={} data_pj={:?} aux_pj={:?} data_cells={} aux_cells={} \
+                 data_dist={} aux_dist={} exp_dist={:?} max_dist={} encoded={} integrity={} \
+                 banks={:?}",
+                s.scheme,
+                s.workload,
+                s.writes,
+                s.data_energy_pj,
+                s.aux_energy_pj,
+                s.data_cells_updated,
+                s.aux_cells_updated,
+                s.data_disturb_errors,
+                s.aux_disturb_errors,
+                s.expected_disturb_errors,
+                s.max_disturb_errors_per_write,
+                s.encoded_lines,
+                s.integrity_failures,
+                s.bank_writes,
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let has = |name: &str| args.iter().any(|a| a == name);
+    if has("--help") || has("-h") {
+        usage();
+    }
+
+    let kind = flag("--plan").unwrap_or_else(|| "perfsnap".to_string());
+    let lines: usize = flag("--lines").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let stale_secs: u64 = flag("--stale-secs").and_then(|v| v.parse().ok()).unwrap_or(300);
+    let direct = has("--direct");
+
+    let mut plan = build_plan(&kind, lines, seed);
+    if let Some(threads) = flag("--threads").and_then(|v| v.parse().ok()) {
+        plan = plan.threads(threads);
+    }
+    if has("--no-plan-cache") {
+        plan = plan.plan_cache(false);
+    }
+
+    if direct {
+        // Ground truth: the plain in-process engine with the store disabled.
+        // Concurrent claimed workers must reproduce this dump byte for byte.
+        dump(&plan.store_enabled(false).run_grid());
+        return;
+    }
+
+    let store = flag("--store").or_else(|| std::env::var(STORE_ENV).ok()).unwrap_or_else(|| {
+        eprintln!("wlcrc-gridrun: no store directory (--store DIR or ${STORE_ENV})");
+        std::process::exit(2);
+    });
+    let (results, report) = plan.store(&store).run_grid_claimed(stale_secs);
+    eprintln!(
+        "wlcrc-gridrun: computed {} loaded {} taken_over {} plan_hits {}",
+        report.computed, report.loaded, report.taken_over, report.plan_hits
+    );
+    dump(&results);
+}

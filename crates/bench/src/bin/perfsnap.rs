@@ -24,7 +24,18 @@
 //! suite is measured best-of-3 and compared against the **last** entry in
 //! the trajectory file (override with `--check-against <file>`); any codec
 //! whose encode or decode throughput regresses by more than 15% fails the
-//! run with a non-zero exit. Nothing is appended in check mode.
+//! run with a non-zero exit. The serve suite is gated the same way —
+//! best-of-3 `requests_per_sec` (must not drop >15%) and best-of-3
+//! `p99_batch_ms` (must not grow >15%) against the recorded serve row.
+//! Nothing is appended in check mode.
+//!
+//! The store suite separates the three cache layers: per-cell warm hits
+//! (plan cache off), and the plan-level hit where the whole grid is served
+//! from one store read. The scale suite additionally spawns 1/2/4
+//! `wlcrc-gridrun` worker processes on a shared cold store and records the
+//! cold and warm wall clocks (skipped when the gridrun binary is not built
+//! alongside this one). `--note "<text>"` attaches an annotation to the
+//! appended entry — used to mark before/after pairs around a perf PR.
 
 use std::time::Instant;
 use wlcrc::schemes::standard_factories;
@@ -345,6 +356,84 @@ fn measure_decode(codec: &dyn LineCodec, stored: &[PhysicalLine], iters: usize) 
     iters as f64 / start.elapsed().as_secs_f64()
 }
 
+/// One serve-suite round: an in-process `wlcrc-serve` on an ephemeral
+/// loopback port receives `batches` fixed-size write batches over TCP.
+/// Returns (requests/sec, writes/sec, p99 batch latency in ms).
+fn measure_serve(batches: usize, batch_size: usize, seed: u64) -> (f64, f64, f64) {
+    let running = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() })
+        .serve_tcp("127.0.0.1:0")
+        .expect("perfsnap: serve suite could not bind a loopback port");
+    let addr = running.local_addr().expect("tcp server has an address");
+    let mut client = ServeClient::connect(addr).expect("perfsnap: connect to in-process server");
+    let serve_profile = Benchmark::Gcc.profile();
+    let session = client
+        .open(
+            "WLCRC-16",
+            &serve_profile.name,
+            PcmConfig::table_ii(),
+            SimulationOptions { seed, ..SimulationOptions::default() },
+        )
+        .expect("perfsnap: open serve session");
+    let serve_records: Vec<WriteRecord> =
+        TraceStream::new(serve_profile, seed, batches * batch_size).collect();
+    let mut batch_ms = Vec::with_capacity(batches);
+    let serve_start = Instant::now();
+    for chunk in serve_records.chunks(batch_size) {
+        let submit = Instant::now();
+        client.write_all(session, chunk).expect("perfsnap: serve write batch");
+        batch_ms.push(submit.elapsed().as_secs_f64() * 1e3);
+    }
+    client.flush(session).expect("perfsnap: serve flush");
+    let serve_secs = serve_start.elapsed().as_secs_f64();
+    let (serve_stats, _) = client.close(session).expect("perfsnap: serve close");
+    assert_eq!(
+        serve_stats.writes,
+        serve_records.len() as u64,
+        "the service must simulate every submitted write"
+    );
+    client.shutdown().expect("perfsnap: serve shutdown");
+    running.join();
+    batch_ms.sort_by(f64::total_cmp);
+    let p99_batch_ms = batch_ms[(batch_ms.len() * 99).div_ceil(100).saturating_sub(1)];
+    (batches as f64 / serve_secs, serve_records.len() as f64 / serve_secs, p99_batch_ms)
+}
+
+/// The `wlcrc-gridrun` binary built alongside this one, when present.
+fn gridrun_binary() -> Option<std::path::PathBuf> {
+    let path = std::env::current_exe().ok()?.with_file_name("wlcrc-gridrun");
+    path.exists().then_some(path)
+}
+
+/// Spawns `processes` concurrent gridrun workers on `store` and returns the
+/// wall clock (ms) until the last one exits with the full merged grid.
+fn run_gridrun_fleet(
+    binary: &std::path::Path,
+    store: &std::path::Path,
+    processes: usize,
+    plan_lines: usize,
+    seed: u64,
+) -> f64 {
+    let start = Instant::now();
+    let children: Vec<std::process::Child> = (0..processes)
+        .map(|_| {
+            std::process::Command::new(binary)
+                .args(["--plan", "perfsnap", "--lines", &plan_lines.to_string()])
+                .args(["--seed", &seed.to_string(), "--threads", "1"])
+                .arg("--store")
+                .arg(store)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("perfsnap: spawn wlcrc-gridrun worker")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("perfsnap: wait for gridrun worker");
+        assert!(status.success(), "gridrun worker failed with {status}");
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
 fn git_describe() -> (String, bool) {
     let run = |args: &[&str]| {
         std::process::Command::new("git")
@@ -526,6 +615,17 @@ fn parse_last_entry_codecs(path: &str) -> Option<Vec<BaselineRow>> {
 /// Fractional regression that fails the `--check` gate (15%).
 const CHECK_REGRESSION_LIMIT: f64 = 0.15;
 
+/// Parses the serve row of the **last** entry in the trajectory file:
+/// (requests/sec, p99 batch latency ms). Same line-scan approach as the
+/// codec rows — the file is the plain array `append_entry` maintains.
+fn parse_last_entry_serve(path: &str) -> Option<(f64, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let start = text.rfind("\"serve\": {")?;
+    let row = &text[start..];
+    let row = &row[..row.find('}')?];
+    Some((field_num(row, "\"requests_per_sec\": ")?, field_num(row, "\"p99_batch_ms\": ")?))
+}
+
 /// The `--check` perf gate: measures the codec suite best-of-3 and compares
 /// every codec's encode/decode throughput against the last trajectory entry.
 /// Returns `false` when any codec regressed by more than
@@ -536,6 +636,8 @@ fn run_check(
     wlc_lines: &[MemoryLine],
     energy: &EnergyModel,
     iters: usize,
+    serve_batches: usize,
+    seed: u64,
 ) -> bool {
     let Some(baseline) = parse_last_entry_codecs(baseline_path) else {
         eprintln!("perfsnap --check: no codec rows found in {baseline_path}");
@@ -578,6 +680,30 @@ fn run_check(
             }
         }
     }
+    // Serve gate: best-of-3 requests/sec (higher is better) and p99 batch
+    // latency (lower is better) against the recorded serve row. Older
+    // trajectory files without a serve row simply skip the gate.
+    if let Some((base_rps, base_p99)) = parse_last_entry_serve(baseline_path) {
+        let mut best_rps = 0.0f64;
+        let mut best_p99 = f64::INFINITY;
+        for _ in 0..3 {
+            let (rps, _, p99) = measure_serve(serve_batches, 64, seed);
+            best_rps = best_rps.max(rps);
+            best_p99 = best_p99.min(p99);
+        }
+        ok &= verdict("serve", "req/s ", best_rps, base_rps);
+        let p99_delta = best_p99 / base_p99 - 1.0;
+        let p99_fail = p99_delta > CHECK_REGRESSION_LIMIT;
+        println!(
+            "  {:<16} p99 ms {best_p99:>12.3} vs {base_p99:>12.3} recorded  {:>+7.1}%  {}",
+            "serve",
+            p99_delta * 100.0,
+            if p99_fail { "FAIL" } else { "ok" }
+        );
+        ok &= !p99_fail;
+    } else {
+        println!("  serve row missing from {baseline_path}: serve gate skipped");
+    }
     if ok {
         println!(
             "perfsnap --check: all codecs within {:.0}% of the recorded trajectory",
@@ -600,6 +726,7 @@ fn main() {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_codec.json".to_string());
+    let note = flag("--note");
     let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
     let default_iters = if quick { 300 } else { 4000 };
     let iters: usize = flag("--iters").and_then(|v| v.parse().ok()).unwrap_or(default_iters);
@@ -613,7 +740,8 @@ fn main() {
 
     if check {
         let baseline_path = flag("--check-against").unwrap_or_else(|| out_path.clone());
-        let ok = run_check(&baseline_path, &lines, &wlc_lines, &energy, iters);
+        let serve_batches = if quick { 50 } else { 400 };
+        let ok = run_check(&baseline_path, &lines, &wlc_lines, &energy, iters, serve_batches, seed);
         std::process::exit(if ok { 0 } else { 1 });
     }
 
@@ -715,25 +843,60 @@ fn main() {
 
     // Store suite: the same grid with the persistent result store disabled
     // (the streamed number above), cold (every cell misses and is written
-    // back) and warm (every cell is served from disk). The three runs must
-    // be byte-identical — the store may only ever change wall clock.
-    println!("perfsnap: store suite (disabled / cold miss / warm hit)");
+    // back), warm per-cell (every cell is served from disk, plan cache off)
+    // and the plan-level hit (the whole grid served from one store read).
+    // All four runs must be byte-identical — the store may only ever change
+    // wall clock.
+    println!("perfsnap: store suite (disabled / cold miss / per-cell warm / plan-level hit)");
     let store_dir =
         std::env::temp_dir().join(format!("wlcrc-perfsnap-store-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
     let cold_start = Instant::now();
-    let cold = build_plan().store(&store_dir).run();
+    let cold = build_plan().store(&store_dir).plan_cache(false).run();
     let store_cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
     let warm_start = Instant::now();
-    let warm = build_plan().store(&store_dir).run();
+    let warm = build_plan().store(&store_dir).plan_cache(false).run();
     let store_warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    // Adoption run: per-cell hits rebuild the whole-config plan entry …
+    let adopted = build_plan().store(&store_dir).run();
+    // … which the timed plan-hit run is then served from in one read.
+    let plan_hit_start = Instant::now();
+    let plan_hit = build_plan().store(&store_dir).run();
+    let store_plan_hit_ms = plan_hit_start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(streamed, cold, "cold store run must be byte-identical to the store-less run");
     assert_eq!(streamed, warm, "warm store run must be byte-identical to the store-less run");
+    assert_eq!(streamed, adopted, "plan-adoption run must be byte-identical to the store-less run");
+    assert_eq!(streamed, plan_hit, "plan-level hit must be byte-identical to the store-less run");
     let _ = std::fs::remove_dir_all(&store_dir);
     let warm_speedup = streamed_ms / store_warm_ms;
+    let plan_hit_speedup = streamed_ms / store_plan_hit_ms;
     println!(
-        "  disabled {streamed_ms:.0} ms   cold {store_cold_ms:.0} ms   warm {store_warm_ms:.0} ms   warm speedup {warm_speedup:.1}x"
+        "  disabled {streamed_ms:.0} ms   cold {store_cold_ms:.0} ms   warm {store_warm_ms:.0} ms ({warm_speedup:.1}x)   plan hit {store_plan_hit_ms:.2} ms ({plan_hit_speedup:.1}x)"
     );
+
+    // Scale suite: 1/2/4 concurrent gridrun worker processes claiming cells
+    // of the same plan through a shared cold store, then rerun warm (the
+    // fully warm rerun is one plan-level read per worker). Skipped when the
+    // gridrun binary is not built next to this one.
+    let mut scale_rows: Vec<(usize, f64, f64)> = Vec::new();
+    match gridrun_binary() {
+        Some(binary) => {
+            println!("perfsnap: scale suite (wlcrc-gridrun x 1/2/4 processes, shared store)");
+            for processes in [1usize, 2, 4] {
+                let scale_dir = std::env::temp_dir().join(format!(
+                    "wlcrc-perfsnap-scale-{}-{seed}-{processes}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&scale_dir);
+                let cold_ms = run_gridrun_fleet(&binary, &scale_dir, processes, plan_lines, seed);
+                let warm_ms = run_gridrun_fleet(&binary, &scale_dir, processes, plan_lines, seed);
+                let _ = std::fs::remove_dir_all(&scale_dir);
+                println!("  {processes} proc   cold {cold_ms:.0} ms   warm {warm_ms:.1} ms");
+                scale_rows.push((processes, cold_ms, warm_ms));
+            }
+        }
+        None => println!("perfsnap: scale suite skipped (wlcrc-gridrun not built)"),
+    }
 
     // Serve suite: the same simulator behind the wire protocol. An
     // in-process `wlcrc-serve` on an ephemeral port receives fixed-size
@@ -742,43 +905,7 @@ fn main() {
     let serve_batches: usize = if quick { 50 } else { 400 };
     let serve_batch_size: usize = 64;
     println!("perfsnap: serve suite ({serve_batches} batches x {serve_batch_size} writes)");
-    let running = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() })
-        .serve_tcp("127.0.0.1:0")
-        .expect("perfsnap: serve suite could not bind a loopback port");
-    let addr = running.local_addr().expect("tcp server has an address");
-    let mut client = ServeClient::connect(addr).expect("perfsnap: connect to in-process server");
-    let serve_profile = Benchmark::Gcc.profile();
-    let session = client
-        .open(
-            "WLCRC-16",
-            &serve_profile.name,
-            PcmConfig::table_ii(),
-            SimulationOptions { seed, ..SimulationOptions::default() },
-        )
-        .expect("perfsnap: open serve session");
-    let serve_records: Vec<WriteRecord> =
-        TraceStream::new(serve_profile, seed, serve_batches * serve_batch_size).collect();
-    let mut batch_ms = Vec::with_capacity(serve_batches);
-    let serve_start = Instant::now();
-    for chunk in serve_records.chunks(serve_batch_size) {
-        let submit = Instant::now();
-        client.write_all(session, chunk).expect("perfsnap: serve write batch");
-        batch_ms.push(submit.elapsed().as_secs_f64() * 1e3);
-    }
-    client.flush(session).expect("perfsnap: serve flush");
-    let serve_secs = serve_start.elapsed().as_secs_f64();
-    let (serve_stats, _) = client.close(session).expect("perfsnap: serve close");
-    assert_eq!(
-        serve_stats.writes,
-        serve_records.len() as u64,
-        "the service must simulate every submitted write"
-    );
-    client.shutdown().expect("perfsnap: serve shutdown");
-    running.join();
-    batch_ms.sort_by(f64::total_cmp);
-    let p99_batch_ms = batch_ms[(batch_ms.len() * 99).div_ceil(100).saturating_sub(1)];
-    let serve_rps = serve_batches as f64 / serve_secs;
-    let serve_wps = serve_records.len() as f64 / serve_secs;
+    let (serve_rps, serve_wps, p99_batch_ms) = measure_serve(serve_batches, serve_batch_size, seed);
     println!("  {serve_rps:.0} req/s   {serve_wps:.0} w/s   p99 batch {p99_batch_ms:.2} ms");
 
     let (git_rev, dirty) = git_describe();
@@ -831,11 +958,25 @@ fn main() {
         "    \"plan\": {{\"schemes\": 8, \"workloads\": 2, \"lines\": {plan_lines}, \"writes\": {grid_writes}, \"streamed_wall_ms\": {streamed_ms:.1}, \"materialised_wall_ms\": {materialised_ms:.1}, \"streamed_writes_per_sec\": {stream_wps:.0}}},\n"
     ));
     entry.push_str(&format!(
-        "    \"store\": {{\"disabled_wall_ms\": {streamed_ms:.1}, \"cold_wall_ms\": {store_cold_ms:.1}, \"warm_wall_ms\": {store_warm_ms:.1}, \"warm_speedup\": {warm_speedup:.1}}},\n"
+        "    \"store\": {{\"disabled_wall_ms\": {streamed_ms:.1}, \"cold_wall_ms\": {store_cold_ms:.1}, \"warm_wall_ms\": {store_warm_ms:.1}, \"warm_speedup\": {warm_speedup:.1}, \"plan_hit_wall_ms\": {store_plan_hit_ms:.2}, \"plan_hit_speedup\": {plan_hit_speedup:.1}}},\n"
     ));
+    if !scale_rows.is_empty() {
+        entry.push_str("    \"scale\": [\n");
+        for (i, (processes, cold_ms, warm_ms)) in scale_rows.iter().enumerate() {
+            entry.push_str(&format!(
+                "      {{\"processes\": {processes}, \"cold_wall_ms\": {cold_ms:.1}, \"warm_wall_ms\": {warm_ms:.1}}}{}\n",
+                if i + 1 < scale_rows.len() { "," } else { "" }
+            ));
+        }
+        entry.push_str("    ],\n");
+    }
     entry.push_str(&format!(
-        "    \"serve\": {{\"batches\": {serve_batches}, \"batch_size\": {serve_batch_size}, \"requests_per_sec\": {serve_rps:.0}, \"writes_per_sec\": {serve_wps:.0}, \"p99_batch_ms\": {p99_batch_ms:.3}}}\n"
+        "    \"serve\": {{\"batches\": {serve_batches}, \"batch_size\": {serve_batch_size}, \"requests_per_sec\": {serve_rps:.0}, \"writes_per_sec\": {serve_wps:.0}, \"p99_batch_ms\": {p99_batch_ms:.3}}}{}\n",
+        if note.is_some() { "," } else { "" }
     ));
+    if let Some(note) = &note {
+        entry.push_str(&format!("    \"note\": \"{}\"\n", note.replace('"', "'")));
+    }
     entry.push_str("  }");
 
     match append_entry(&out_path, &entry) {

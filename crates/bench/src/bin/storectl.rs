@@ -5,6 +5,10 @@
 //! storectl inspect [--store DIR] <fp-prefix>    pretty-print matching entries
 //! storectl evict   [--store DIR] <fp-prefix>    delete matching entries
 //! storectl evict   [--store DIR] --all          delete every entry
+//! storectl evict   [--store DIR] --max-bytes N  LRU-evict down to N bytes
+//!                                               (accepts k/m/g suffixes)
+//! storectl evict   [--store DIR] --older-than S drop entries unused for
+//!                                               more than S seconds
 //! storectl verify  [--store DIR]                validate every entry end-to-end
 //! storectl stats   [--store DIR] [--min-hits N] entry/hit counts; exit 1 if
 //!                                               fewer than N journaled hits
@@ -16,14 +20,14 @@
 //! Exit codes: 0 on success, 1 on failed assertion (`verify` with corrupt
 //! entries, `stats --min-hits` unmet), 2 on usage errors.
 
-use wlcrc_store::{wire, EntryInfo, ResultStore, STORE_ENV};
+use wlcrc_store::{parse_byte_size, wire, EntryInfo, ResultStore, STORE_ENV};
 
 use serde::Value;
 
 fn usage() -> ! {
     eprintln!(
         "usage: storectl <list|inspect|evict|verify|stats> [--store DIR] \
-         [<fingerprint-prefix>|--all] [--min-hits N]"
+         [<fingerprint-prefix>|--all|--max-bytes N|--older-than SECS] [--min-hits N]"
     );
     std::process::exit(2);
 }
@@ -45,7 +49,11 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--store" || *a == "--min-hits" {
+                if *a == "--store"
+                    || *a == "--min-hits"
+                    || *a == "--max-bytes"
+                    || *a == "--older-than"
+                {
                     skip_next = true;
                     return false;
                 }
@@ -89,16 +97,53 @@ fn main() {
             }
         }
         "evict" => {
+            let writable = ResultStore::open(&root).unwrap_or_else(|err| {
+                eprintln!("storectl: cannot open store for eviction: {err}");
+                std::process::exit(1);
+            });
+            // Policy-driven eviction: LRU down to a byte cap, or everything
+            // unused for longer than a cutoff. Both report what they dropped.
+            if let Some(raw) = flag("--max-bytes") {
+                let Some(cap) = parse_byte_size(&raw) else {
+                    eprintln!("storectl: --max-bytes expects a size (e.g. 64m), got {raw:?}");
+                    std::process::exit(2);
+                };
+                let evicted = writable.evict_lru(cap).unwrap_or_else(|err| {
+                    eprintln!("storectl: eviction failed: {err}");
+                    std::process::exit(1);
+                });
+                for info in &evicted {
+                    println!("evicted {}  {:>6}B", info.fingerprint, info.bytes);
+                }
+                println!("evicted {} entries (cap {cap} bytes)", evicted.len());
+                return;
+            }
+            if let Some(raw) = flag("--older-than") {
+                let Ok(secs) = raw.parse::<u64>() else {
+                    eprintln!("storectl: --older-than expects seconds, got {raw:?}");
+                    std::process::exit(2);
+                };
+                let now = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                let evicted =
+                    writable.evict_older_than(now.saturating_sub(secs)).unwrap_or_else(|err| {
+                        eprintln!("storectl: eviction failed: {err}");
+                        std::process::exit(1);
+                    });
+                for info in &evicted {
+                    println!("evicted {}  {:>6}B", info.fingerprint, info.bytes);
+                }
+                println!("evicted {} entries (unused for {secs}s)", evicted.len());
+                return;
+            }
             let victims: Vec<EntryInfo> = if has("--all") {
                 store.entries()
             } else {
                 let Some(prefix) = positional.first() else { usage() };
                 matching(&store, prefix)
             };
-            let writable = ResultStore::open(&root).unwrap_or_else(|err| {
-                eprintln!("storectl: cannot open store for eviction: {err}");
-                std::process::exit(1);
-            });
             let mut evicted = 0usize;
             for info in victims {
                 if writable.evict(info.fingerprint).unwrap_or(false) {

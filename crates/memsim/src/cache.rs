@@ -28,7 +28,20 @@
 //! Worker count, intra-trace shard count and materialisation mode are
 //! deliberately *absent*: the engine guarantees results are byte-identical
 //! across all of them, so they must not fragment the cache.
+//!
+//! # Plan-level keys
+//!
+//! On top of per-cell entries, the engine caches each config's *whole merged
+//! [`ExperimentResult`]* under a [`PlanKey`]: the run metadata (seed axis,
+//! trace length, config index, grid shape) plus the ordered fingerprints of
+//! every cell key in that config. A plan key therefore changes exactly when
+//! some cell key changes — salt bumps, codec edits, workload or config
+//! changes all propagate through the cell fingerprints — while inheriting
+//! the same worker/shard/materialise independence. A fully warm rerun is
+//! then **one** store read per config instead of N cell reads plus a merge;
+//! a config with any uncacheable (opaque-stream) cell has no plan key.
 
+use crate::experiment::ExperimentResult;
 use crate::stats::SchemeStats;
 use serde::{Deserialize, Serialize, Value};
 use wlcrc_pcm::codec::LineCodec;
@@ -137,6 +150,70 @@ impl CellKey {
             ],
         }
     }
+}
+
+/// Everything that addresses one config's merged [`ExperimentResult`] in the
+/// store: the run metadata plus the ordered fingerprints of every cell key
+/// in the config. See the module docs, "Plan-level keys".
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanKey {
+    /// Version salt (shared with the cell keys the fingerprints came from).
+    pub salt: String,
+    /// The config's index on the plan's config axis.
+    pub config_index: u64,
+    /// The plan's seed axis, in declaration order.
+    pub seeds: Vec<u64>,
+    /// The plan's unscaled trace length per workload.
+    pub lines_per_workload: u64,
+    /// Workload-axis length (fixes how the cell fingerprints factor).
+    pub workloads: u64,
+    /// Scheme-axis length.
+    pub schemes: u64,
+    /// The fingerprint of every cell key in this config, in grid order
+    /// (workload-major, then scheme, then seed).
+    pub cells: Vec<Fingerprint>,
+}
+
+impl PlanKey {
+    /// The self-describing key value the store addresses this plan by.
+    pub fn to_value(&self) -> Value {
+        Value::Record {
+            name: "PlanKey".to_string(),
+            fields: vec![
+                ("salt".to_string(), Value::Str(self.salt.clone())),
+                ("config_index".to_string(), Value::U64(self.config_index)),
+                (
+                    "seeds".to_string(),
+                    Value::Seq(self.seeds.iter().map(|&s| Value::U64(s)).collect()),
+                ),
+                ("lines_per_workload".to_string(), Value::U64(self.lines_per_workload)),
+                ("workloads".to_string(), Value::U64(self.workloads)),
+                ("schemes".to_string(), Value::U64(self.schemes)),
+                (
+                    "cells".to_string(),
+                    Value::Seq(self.cells.iter().map(|fp| Value::Str(fp.to_hex())).collect()),
+                ),
+            ],
+        }
+    }
+
+    /// The store fingerprint of this plan key.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_value(&self.to_value())
+    }
+}
+
+/// Looks up a config's cached merged result. Any miss reason — absent
+/// entry, corrupt file, wrong salt, undecodable payload — yields `None`.
+pub fn load_plan(store: &ResultStore, key: &PlanKey) -> Option<ExperimentResult> {
+    let payload = store.get(&key.to_value())?;
+    ExperimentResult::from_value(&payload).ok()
+}
+
+/// Writes a config's merged result back to the store; failures are
+/// swallowed, like [`save_cell`].
+pub fn save_plan(store: &ResultStore, key: &PlanKey, result: &ExperimentResult) {
+    let _ = store.put(&key.to_value(), &result.to_value());
 }
 
 /// A behavioral fingerprint of a codec: its name, geometry and the physical

@@ -90,16 +90,18 @@
 //! assert_eq!(result.cells.len(), 2);
 //! ```
 
-use crate::cache::{self, CellKey, WorkloadIdentity};
+use crate::cache::{self, CellKey, PlanKey, WorkloadIdentity};
 use crate::experiment::{ExperimentResult, RunMetadata};
 use crate::simulator::{merge_bank_stats, BankStats, SimulationOptions, Simulator};
 use crate::stats::SchemeStats;
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use wlcrc_pcm::codec::LineCodec;
 use wlcrc_pcm::config::PcmConfig;
-use wlcrc_store::{Fingerprint, ResultStore};
+use wlcrc_store::{claim_is_stale, ClaimOutcome, Fingerprint, ResultStore};
 use wlcrc_trace::{Trace, TraceSource, TraceStream, WorkloadProfile};
 
 /// Environment variable overriding the worker-pool size (a positive integer).
@@ -187,6 +189,7 @@ pub struct ExperimentPlan {
     store: StoreChoice,
     store_readonly: Option<bool>,
     store_salt: Option<String>,
+    plan_cache: Option<bool>,
 }
 
 /// Where the plan's persistent result store comes from.
@@ -223,6 +226,7 @@ impl ExperimentPlan {
             store: StoreChoice::Auto,
             store_readonly: None,
             store_salt: None,
+            plan_cache: None,
         }
     }
 
@@ -432,6 +436,17 @@ impl ExperimentPlan {
         self
     }
 
+    /// Enables or disables plan-level result caching (default on). When on
+    /// and a store is configured, each config's merged [`ExperimentResult`]
+    /// is cached under a [`PlanKey`] on top of the per-cell entries, so a
+    /// fully warm rerun is one store read per config — no per-cell lookups,
+    /// no merge. Like the cell cache, the plan cache can never change a
+    /// result: its key covers every cell fingerprint in the config.
+    pub fn plan_cache(mut self, enabled: bool) -> ExperimentPlan {
+        self.plan_cache = Some(enabled);
+        self
+    }
+
     /// Overrides the simulator version salt baked into every cache key
     /// (default [`cache::SIMULATOR_VERSION_SALT`], or `WLCRC_STORE_SALT`).
     /// Bumping the salt makes every previously cached cell unreachable, so
@@ -508,7 +523,8 @@ impl ExperimentPlan {
         let shards = self.resolve_intra_shards(cell_count);
         let max_intensity = self.max_intensity();
 
-        // Phase 0.5 (optional): consult the persistent result store. Every
+        // Phases 0.25/0.5 (optional): consult the persistent result store —
+        // first whole-config plan entries, then per-cell entries. Every
         // cacheable cell derives a content-addressed key; hits skip
         // simulation entirely and misses are written back after the merge.
         // The cache can never change a result — a hit is the byte-identical
@@ -518,17 +534,46 @@ impl ExperimentPlan {
             Some(_) => self.cell_keys(cell_count, max_intensity),
             None => (0..cell_count).map(|_| None).collect(),
         };
-        // Lookups go through the worker pool too: a warm grid of thousands
-        // of cells is bound by file reads + record decodes, not simulation,
-        // and those are as independent as the cells themselves.
+
+        // Phase 0.25 (optional): the plan-level cache. Each config's merged
+        // result is cached whole under a key covering every cell fingerprint
+        // in the config, so a fully warm rerun is one store read per config
+        // — it returns here without touching a single per-cell entry. A
+        // config that hits drops out of every later phase.
+        let cells_per_config = n_workloads * n_schemes * n_seeds;
+        let plan_keys: Vec<Option<PlanKey>> = if store.is_some() && self.resolve_plan_cache() {
+            (0..self.configs.len()).map(|config| self.plan_key(config, &keys)).collect()
+        } else {
+            (0..self.configs.len()).map(|_| None).collect()
+        };
+        let plan_hits: Vec<Option<ExperimentResult>> = match &store {
+            Some(store) => plan_keys
+                .iter()
+                .map(|key| key.as_ref().and_then(|key| cache::load_plan(store, key)))
+                .collect(),
+            None => (0..self.configs.len()).map(|_| None).collect(),
+        };
+        if plan_hits.iter().all(Option::is_some) {
+            return plan_hits.into_iter().map(|hit| hit.expect("checked all hits")).collect();
+        }
+
+        // Phase 0.5 (optional): per-cell store lookups for the configs the
+        // plan cache did not cover. Lookups go through the worker pool too:
+        // a warm grid of thousands of cells is bound by file reads + record
+        // decodes, not simulation, and those are as independent as the cells
+        // themselves.
         let cached: Vec<Option<SchemeStats>> = match &store {
             Some(store) => parallel_tasks(cell_count, workers, |cell| {
+                if plan_hits[cell / cells_per_config].is_some() {
+                    return None;
+                }
                 keys[cell].as_ref().and_then(|key| cache::load_cell(store, key))
             }),
             None => (0..cell_count).map(|_| None).collect(),
         };
-        let miss_cells: Vec<usize> =
-            (0..cell_count).filter(|&cell| cached[cell].is_none()).collect();
+        let miss_cells: Vec<usize> = (0..cell_count)
+            .filter(|&cell| plan_hits[cell / cells_per_config].is_none() && cached[cell].is_none())
+            .collect();
         let mut miss_slot = vec![usize::MAX; cell_count];
         for (slot, &cell) in miss_cells.iter().enumerate() {
             miss_slot[cell] = slot;
@@ -586,23 +631,27 @@ impl ExperimentPlan {
 
         // Phase 2: merge each cell's bank partials in ascending bank order —
         // the one canonical order, whatever the shard count. Cached cells
-        // are used as recorded.
-        let cells: Vec<SchemeStats> = (0..cell_count)
+        // are used as recorded; cells in plan-hit configs are never built
+        // (their merged result is already in hand).
+        let cells: Vec<Option<SchemeStats>> = (0..cell_count)
             .map(|cell| {
+                if plan_hits[cell / cells_per_config].is_some() {
+                    return None;
+                }
                 if let Some(stats) = &cached[cell] {
-                    return stats.clone();
+                    return Some(stats.clone());
                 }
                 let scheme = (cell / n_seeds) % n_schemes;
                 let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
                 let config = cell / (n_seeds * n_schemes * n_workloads);
                 let slot = miss_slot[cell];
                 let lanes = partials[slot * shards..(slot + 1) * shards].iter().flatten().cloned();
-                merge_bank_stats(
+                Some(merge_bank_stats(
                     &self.schemes[scheme].0,
                     self.workloads[workload].name(),
                     self.configs[config].total_banks(),
                     lanes,
-                )
+                ))
             })
             .collect();
 
@@ -615,14 +664,38 @@ impl ExperimentPlan {
             parallel_tasks(to_write.len(), workers, |index| {
                 let cell = to_write[index];
                 let key = keys[cell].as_ref().expect("filtered to cells with keys");
-                cache::save_cell(store, key, &cells[cell]);
+                let stats = cells[cell].as_ref().expect("missed cells are in missed configs");
+                cache::save_cell(store, key, stats);
             });
         }
 
         // Phase 3: deterministic merge, seed-minor so replicate order is
-        // fixed by the plan, not by scheduling.
+        // fixed by the plan, not by scheduling. Plan-hit configs return the
+        // stored merged result verbatim; freshly merged configs write their
+        // plan entry back so the next identical run is one read.
+        self.merge_grid(&cells, &plan_hits, &plan_keys, store.as_ref())
+    }
+
+    /// The one canonical grid merge (phase 3 of [`ExperimentPlan::run_grid`]
+    /// and of [`ExperimentPlan::run_grid_claimed`]): merges each config's
+    /// per-cell statistics seed-minor in grid order, substitutes plan-level
+    /// hits verbatim, and writes plan entries for freshly merged configs.
+    fn merge_grid(
+        &self,
+        cells: &[Option<SchemeStats>],
+        plan_hits: &[Option<ExperimentResult>],
+        plan_keys: &[Option<PlanKey>],
+        store: Option<&ResultStore>,
+    ) -> Vec<ExperimentResult> {
+        let n_workloads = self.workloads.len();
+        let n_schemes = self.schemes.len();
+        let n_seeds = self.seeds.len();
         let mut results = Vec::with_capacity(self.configs.len());
         for config in 0..self.configs.len() {
+            if let Some(hit) = &plan_hits[config] {
+                results.push(hit.clone());
+                continue;
+            }
             let mut result = ExperimentResult {
                 meta: RunMetadata {
                     seeds: self.seeds.clone(),
@@ -635,12 +708,17 @@ impl ExperimentPlan {
             for workload in 0..n_workloads {
                 for scheme in 0..n_schemes {
                     let base = ((config * n_workloads + workload) * n_schemes + scheme) * n_seeds;
-                    let mut merged = cells[base].clone();
+                    let mut merged =
+                        cells[base].clone().expect("cells of missed configs are built");
                     for replicate in &cells[base + 1..base + n_seeds] {
-                        merged.merge(replicate);
+                        merged
+                            .merge(replicate.as_ref().expect("cells of missed configs are built"));
                     }
                     result.cells.push(merged);
                 }
+            }
+            if let (Some(store), Some(key)) = (store, &plan_keys[config]) {
+                cache::save_plan(store, key, &result);
             }
             results.push(result);
         }
@@ -766,6 +844,223 @@ impl ExperimentPlan {
             .collect()
     }
 
+    /// Executes the grid cooperatively with other processes sharing the
+    /// plan's store: every cacheable cell is *claimed* through the store
+    /// before being simulated, so independent workers — on this machine or
+    /// any machine sharing the directory — divide the grid between them
+    /// instead of each computing all of it. The returned results are
+    /// byte-identical to [`ExperimentPlan::run_grid`] for any process
+    /// count, worker count and interleaving.
+    ///
+    /// The loop per cell: serve it from the store if present; otherwise
+    /// claim it (`O_EXCL` marker — exactly one racing process wins),
+    /// simulate, write the entry back, release the claim. A cell whose
+    /// claim is held by someone else is requeued and retried until its
+    /// entry appears — or until the claim goes *stale* (older than
+    /// `stale_after_secs`, or held by a dead same-host process), in which
+    /// case it is taken over and computed here. Claims divide work; they
+    /// never gate correctness — entry writes stay atomic and deterministic,
+    /// so the worst case of any takeover race is a duplicated computation
+    /// of identical bytes.
+    ///
+    /// Without a writable store there is nothing to coordinate through:
+    /// the plan falls back to a plain [`ExperimentPlan::run_grid`] and the
+    /// report only counts computed cells.
+    pub fn run_grid_claimed(
+        &self,
+        stale_after_secs: u64,
+    ) -> (Vec<ExperimentResult>, ClaimedRunReport) {
+        assert!(!self.schemes.is_empty(), "plan declares no schemes");
+        assert!(!self.workloads.is_empty(), "plan declares no workloads");
+        assert!(!self.configs.is_empty(), "plan declares no configs");
+        assert!(!self.seeds.is_empty(), "plan declares no seeds");
+        let store = match self.resolve_store() {
+            Some(store) if !store.is_read_only() => store,
+            _ => {
+                let results = self.run_grid();
+                let computed = results.iter().map(|r| r.cells.len()).sum();
+                return (results, ClaimedRunReport { computed, ..Default::default() });
+            }
+        };
+        let n_workloads = self.workloads.len();
+        let n_schemes = self.schemes.len();
+        let n_seeds = self.seeds.len();
+        let cells_per_config = n_workloads * n_schemes * n_seeds;
+        let cell_count = self.configs.len() * cells_per_config;
+        let max_intensity = self.max_intensity();
+        let keys = self.cell_keys(cell_count, max_intensity);
+
+        let plan_keys: Vec<Option<PlanKey>> = if self.resolve_plan_cache() {
+            (0..self.configs.len()).map(|config| self.plan_key(config, &keys)).collect()
+        } else {
+            (0..self.configs.len()).map(|_| None).collect()
+        };
+        let plan_hits: Vec<Option<ExperimentResult>> = plan_keys
+            .iter()
+            .map(|key| key.as_ref().and_then(|key| cache::load_plan(&store, key)))
+            .collect();
+        let mut report = ClaimedRunReport {
+            plan_hits: plan_hits.iter().filter(|hit| hit.is_some()).count(),
+            ..Default::default()
+        };
+        if plan_hits.iter().all(Option::is_some) {
+            let results = plan_hits.into_iter().map(|hit| hit.expect("checked all hits")).collect();
+            return (results, report);
+        }
+
+        let pending: Mutex<VecDeque<usize>> = Mutex::new(
+            (0..cell_count).filter(|&cell| plan_hits[cell / cells_per_config].is_none()).collect(),
+        );
+        let slots: Mutex<Vec<Option<SchemeStats>>> =
+            Mutex::new((0..cell_count).map(|_| None).collect());
+        let computed = AtomicUsize::new(0);
+        let loaded = AtomicUsize::new(0);
+        let taken_over = AtomicUsize::new(0);
+
+        let worker = || {
+            loop {
+                let Some(cell) = pending.lock().expect("queue mutex poisoned").pop_front() else {
+                    break;
+                };
+                let Some(key) = &keys[cell] else {
+                    // Uncacheable cell: the store cannot carry it between
+                    // processes, so every process computes it locally.
+                    let stats = self.compute_cell(cell, max_intensity);
+                    slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                // Serve-first: a finished cell always wins over any claim
+                // state (the claimant writes the entry before releasing).
+                if let Some(stats) = cache::load_cell(&store, key) {
+                    slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
+                    loaded.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let fp = Fingerprint::of_value(&key.to_value());
+                let took_over = match store.try_claim(fp) {
+                    Ok(ClaimOutcome::Acquired) => false,
+                    Ok(ClaimOutcome::Held(holder)) => {
+                        let stale = match &holder {
+                            Some(info) => claim_is_stale(info, stale_after_secs),
+                            // Unreadable marker: judge by its file age so a
+                            // claimant that died mid-create still ages out.
+                            None => marker_age_secs(&store.claim_path(fp))
+                                .is_some_and(|age| age > stale_after_secs),
+                        };
+                        if !stale || store.takeover_claim(fp).is_err() {
+                            // Someone live is computing this cell: requeue
+                            // and let the loop serve it from the store once
+                            // the holder's entry lands.
+                            pending.lock().expect("queue mutex poisoned").push_back(cell);
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        }
+                        true
+                    }
+                    // Claim machinery unavailable (e.g. claims dir not
+                    // creatable): coordination degrades to duplicate work,
+                    // never to a missing result.
+                    Err(_) => false,
+                };
+                // Double-check under the claim: the previous holder may have
+                // finished (entry written, claim released) between our lookup
+                // above and the claim acquisition, and its entry must win.
+                if let Some(stats) = cache::load_cell(&store, key) {
+                    let _ = store.release_claim(fp);
+                    slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
+                    loaded.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let stats = self.compute_cell(cell, max_intensity);
+                cache::save_cell(&store, key, &stats);
+                let _ = store.release_claim(fp);
+                slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
+                computed.fetch_add(1, Ordering::Relaxed);
+                if took_over {
+                    taken_over.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
+        let workers = self.worker_count().clamp(1, cell_count.max(1));
+        if workers == 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        report.computed = computed.into_inner();
+        report.loaded = loaded.into_inner();
+        report.taken_over = taken_over.into_inner();
+        let cells = slots.into_inner().expect("slot mutex poisoned");
+        let results = self.merge_grid(&cells, &plan_hits, &plan_keys, Some(&store));
+        (results, report)
+    }
+
+    /// Simulates one whole grid cell (single shard) — the claimed runner's
+    /// unit of work, byte-identical to the sharded path by the engine's
+    /// determinism rules.
+    fn compute_cell(&self, cell: usize, max_intensity: f64) -> SchemeStats {
+        let n_seeds = self.seeds.len();
+        let n_schemes = self.schemes.len();
+        let n_workloads = self.workloads.len();
+        let seed = cell % n_seeds;
+        let scheme = (cell / n_seeds) % n_schemes;
+        let workload = (cell / (n_seeds * n_schemes)) % n_workloads;
+        let config = cell / (n_seeds * n_schemes * n_workloads);
+        let lanes = self.run_cell_shard(config, scheme, workload, seed, 0, 1, max_intensity, None);
+        merge_bank_stats(
+            &self.schemes[scheme].0,
+            self.workloads[workload].name(),
+            self.configs[config].total_banks(),
+            lanes,
+        )
+    }
+
+    /// Resolves plan-level caching: explicit override, otherwise on.
+    fn resolve_plan_cache(&self) -> bool {
+        self.plan_cache.unwrap_or(true)
+    }
+
+    /// Derives config `config`'s plan key from the full grid's cell keys;
+    /// `None` when any cell in the config is uncacheable.
+    fn plan_key(&self, config: usize, keys: &[Option<CellKey>]) -> Option<PlanKey> {
+        let cells_per_config = self.workloads.len() * self.schemes.len() * self.seeds.len();
+        let slice = &keys[config * cells_per_config..(config + 1) * cells_per_config];
+        let cells: Option<Vec<Fingerprint>> = slice
+            .iter()
+            .map(|key| key.as_ref().map(|key| Fingerprint::of_value(&key.to_value())))
+            .collect();
+        Some(PlanKey {
+            salt: self.store_salt.clone().unwrap_or_else(cache::effective_salt),
+            config_index: config as u64,
+            seeds: self.seeds.clone(),
+            lines_per_workload: self.lines_per_workload as u64,
+            workloads: self.workloads.len() as u64,
+            schemes: self.schemes.len() as u64,
+            cells: cells?,
+        })
+    }
+
+    /// The plan-level store fingerprint of every config on the axis (`None`
+    /// for configs containing uncacheable cells). Exposed so tests — and
+    /// operators debugging cache behaviour — can check two plans will share
+    /// plan entries without running either: worker, shard and materialise
+    /// knobs must never move these, while salt, scheme, workload, seed and
+    /// config edits must.
+    pub fn plan_fingerprints(&self) -> Vec<Option<Fingerprint>> {
+        let cell_count =
+            self.configs.len() * self.workloads.len() * self.schemes.len() * self.seeds.len();
+        let keys = self.cell_keys(cell_count, self.max_intensity());
+        (0..self.configs.len())
+            .map(|config| self.plan_key(config, &keys).map(|key| key.fingerprint()))
+            .collect()
+    }
+
     /// Runs one intra-trace shard of one grid cell, returning the per-bank
     /// partial statistics of the banks this shard owns.
     #[allow(clippy::too_many_arguments)]
@@ -842,6 +1137,29 @@ impl ExperimentPlan {
             ["1", "true", "yes", "on"].iter().any(|accepted| value.eq_ignore_ascii_case(accepted))
         })
     }
+}
+
+/// What a [`ExperimentPlan::run_grid_claimed`] worker process ended up
+/// doing: its share of the division of labour, for logs and tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClaimedRunReport {
+    /// Cells this process simulated (claim acquired, taken over, or
+    /// uncacheable).
+    pub computed: usize,
+    /// Cells served from the store — computed in an earlier run or by
+    /// another worker process.
+    pub loaded: usize,
+    /// Of the computed cells, how many came from stale-claim takeovers.
+    pub taken_over: usize,
+    /// Configs served whole from plan-level entries.
+    pub plan_hits: usize,
+}
+
+/// Age in seconds of a claim-marker file, from its mtime; `None` when the
+/// marker vanished or the filesystem cannot say.
+fn marker_age_secs(path: &std::path::Path) -> Option<u64> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    Some(modified.elapsed().unwrap_or_default().as_secs())
 }
 
 /// Resolves the worker count: explicit override, then `WLCRC_THREADS`, then
@@ -1214,11 +1532,100 @@ mod tests {
         assert_eq!(disabled, warm);
         assert_eq!(disabled, warm_parallel);
         assert_eq!(disabled, warm_sharded);
-        // 3 workloads × 2 schemes × 2 seeds cells were recorded, once.
+        // 3 workloads × 2 schemes × 2 seeds cells were recorded once, plus
+        // the config's plan-level entry.
         let store = ResultStore::open_read_only(&scratch.0);
-        assert_eq!(store.entries().len(), 12);
-        // The three warm runs were served entirely from the cache.
-        assert_eq!(store.hit_count(), 36);
+        assert_eq!(store.entries().len(), 13);
+        // Each warm run was served by exactly one plan-level hit — no
+        // per-cell entry was touched.
+        assert_eq!(store.hit_count(), 3);
+    }
+
+    #[test]
+    fn plan_level_hits_bypass_per_cell_entries() {
+        let scratch = Scratch::new("plan-hit");
+        let plan = || small_plan().store(&scratch.0).store_readonly(false);
+        let cold = plan().run();
+        let store = ResultStore::open_read_only(&scratch.0);
+        assert_eq!(store.entries().len(), 7, "6 cells + 1 plan entry");
+        assert_eq!(store.hit_count(), 0);
+        let plan_fp = plan().plan_fingerprints()[0].expect("fully cacheable grid");
+        let warm = plan().run();
+        assert_eq!(cold, warm);
+        // The journal proves the warm run touched exactly one entry: the
+        // plan's.
+        assert_eq!(store.hit_count(), 1);
+        let uses = store.last_uses();
+        assert_eq!(uses.len(), 1);
+        assert!(uses.contains_key(&plan_fp), "the one journaled hit is the plan entry");
+    }
+
+    #[test]
+    fn plan_cache_off_restores_per_cell_hits() {
+        let scratch = Scratch::new("plan-off");
+        let plan = || small_plan().store(&scratch.0).store_readonly(false).plan_cache(false);
+        let cold = plan().run();
+        let store = ResultStore::open_read_only(&scratch.0);
+        assert_eq!(store.entries().len(), 6, "no plan entry without the plan cache");
+        let warm = plan().run();
+        assert_eq!(cold, warm);
+        assert_eq!(store.hit_count(), 6, "every cell served individually");
+        // A plan-cached run over the per-cell-warm store hits all six cells,
+        // writes the plan entry, and the next run is a single plan hit.
+        let adopted = small_plan().store(&scratch.0).store_readonly(false).run();
+        assert_eq!(cold, adopted);
+        assert_eq!(store.entries().len(), 7);
+        let replayed = small_plan().store(&scratch.0).store_readonly(false).run();
+        assert_eq!(cold, replayed);
+        assert_eq!(store.hit_count(), 13, "6 + 6 cell hits, then 1 plan hit");
+    }
+
+    #[test]
+    fn corrupt_plan_entries_fall_back_to_per_cell_hits() {
+        let scratch = Scratch::new("plan-corrupt");
+        let plan = || small_plan().store(&scratch.0).store_readonly(false);
+        let cold = plan().run();
+        let plan_fp = plan().plan_fingerprints()[0].expect("fully cacheable grid");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        std::fs::write(store.entry_path(plan_fp), b"garbage").unwrap();
+        let rewarmed = plan().run();
+        assert_eq!(cold, rewarmed);
+        // The damaged plan entry was recomputed from per-cell hits and
+        // atomically rewritten.
+        let report = store.verify();
+        assert_eq!(report.corrupt.len(), 0, "{:?}", report.corrupt);
+        assert_eq!(report.valid.len(), 7);
+        assert_eq!(store.hit_count(), 6, "the six cell hits that rebuilt the merge");
+    }
+
+    #[test]
+    fn plan_fingerprints_ignore_execution_knobs_but_track_identity() {
+        let base = small_plan().plan_fingerprints();
+        assert_eq!(base.len(), 1);
+        assert!(base[0].is_some());
+        // Execution knobs must not move the plan key (they cannot change
+        // results, so they must not fragment the cache).
+        assert_eq!(base, small_plan().threads(7).plan_fingerprints());
+        assert_eq!(base, small_plan().intra_trace_shards(4).plan_fingerprints());
+        assert_eq!(base, small_plan().materialise_traces(true).plan_fingerprints());
+        // Identity edits must move it.
+        assert_ne!(base, small_plan().seed(4).plan_fingerprints());
+        assert_ne!(base, small_plan().lines_per_workload(41).plan_fingerprints());
+        assert_ne!(base, small_plan().store_version_salt("bumped").plan_fingerprints());
+        assert_ne!(base, small_plan().workload(Benchmark::Lbm.profile()).plan_fingerprints());
+        assert_ne!(
+            base,
+            small_plan().scheme("Extra", || Box::new(RawCodec::new())).plan_fingerprints()
+        );
+        // An opaque workload poisons the whole config's plan key.
+        let opaque = small_plan()
+            .source("opaque", |_seed| {
+                Box::new(from_fn("opaque", 1, |_| {
+                    WriteRecord::new(0, MemoryLine::ZERO, MemoryLine::ZERO)
+                })) as Box<dyn TraceSource + Send>
+            })
+            .plan_fingerprints();
+        assert_eq!(opaque, vec![None]);
     }
 
     #[test]
@@ -1242,7 +1649,9 @@ mod tests {
         for cell in &subset.cells {
             assert_eq!(Some(cell), mixed.get(&cell.scheme, &cell.workload));
         }
-        assert_eq!(ResultStore::open_read_only(&scratch.0).entries().len(), 6);
+        // 4 subset cells + subset plan entry, then 2 omnetpp cells + the
+        // full grid's own plan entry (the subset's plan key differs).
+        assert_eq!(ResultStore::open_read_only(&scratch.0).entries().len(), 8);
     }
 
     #[test]
@@ -1252,7 +1661,7 @@ mod tests {
         let v1 = plan().store_version_salt("wlcrc-sim-test-v1").run();
         let store = ResultStore::open_read_only(&scratch.0);
         let after_v1 = store.entries().len();
-        assert_eq!(after_v1, 6);
+        assert_eq!(after_v1, 7, "6 cells + 1 plan entry");
         let v2 = plan().store_version_salt("wlcrc-sim-test-v2").run();
         // Same simulation, so same results — but nothing was served from the
         // v1 entries: every cell recomputed and landed at a fresh address.
@@ -1292,13 +1701,19 @@ mod tests {
             default_run.cells[0].data_energy_pj, remapped_run.cells[0].data_energy_pj,
             "the remapped codec must actually behave differently for this test to bite"
         );
-        assert_eq!(ResultStore::open_read_only(&scratch.0).entries().len(), 2);
+        // One cell + one plan entry per codec: the plan keys separate too,
+        // because they cover the codec fingerprints.
+        assert_eq!(ResultStore::open_read_only(&scratch.0).entries().len(), 4);
     }
 
     #[test]
     fn corrupt_entries_are_recomputed_and_rewritten() {
         let scratch = Scratch::new("corrupt");
-        let plan = || small_plan().store(&scratch.0).store_readonly(false);
+        // Plan cache off: this test exercises *per-cell* corruption
+        // recovery, which a plan-level hit would otherwise short-circuit
+        // (see `corrupt_plan_entries_fall_back_to_per_cell_hits` for that
+        // layer).
+        let plan = || small_plan().store(&scratch.0).store_readonly(false).plan_cache(false);
         let cold = plan().run();
         let store = ResultStore::open_read_only(&scratch.0);
         let entries = store.entries();
@@ -1381,15 +1796,78 @@ mod tests {
         let warm = plan(&trace).run();
         assert_eq!(cold, warm);
         let store = ResultStore::open_read_only(&scratch.0);
-        assert_eq!(store.entries().len(), 1);
-        assert_eq!(store.hit_count(), 1);
+        assert_eq!(store.entries().len(), 2, "the cell and its plan entry");
+        assert_eq!(store.hit_count(), 1, "the warm run was one plan-level hit");
         // A trace with one different record must miss.
         let mut records: Vec<WriteRecord> = trace.iter().copied().collect();
         records[7] =
             WriteRecord::new(records[7].address, records[7].old, records[7].new.complement());
         let edited = Arc::new(Trace::from_records("gcc", records));
         let _ = plan(&edited).run();
-        assert_eq!(store.entries().len(), 2, "edited trace is a different cell");
+        assert_eq!(store.entries().len(), 4, "edited trace is a different cell and plan");
+    }
+
+    #[test]
+    fn claimed_runs_match_run_grid_and_divide_work() {
+        let scratch = Scratch::new("claimed");
+        let plan = || small_plan().seeds([3, 4]).threads(2).store(&scratch.0);
+        let direct = plan().store_enabled(false).run_grid();
+        // Cold claimed run: every cell claimed, computed and written back.
+        let (cold, cold_report) = plan().run_grid_claimed(60);
+        assert_eq!(direct, cold);
+        assert_eq!(cold_report.computed, 12);
+        assert_eq!(cold_report.loaded, 0);
+        assert_eq!(cold_report.taken_over, 0);
+        let store = ResultStore::open_read_only(&scratch.0);
+        assert!(store.claims().is_empty(), "all claims released after compute");
+        assert_eq!(store.entries().len(), 13, "12 cells + 1 plan entry");
+        // Warm claimed run: one plan-level hit, nothing claimed or computed.
+        let (warm, warm_report) = plan().run_grid_claimed(60);
+        assert_eq!(direct, warm);
+        assert_eq!(
+            warm_report,
+            ClaimedRunReport { computed: 0, loaded: 0, taken_over: 0, plan_hits: 1 }
+        );
+        // Per-cell-warm (plan cache off): every cell served from the store.
+        let (served, served_report) = plan().plan_cache(false).run_grid_claimed(60);
+        assert_eq!(direct, served);
+        assert_eq!(served_report.computed, 0);
+        assert_eq!(served_report.loaded, 12);
+    }
+
+    #[test]
+    fn claimed_runs_take_over_stale_claims() {
+        let scratch = Scratch::new("stale-claim");
+        let plan = || {
+            ExperimentPlan::new()
+                .seed(3)
+                .lines_per_workload(40)
+                .workload(Benchmark::Gcc.profile())
+                .scheme("Baseline", || Box::new(RawCodec::new()))
+                .threads(1)
+                .store(&scratch.0)
+        };
+        // Plant an aged foreign claim on the grid's one cell.
+        let store = ResultStore::open(&scratch.0).unwrap();
+        let keys = plan().cell_keys(1, plan().max_intensity());
+        let fp = Fingerprint::of_value(&keys[0].as_ref().unwrap().to_value());
+        let path = store.claim_path(fp);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"999999@elsewhere.invalid 5\n").unwrap();
+        // stale_after 0 with a claim from unix time 5: immediately stale.
+        let (claimed, report) = plan().run_grid_claimed(0);
+        assert_eq!(claimed, plan().store_enabled(false).run_grid());
+        assert_eq!(report.computed, 1);
+        assert_eq!(report.taken_over, 1);
+        assert!(store.claims().is_empty(), "the taken-over claim was released");
+    }
+
+    #[test]
+    fn claimed_runs_without_a_store_fall_back_to_run_grid() {
+        let (results, report) = small_plan().run_grid_claimed(60);
+        assert_eq!(results, small_plan().run_grid());
+        assert_eq!(report.computed, results[0].cells.len());
+        assert_eq!(report.loaded, 0);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!   corruption-tolerant decoding);
 //! * [`fingerprint`] — stable FNV-1a-128 content hashing;
 //! * [`store`] — the on-disk store: atomic writes, validated reads, hit
-//!   journal, list/evict/verify.
+//!   journal (timestamped + self-compacting), list/evict/verify, LRU
+//!   eviction, and the claim markers multi-process grid runners coordinate
+//!   through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +34,8 @@ pub mod wire;
 
 pub use fingerprint::{Fingerprint, StableHasher};
 pub use store::{
-    readonly_from_env, Entry, EntryInfo, ResultStore, StoreError, VerifyReport, FORMAT_VERSION,
+    claim_is_stale, parse_byte_size, readonly_from_env, ClaimInfo, ClaimOutcome, Entry, EntryInfo,
+    ResultStore, StoreError, VerifyReport, FORMAT_VERSION, HITS_COMPACT_THRESHOLD, MAX_BYTES_ENV,
     STORE_ENV, STORE_READONLY_ENV,
 };
 pub use wire::{WireError, WIRE_VERSION};

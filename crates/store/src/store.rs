@@ -19,18 +19,33 @@
 //!   mismatch, truncation or decode error is reported as a miss
 //!   ([`ResultStore::get`] returns `None`) — a corrupt cache can cost a
 //!   recomputation, never a wrong result and never a panic;
-//! * **hits are journaled**: each successful `get` appends one line to
-//!   `hits.log` (`O_APPEND`, one `write` syscall per line), which is how CI
-//!   asserts a warm run was actually served from the cache. The journal is
-//!   advisory: corrupt lines are ignored and a read-only store skips it.
+//! * **hits are journaled**: each successful `get` appends one
+//!   `<fingerprint> <unix-seconds>` line to `hits.log` (`O_APPEND`, one
+//!   `write` syscall per line), which is how CI asserts a warm run was
+//!   actually served from the cache and how LRU eviction orders entries by
+//!   recency. The journal is advisory: corrupt lines are ignored, a
+//!   read-only store skips it, and opening a writable store compacts it
+//!   down to one last-hit line per fingerprint once it grows past
+//!   [`HITS_COMPACT_THRESHOLD`] lines — exactly the information eviction
+//!   needs, so compaction never loses LRU ordering;
+//! * **cells are claimable**: a *claim* is a marker file under `claims/`
+//!   created with `O_EXCL` (atomic: exactly one creator wins), carrying the
+//!   owner's pid, host and claim time. Independent worker processes use
+//!   claims to divide a grid between them — see [`ResultStore::try_claim`].
+//!   Claims are a work-division optimisation, never a correctness
+//!   mechanism: entry writes stay atomic and content-addressed, so a stale
+//!   claim taken over by two racing workers costs a duplicate computation
+//!   of the same bytes, not a wrong result.
 
 use crate::fingerprint::Fingerprint;
 use crate::wire::{self, WireError};
 use serde::Value;
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Magic bytes opening every entry file.
 pub const MAGIC: [u8; 8] = *b"WLCRCSTR";
@@ -50,8 +65,29 @@ pub const STORE_ENV: &str = "WLCRC_STORE";
 /// hits are served but misses are not written back and no journal is kept.
 pub const STORE_READONLY_ENV: &str = "WLCRC_STORE_READONLY";
 
+/// Environment variable capping the store size in bytes (optional `k`/`m`/`g`
+/// suffix). When set, opening a writable store evicts least-recently-used
+/// entries until the cap holds — see [`ResultStore::evict_lru`].
+pub const MAX_BYTES_ENV: &str = "WLCRC_STORE_MAX_BYTES";
+
 /// Name of the advisory hit journal inside the store root.
 const HITS_LOG: &str = "hits.log";
+
+/// Opening a writable store compacts `hits.log` down to one
+/// last-hit-per-fingerprint line once it holds more lines than this. The
+/// threshold is far above what one grid run journals, so compaction is a
+/// rare maintenance event, not a per-run cost.
+pub const HITS_COMPACT_THRESHOLD: usize = 65_536;
+
+/// Cheapest possible journal line (32 hex + newline, the pre-timestamp
+/// format): used as a size floor so `open` can skip reading a small journal.
+const MIN_HIT_LINE_BYTES: u64 = 33;
+
+/// Subdirectory of the store root holding claim markers.
+const CLAIMS_DIR: &str = "claims";
+
+/// File extension of claim markers.
+const CLAIM_EXTENSION: &str = "claim";
 
 /// Why a store operation failed. Read-path problems are deliberately *not*
 /// errors at the [`ResultStore::get`] level — they surface as misses — but
@@ -125,6 +161,29 @@ pub struct EntryInfo {
     pub bytes: u64,
 }
 
+/// The recorded owner of a claim marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimInfo {
+    /// Process id of the claimant.
+    pub pid: u32,
+    /// Hostname of the claimant (so multi-machine stores can tell whether a
+    /// liveness check is even meaningful).
+    pub host: String,
+    /// Unix seconds at claim time.
+    pub since_unix: u64,
+}
+
+/// Result of [`ResultStore::try_claim`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// This process created the claim marker; it owns the cell.
+    Acquired,
+    /// Another claim already exists. `None` when the marker file exists but
+    /// its contents are unreadable or corrupt (treat as held: the holder may
+    /// be mid-write).
+    Held(Option<ClaimInfo>),
+}
+
 /// Outcome of [`ResultStore::verify`].
 #[derive(Debug, Default)]
 pub struct VerifyReport {
@@ -142,11 +201,21 @@ pub struct ResultStore {
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) a writable store at `root`.
+    /// Opens (creating if needed) a writable store at `root`. Opening also
+    /// runs the cheap maintenance passes: the hit journal is compacted once
+    /// it exceeds [`HITS_COMPACT_THRESHOLD`] lines, and when
+    /// [`MAX_BYTES_ENV`] is set the store is LRU-evicted down to that cap.
+    /// Maintenance failures are swallowed — an unmaintainable cache still
+    /// serves hits.
     pub fn open(root: impl Into<PathBuf>) -> Result<ResultStore, StoreError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(ResultStore { root, readonly: false })
+        let store = ResultStore { root, readonly: false };
+        store.maybe_compact_hits_log();
+        if let Some(cap) = std::env::var(MAX_BYTES_ENV).ok().and_then(|v| parse_byte_size(&v)) {
+            let _ = store.evict_lru(cap);
+        }
+        Ok(store)
     }
 
     /// Opens a store that serves hits but never writes (no entries, no
@@ -322,12 +391,162 @@ impl ResultStore {
         report
     }
 
-    /// Number of journaled cache hits over the store's lifetime.
+    /// Number of journaled cache hits currently in the journal. Compaction
+    /// (see [`ResultStore::compact_hits_log`]) collapses repeat hits, so
+    /// this is a lower bound on lifetime hits — which is the direction the
+    /// "was the cache actually used?" checks need.
     pub fn hit_count(&self) -> u64 {
         let Ok(journal) = fs::read_to_string(self.root.join(HITS_LOG)) else {
             return 0;
         };
-        journal.lines().filter(|line| Fingerprint::from_hex(line.trim()).is_some()).count() as u64
+        journal
+            .lines()
+            .filter(|line| {
+                line.split_whitespace()
+                    .next()
+                    .is_some_and(|hex| Fingerprint::from_hex(hex).is_some())
+            })
+            .count() as u64
+    }
+
+    /// The last journaled hit time (unix seconds) per fingerprint. Lines in
+    /// the pre-timestamp journal format (bare hex) count as time 0; eviction
+    /// falls back to the entry file's mtime in that case.
+    pub fn last_uses(&self) -> HashMap<Fingerprint, u64> {
+        let mut out = HashMap::new();
+        let Ok(journal) = fs::read_to_string(self.root.join(HITS_LOG)) else {
+            return out;
+        };
+        for line in journal.lines() {
+            let mut tokens = line.split_whitespace();
+            let Some(fingerprint) = tokens.next().and_then(Fingerprint::from_hex) else {
+                continue;
+            };
+            let ts: u64 = tokens.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+            let slot = out.entry(fingerprint).or_insert(0);
+            *slot = ts.max(*slot);
+        }
+        out
+    }
+
+    /// Rewrites the journal down to one `<fingerprint> <last-hit>` line per
+    /// fingerprint, ordered oldest-first (tmp + rename, like entry writes).
+    /// Returns the number of lines dropped. Concurrent appends from other
+    /// processes during the rewrite can be lost; the journal is advisory,
+    /// so that costs at worst a slightly-too-early eviction.
+    pub fn compact_hits_log(&self) -> Result<usize, StoreError> {
+        if self.readonly {
+            return Ok(0);
+        }
+        let path = self.root.join(HITS_LOG);
+        let journal = match fs::read_to_string(&path) {
+            Ok(journal) => journal,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(err) => return Err(err.into()),
+        };
+        let before = journal.lines().count();
+        let mut last: Vec<(u64, Fingerprint)> =
+            self.last_uses().into_iter().map(|(fingerprint, ts)| (ts, fingerprint)).collect();
+        last.sort();
+        let mut compacted = String::with_capacity(last.len() * 44);
+        for (ts, fingerprint) in &last {
+            compacted.push_str(&format!("{} {ts}\n", fingerprint.to_hex()));
+        }
+        let tmp = self.root.join(format!(".tmp-hits-{}", std::process::id()));
+        fs::write(&tmp, compacted.as_bytes())?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(before.saturating_sub(last.len())),
+            Err(err) => {
+                let _ = fs::remove_file(&tmp);
+                Err(err.into())
+            }
+        }
+    }
+
+    /// Compacts the journal only once it is large enough to matter; a cheap
+    /// file-size floor avoids even reading a small journal.
+    fn maybe_compact_hits_log(&self) {
+        let path = self.root.join(HITS_LOG);
+        let Ok(meta) = fs::metadata(&path) else {
+            return;
+        };
+        if meta.len() < HITS_COMPACT_THRESHOLD as u64 * MIN_HIT_LINE_BYTES {
+            return;
+        }
+        let lines = match fs::read_to_string(&path) {
+            Ok(journal) => journal.lines().count(),
+            Err(_) => return,
+        };
+        if lines > HITS_COMPACT_THRESHOLD {
+            let _ = self.compact_hits_log();
+        }
+    }
+
+    /// The moment an entry was last useful: its last journaled hit, or its
+    /// file mtime when the journal has nothing newer (covers entries written
+    /// but never re-read, and pre-timestamp journal lines).
+    fn last_use(&self, info: &EntryInfo, uses: &HashMap<Fingerprint, u64>) -> u64 {
+        let mtime = fs::metadata(&info.path)
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        mtime.max(uses.get(&info.fingerprint).copied().unwrap_or(0))
+    }
+
+    /// Evicts least-recently-used entries until the store's total entry
+    /// bytes fit under `max_bytes`; returns the evicted entries (oldest
+    /// first). Ties on last-use break by fingerprint so the outcome is
+    /// deterministic. No-op in a read-only store.
+    pub fn evict_lru(&self, max_bytes: u64) -> Result<Vec<EntryInfo>, StoreError> {
+        if self.readonly {
+            return Ok(Vec::new());
+        }
+        let entries = self.entries();
+        let mut remaining: u64 = entries.iter().map(|info| info.bytes).sum();
+        if remaining <= max_bytes {
+            return Ok(Vec::new());
+        }
+        let uses = self.last_uses();
+        let mut ranked: Vec<(u64, EntryInfo)> =
+            entries.into_iter().map(|info| (self.last_use(&info, &uses), info)).collect();
+        ranked.sort_by_key(|(last, info)| (*last, info.fingerprint));
+        let mut evicted = Vec::new();
+        for (_, info) in ranked {
+            if remaining <= max_bytes {
+                break;
+            }
+            if self.evict(info.fingerprint)? {
+                remaining = remaining.saturating_sub(info.bytes);
+                evicted.push(info);
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Evicts every entry whose last use is strictly before `cutoff_unix`;
+    /// returns the evicted entries (oldest first). No-op in a read-only
+    /// store.
+    pub fn evict_older_than(&self, cutoff_unix: u64) -> Result<Vec<EntryInfo>, StoreError> {
+        if self.readonly {
+            return Ok(Vec::new());
+        }
+        let uses = self.last_uses();
+        let mut ranked: Vec<(u64, EntryInfo)> = self
+            .entries()
+            .into_iter()
+            .map(|info| (self.last_use(&info, &uses), info))
+            .filter(|(last, _)| *last < cutoff_unix)
+            .collect();
+        ranked.sort_by_key(|(last, info)| (*last, info.fingerprint));
+        let mut evicted = Vec::new();
+        for (_, info) in ranked {
+            if self.evict(info.fingerprint)? {
+                evicted.push(info);
+            }
+        }
+        Ok(evicted)
     }
 
     /// Appends a hit to the advisory journal; failures are ignored (the
@@ -341,8 +560,168 @@ impl ResultStore {
         // One write_all of the full line: under O_APPEND the line lands
         // atomically, so concurrent processes cannot interleave hex and
         // newline fragments (writeln! would issue separate writes).
-        let _ = file.write_all(format!("{}\n", fingerprint.to_hex()).as_bytes());
+        let _ = file.write_all(format!("{} {}\n", fingerprint.to_hex(), unix_now()).as_bytes());
     }
+
+    /// The path a claim marker for `fingerprint` would live at.
+    pub fn claim_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        self.root.join(CLAIMS_DIR).join(format!("{}.{CLAIM_EXTENSION}", fingerprint.to_hex()))
+    }
+
+    /// Tries to claim the cell `fingerprint` for this process. The marker is
+    /// created with `create_new` (`O_EXCL`), so exactly one racing process
+    /// acquires a fresh claim; everyone else sees [`ClaimOutcome::Held`]
+    /// with the recorded owner. A read-only store never claims (it has no
+    /// work to divide — it cannot write results back).
+    pub fn try_claim(&self, fingerprint: Fingerprint) -> Result<ClaimOutcome, StoreError> {
+        if self.readonly {
+            return Ok(ClaimOutcome::Held(None));
+        }
+        let path = self.claim_path(fingerprint);
+        let dir = path.parent().expect("claim path has a parent directory");
+        fs::create_dir_all(dir)?;
+        match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                // Losing the content write is fine: an empty marker still
+                // excludes other claimants, and readers treat it as
+                // Held(None).
+                let _ = file.write_all(claim_line().as_bytes());
+                Ok(ClaimOutcome::Acquired)
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                Ok(ClaimOutcome::Held(self.read_claim(fingerprint)))
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Reads the owner recorded in a claim marker; `None` when the marker is
+    /// missing, unreadable or malformed.
+    pub fn read_claim(&self, fingerprint: Fingerprint) -> Option<ClaimInfo> {
+        parse_claim(&fs::read_to_string(self.claim_path(fingerprint)).ok()?)
+    }
+
+    /// Replaces an existing claim with this process's own (tmp + rename —
+    /// atomic, but *not* exclusive: two workers that both judged the same
+    /// claim stale can both take it over and both compute the cell). Call
+    /// only after [`claim_is_stale`] says the current holder is gone; the
+    /// worst case is duplicate work, never a wrong result, because entry
+    /// writes stay atomic and deterministic.
+    pub fn takeover_claim(&self, fingerprint: Fingerprint) -> Result<(), StoreError> {
+        if self.readonly {
+            return Ok(());
+        }
+        let path = self.claim_path(fingerprint);
+        let dir = path.parent().expect("claim path has a parent directory");
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), fingerprint.to_hex()));
+        fs::write(&tmp, claim_line().as_bytes())?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                let _ = fs::remove_file(&tmp);
+                Err(err.into())
+            }
+        }
+    }
+
+    /// Removes the claim marker for `fingerprint`, returning whether one
+    /// existed. Workers release after the entry write lands, so a visible
+    /// entry file always wins over any claim state.
+    pub fn release_claim(&self, fingerprint: Fingerprint) -> Result<bool, StoreError> {
+        if self.readonly {
+            return Ok(false);
+        }
+        match fs::remove_file(self.claim_path(fingerprint)) {
+            Ok(()) => Ok(true),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Lists the outstanding claim markers, sorted by fingerprint.
+    pub fn claims(&self) -> Vec<(Fingerprint, Option<ClaimInfo>)> {
+        let mut out = Vec::new();
+        let Ok(files) = fs::read_dir(self.root.join(CLAIMS_DIR)) else {
+            return out;
+        };
+        for file in files.flatten() {
+            let path = file.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(CLAIM_EXTENSION) {
+                continue;
+            }
+            let Some(fingerprint) =
+                path.file_stem().and_then(|s| s.to_str()).and_then(Fingerprint::from_hex)
+            else {
+                continue;
+            };
+            out.push((fingerprint, self.read_claim(fingerprint)));
+        }
+        out.sort_by_key(|(fingerprint, _)| *fingerprint);
+        out
+    }
+}
+
+/// Whether a claim's holder should be presumed dead: the claim is older than
+/// `stale_after_secs`, or it was made on *this* host by a process that no
+/// longer exists (checked via `/proc`, so the liveness shortcut only applies
+/// where `/proc` is real). Cross-host claims age out on time alone.
+pub fn claim_is_stale(info: &ClaimInfo, stale_after_secs: u64) -> bool {
+    if unix_now().saturating_sub(info.since_unix) > stale_after_secs {
+        return true;
+    }
+    info.pid != 0
+        && info.host == hostname()
+        && Path::new("/proc/self").exists()
+        && !Path::new(&format!("/proc/{}", info.pid)).exists()
+}
+
+/// The claim line this process writes: `<pid>@<host> <unix-seconds>`.
+fn claim_line() -> String {
+    format!("{}@{} {}\n", std::process::id(), hostname(), unix_now())
+}
+
+/// Parses a claim line written by [`claim_line`].
+fn parse_claim(text: &str) -> Option<ClaimInfo> {
+    let mut tokens = text.split_whitespace();
+    let owner = tokens.next()?;
+    let since_unix: u64 = tokens.next()?.parse().ok()?;
+    let (pid, host) = owner.split_once('@')?;
+    Some(ClaimInfo { pid: pid.parse().ok()?, host: host.to_string(), since_unix })
+}
+
+/// Current unix time in seconds (0 on a pre-epoch clock).
+fn unix_now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+/// Best-effort hostname: `/proc/sys/kernel/hostname`, then `$HOSTNAME`,
+/// then `"?"`. Only used to label claims and scope the dead-pid check.
+fn hostname() -> String {
+    if let Ok(host) = fs::read_to_string("/proc/sys/kernel/hostname") {
+        let host = host.trim();
+        if !host.is_empty() {
+            return host.to_string();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(host) if !host.trim().is_empty() => host.trim().to_string(),
+        _ => "?".to_string(),
+    }
+}
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (binary
+/// multiples): `"900k"` → 921600. Used by [`MAX_BYTES_ENV`] and
+/// `storectl evict --max-bytes`.
+pub fn parse_byte_size(text: &str) -> Option<u64> {
+    let text = text.trim();
+    let (digits, multiplier) = match text.chars().last()? {
+        'k' | 'K' => (&text[..text.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&text[..text.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&text[..text.len() - 1], 1u64 << 30),
+        _ => (text, 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(multiplier)
 }
 
 /// Whether `WLCRC_STORE_READONLY` currently marks stores read-only.
@@ -547,5 +926,221 @@ mod tests {
         // but within this process the variable is controlled here.
         std::env::remove_var(STORE_ENV);
         assert!(ResultStore::from_env().is_none());
+    }
+
+    #[test]
+    fn journal_lines_are_timestamped_and_legacy_lines_still_count() {
+        let scratch = Scratch::new("journal");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        store.get(&key(1)).unwrap();
+        let fp = Fingerprint::of_value(&key(1));
+        let uses = store.last_uses();
+        assert!(uses.get(&fp).copied().unwrap_or(0) > 0, "hit carries a real timestamp");
+        // A line in the pre-timestamp format (bare hex) still counts as a
+        // hit and parses as last-use 0.
+        let legacy = Fingerprint::of_value(&key(2));
+        let mut journal =
+            fs::OpenOptions::new().append(true).open(scratch.0.join(HITS_LOG)).unwrap();
+        journal.write_all(format!("{}\n", legacy.to_hex()).as_bytes()).unwrap();
+        drop(journal);
+        assert_eq!(store.hit_count(), 2);
+        assert_eq!(store.last_uses().get(&legacy), Some(&0));
+    }
+
+    #[test]
+    fn compaction_keeps_one_last_hit_line_per_fingerprint() {
+        let scratch = Scratch::new("compact");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        store.put(&key(2), &payload(2.0)).unwrap();
+        for _ in 0..5 {
+            store.get(&key(1)).unwrap();
+            store.get(&key(2)).unwrap();
+        }
+        let uses_before = store.last_uses();
+        assert_eq!(store.hit_count(), 10);
+        let dropped = store.compact_hits_log().unwrap();
+        assert_eq!(dropped, 8);
+        assert_eq!(store.hit_count(), 2);
+        // Compaction preserved exactly the information eviction needs.
+        assert_eq!(store.last_uses(), uses_before);
+    }
+
+    #[test]
+    fn open_compacts_an_oversized_journal() {
+        let scratch = Scratch::new("autocompact");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        let fp = Fingerprint::of_value(&key(1));
+        let mut bloated = String::new();
+        for i in 0..=HITS_COMPACT_THRESHOLD {
+            bloated.push_str(&format!("{} {}\n", fp.to_hex(), 1_000_000 + i));
+        }
+        fs::write(scratch.0.join(HITS_LOG), bloated.as_bytes()).unwrap();
+        let reopened = ResultStore::open(&scratch.0).unwrap();
+        assert_eq!(reopened.hit_count(), 1);
+        assert_eq!(
+            reopened.last_uses().get(&fp),
+            Some(&(1_000_000 + HITS_COMPACT_THRESHOLD as u64)),
+            "compaction kept the newest timestamp"
+        );
+    }
+
+    #[test]
+    fn evict_lru_drops_the_least_recently_used_first() {
+        let scratch = Scratch::new("lru");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        for n in 1..=3 {
+            store.put(&key(n), &payload(n as f64)).unwrap();
+        }
+        // Journal future-dated hits so they dominate the (just-now) file
+        // mtimes: key 2 is hottest, key 3 warm, key 1 never re-read (LRU).
+        let future = unix_now() + 1000;
+        let mut journal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(scratch.0.join(HITS_LOG))
+            .unwrap();
+        journal
+            .write_all(
+                format!(
+                    "{} {}\n{} {}\n",
+                    Fingerprint::of_value(&key(3)).to_hex(),
+                    future,
+                    Fingerprint::of_value(&key(2)).to_hex(),
+                    future + 100,
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        drop(journal);
+        let total: u64 = store.entries().iter().map(|info| info.bytes).sum();
+        let evicted = store.evict_lru(total - 1).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].fingerprint, Fingerprint::of_value(&key(1)));
+        // Evicting to zero clears everything, hottest last.
+        let evicted = store.evict_lru(0).unwrap();
+        assert_eq!(
+            evicted.iter().map(|info| info.fingerprint).collect::<Vec<_>>(),
+            vec![Fingerprint::of_value(&key(3)), Fingerprint::of_value(&key(2))]
+        );
+        assert!(store.entries().is_empty());
+        // An empty store under any cap evicts nothing.
+        assert!(store.evict_lru(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn evict_older_than_uses_journal_over_mtime() {
+        let scratch = Scratch::new("older");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        store.put(&key(1), &payload(1.0)).unwrap();
+        store.put(&key(2), &payload(2.0)).unwrap();
+        let future = unix_now() + 1000;
+        let mut journal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(scratch.0.join(HITS_LOG))
+            .unwrap();
+        journal
+            .write_all(
+                format!("{} {}\n", Fingerprint::of_value(&key(2)).to_hex(), future).as_bytes(),
+            )
+            .unwrap();
+        drop(journal);
+        // Cutoff between "now" (key 1's mtime) and key 2's journaled hit.
+        let evicted = store.evict_older_than(unix_now() + 500).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].fingerprint, Fingerprint::of_value(&key(1)));
+        assert_eq!(store.entries().len(), 1);
+    }
+
+    #[test]
+    fn claims_are_exclusive_until_released() {
+        let scratch = Scratch::new("claims");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        let fp = Fingerprint::of_value(&key(1));
+        assert_eq!(store.try_claim(fp).unwrap(), ClaimOutcome::Acquired);
+        match store.try_claim(fp).unwrap() {
+            ClaimOutcome::Held(Some(info)) => {
+                assert_eq!(info.pid, std::process::id());
+                assert_eq!(info.host, hostname());
+                assert!(!claim_is_stale(&info, 60), "own live claim is not stale");
+            }
+            other => panic!("expected Held(Some(..)), got {other:?}"),
+        }
+        assert_eq!(store.claims().len(), 1);
+        assert!(store.release_claim(fp).unwrap());
+        assert!(!store.release_claim(fp).unwrap());
+        assert_eq!(store.try_claim(fp).unwrap(), ClaimOutcome::Acquired);
+    }
+
+    #[test]
+    fn stale_claims_age_out_or_die_with_their_pid() {
+        let aged = ClaimInfo {
+            pid: std::process::id(),
+            host: hostname(),
+            since_unix: unix_now().saturating_sub(100),
+        };
+        assert!(claim_is_stale(&aged, 50), "old enough claims age out");
+        assert!(!claim_is_stale(&aged, 1000), "a live same-host pid keeps a recent claim");
+        if Path::new("/proc/self").exists() {
+            let dead = ClaimInfo { pid: u32::MAX, host: hostname(), since_unix: unix_now() };
+            assert!(claim_is_stale(&dead, 1000), "a dead same-host pid is stale immediately");
+        }
+        let remote = ClaimInfo {
+            pid: u32::MAX,
+            host: "elsewhere.invalid".to_string(),
+            since_unix: unix_now(),
+        };
+        assert!(!claim_is_stale(&remote, 1000), "cross-host claims only age out");
+    }
+
+    #[test]
+    fn takeover_replaces_the_recorded_owner() {
+        let scratch = Scratch::new("takeover");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        let fp = Fingerprint::of_value(&key(1));
+        // Plant a foreign claim by hand.
+        let path = store.claim_path(fp);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, b"999999@elsewhere.invalid 5\n").unwrap();
+        let foreign = store.read_claim(fp).unwrap();
+        assert_eq!(foreign.pid, 999_999);
+        assert!(claim_is_stale(&foreign, 60), "a claim from unix time 5 has aged out");
+        store.takeover_claim(fp).unwrap();
+        let ours = store.read_claim(fp).unwrap();
+        assert_eq!(ours.pid, std::process::id());
+        assert_eq!(ours.host, hostname());
+        // A corrupt marker reads as Held(None), never a panic.
+        fs::write(&path, b"not a claim line").unwrap();
+        assert_eq!(store.try_claim(fp).unwrap(), ClaimOutcome::Held(None));
+    }
+
+    #[test]
+    fn read_only_stores_never_claim_or_evict() {
+        let scratch = Scratch::new("ro-claims");
+        let writer = ResultStore::open(&scratch.0).unwrap();
+        writer.put(&key(1), &payload(1.0)).unwrap();
+        let reader = ResultStore::open_read_only(&scratch.0);
+        let fp = Fingerprint::of_value(&key(1));
+        assert_eq!(reader.try_claim(fp).unwrap(), ClaimOutcome::Held(None));
+        assert!(reader.evict_lru(0).unwrap().is_empty());
+        assert!(reader.evict_older_than(u64::MAX).unwrap().is_empty());
+        assert_eq!(reader.compact_hits_log().unwrap(), 0);
+        assert_eq!(writer.entries().len(), 1, "nothing was evicted");
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("0"), Some(0));
+        assert_eq!(parse_byte_size("4096"), Some(4096));
+        assert_eq!(parse_byte_size("900k"), Some(900 * 1024));
+        assert_eq!(parse_byte_size(" 2M "), Some(2 * 1024 * 1024));
+        assert_eq!(parse_byte_size("1g"), Some(1 << 30));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("k"), None);
+        assert_eq!(parse_byte_size("12q"), None);
+        assert_eq!(parse_byte_size("-5"), None);
     }
 }

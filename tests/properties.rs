@@ -248,3 +248,65 @@ proptest! {
         prop_assert!(cost_w <= cost_r + 1e-6);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The plan-level cache key must be a pure function of the grid's
+    /// *identity* (salt, seeds, trace length, workloads, schemes) and blind
+    /// to every *execution* knob (workers, intra-trace shards, pipeline
+    /// mode) — otherwise a rerun at different parallelism would miss the
+    /// plan entry, or worse, two distinct grids would collide on one.
+    #[test]
+    fn plan_level_key_tracks_identity_and_ignores_execution_knobs(
+        seed in 0u64..1_000,
+        lines in 10usize..200,
+        threads in 1usize..8,
+        shards in 1usize..8,
+        materialise in any::<bool>(),
+    ) {
+        use wlcrc_repro::memsim::ExperimentPlan;
+        use wlcrc_repro::trace::Benchmark;
+        use wlcrc_repro::wlcrc::schemes::standard_factories;
+
+        let build = |seed: u64, lines: usize, schemes: usize, workloads: usize| {
+            let mut plan = ExperimentPlan::new().seed(seed).lines_per_workload(lines);
+            for bench in [Benchmark::Gcc, Benchmark::Lbm].into_iter().take(workloads) {
+                plan = plan.workload(bench.profile());
+            }
+            for (id, factory) in standard_factories().into_iter().take(schemes) {
+                plan = plan.scheme_factory(id.label(), factory);
+            }
+            plan
+        };
+        let base = build(seed, lines, 2, 2).plan_fingerprints()[0].expect("cacheable grid");
+        let knobs = build(seed, lines, 2, 2)
+            .threads(threads)
+            .intra_trace_shards(shards)
+            .materialise_traces(materialise)
+            .plan_fingerprints()[0]
+            .expect("cacheable grid");
+        prop_assert_eq!(base, knobs, "execution knobs must not change the plan key");
+
+        let edits = [
+            ("seed", build(seed + 1, lines, 2, 2).plan_fingerprints()[0]),
+            ("trace length", build(seed, lines + 1, 2, 2).plan_fingerprints()[0]),
+            ("scheme set", build(seed, lines, 1, 2).plan_fingerprints()[0]),
+            ("workload set", build(seed, lines, 2, 1).plan_fingerprints()[0]),
+            (
+                "version salt",
+                build(seed, lines, 2, 2)
+                    .store_version_salt("plan-key-proptest")
+                    .plan_fingerprints()[0],
+            ),
+        ];
+        for (what, edited) in edits {
+            prop_assert_ne!(
+                Some(base),
+                edited,
+                "editing the {} must change the plan key",
+                what
+            );
+        }
+    }
+}
