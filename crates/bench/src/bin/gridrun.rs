@@ -24,10 +24,8 @@
 //! immediately). The store directory comes from `--store`, else
 //! `$WLCRC_STORE`.
 
-use wlcrc::schemes::standard_factories;
-use wlcrc_bench::figures::standard_plan;
+use wlcrc_bench::figures::runner_plan;
 use wlcrc_memsim::{ExperimentPlan, ExperimentResult, STORE_ENV};
-use wlcrc_trace::Benchmark;
 
 fn usage() -> ! {
     eprintln!(
@@ -37,28 +35,13 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// The two plan shapes the runner knows: the perfsnap plan-suite grid
-/// (2 workloads × 8 schemes) and the full Figure 8–10 grid
-/// (12 workloads × 8 schemes).
+/// The plan shapes shared with `storectl inspect --why` (see
+/// [`runner_plan`]); an unknown kind is a usage error.
 fn build_plan(kind: &str, lines: usize, seed: u64) -> ExperimentPlan {
-    match kind {
-        "fig08" => standard_plan(lines, seed),
-        "perfsnap" => {
-            let mut plan = ExperimentPlan::new()
-                .seed(seed)
-                .lines_per_workload(lines)
-                .workload(Benchmark::Gcc.profile())
-                .workload(Benchmark::Lbm.profile());
-            for (id, factory) in standard_factories() {
-                plan = plan.scheme_factory(id.label(), factory);
-            }
-            plan
-        }
-        other => {
-            eprintln!("wlcrc-gridrun: unknown plan {other:?} (expected perfsnap or fig08)");
-            std::process::exit(2);
-        }
-    }
+    runner_plan(kind, lines, seed).unwrap_or_else(|| {
+        eprintln!("wlcrc-gridrun: unknown plan {kind:?} (expected perfsnap or fig08)");
+        std::process::exit(2);
+    })
 }
 
 /// Deterministic full-precision dump of the merged grid: `{:?}` floats are

@@ -3,6 +3,14 @@
 //! ```text
 //! storectl list    [--store DIR]                list entries (one line each)
 //! storectl inspect [--store DIR] <fp-prefix>    pretty-print matching entries
+//! storectl inspect [--store DIR] <fp-prefix> --why [--plan K] [--lines N]
+//!                                               [--seed N]  explain a stored
+//!                                               plan entry's cache miss by
+//!                                               naming the cells that changed
+//! storectl fsck    [--store DIR] [--stale-secs N]  quarantine corrupt
+//!                                               entries, drop torn journal
+//!                                               tails, clear stale claims and
+//!                                               orphaned temp files
 //! storectl evict   [--store DIR] <fp-prefix>    delete matching entries
 //! storectl evict   [--store DIR] --all          delete every entry
 //! storectl evict   [--store DIR] --max-bytes N  LRU-evict down to N bytes
@@ -20,14 +28,17 @@
 //! Exit codes: 0 on success, 1 on failed assertion (`verify` with corrupt
 //! entries, `stats --min-hits` unmet), 2 on usage errors.
 
+use wlcrc_bench::figures::runner_plan;
+use wlcrc_memsim::cache::effective_salt;
 use wlcrc_store::{parse_byte_size, wire, EntryInfo, ResultStore, STORE_ENV};
 
 use serde::Value;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: storectl <list|inspect|evict|verify|stats> [--store DIR] \
-         [<fingerprint-prefix>|--all|--max-bytes N|--older-than SECS] [--min-hits N]"
+        "usage: storectl <list|inspect|fsck|evict|verify|stats> [--store DIR] \
+         [<fingerprint-prefix>|--all|--max-bytes N|--older-than SECS] [--min-hits N] \
+         [--why [--plan perfsnap|fig08] [--lines N] [--seed N]] [--stale-secs N]"
     );
     std::process::exit(2);
 }
@@ -53,6 +64,10 @@ fn main() {
                     || *a == "--min-hits"
                     || *a == "--max-bytes"
                     || *a == "--older-than"
+                    || *a == "--plan"
+                    || *a == "--lines"
+                    || *a == "--seed"
+                    || *a == "--stale-secs"
                 {
                     skip_next = true;
                     return false;
@@ -85,6 +100,23 @@ fn main() {
                 eprintln!("storectl: no entry matches prefix {prefix:?}");
                 std::process::exit(1);
             }
+            if has("--why") {
+                let kind = flag("--plan").unwrap_or_else(|| "perfsnap".to_string());
+                let lines: usize = flag("--lines").and_then(|v| v.parse().ok()).unwrap_or(40);
+                let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+                let Some(plan) = runner_plan(&kind, lines, seed) else {
+                    eprintln!("storectl: unknown plan {kind:?} (expected perfsnap or fig08)");
+                    std::process::exit(2);
+                };
+                let mut stale = false;
+                for info in matches {
+                    stale |= explain_plan_entry(&store, &info, &plan, &kind);
+                }
+                if stale {
+                    std::process::exit(1);
+                }
+                return;
+            }
             for info in matches {
                 match store.read_entry(info.fingerprint) {
                     Ok(entry) => {
@@ -95,6 +127,44 @@ fn main() {
                     Err(err) => println!("entry {}: CORRUPT ({err})", info.fingerprint),
                 }
             }
+        }
+        "fsck" => {
+            let writable = ResultStore::open(&root).unwrap_or_else(|err| {
+                eprintln!("storectl: cannot open store for repair: {err}");
+                std::process::exit(1);
+            });
+            let stale_secs: u64 = flag("--stale-secs").and_then(|v| v.parse().ok()).unwrap_or(3600);
+            let report = writable.fsck(stale_secs).unwrap_or_else(|err| {
+                eprintln!("storectl: fsck failed: {err}");
+                std::process::exit(1);
+            });
+            for (info, err) in &report.quarantined {
+                println!("quarantined {} ({err})", info.fingerprint);
+            }
+            for fp in &report.cleared_claims {
+                println!("cleared stale claim {fp}");
+            }
+            if report.dropped_journal_lines > 0 {
+                println!("dropped {} malformed journal line(s)", report.dropped_journal_lines);
+            }
+            if report.removed_temp_files > 0 {
+                println!("removed {} orphaned temp file(s)", report.removed_temp_files);
+            }
+            // The repair must converge: a second pass over the repaired
+            // store has nothing left to fix, or something is deeply wrong.
+            let remaining = writable.fsck(stale_secs).unwrap_or_else(|err| {
+                eprintln!("storectl: post-repair check failed: {err}");
+                std::process::exit(1);
+            });
+            if !remaining.clean() {
+                eprintln!("storectl: store still dirty after repair");
+                std::process::exit(1);
+            }
+            println!(
+                "{} valid entries, {} quarantined, 0 bad entries remaining",
+                report.valid,
+                writable.quarantined().len()
+            );
         }
         "evict" => {
             let writable = ResultStore::open(&root).unwrap_or_else(|err| {
@@ -188,6 +258,105 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// Explains why a stored plan entry would miss today's plan-cache lookup:
+/// compares the recorded per-cell fingerprints positionally against the
+/// grid `plan` would execute now and names every cell that changed.
+/// Returns `true` when the entry no longer matches the current plan.
+fn explain_plan_entry(
+    store: &ResultStore,
+    info: &EntryInfo,
+    plan: &wlcrc_memsim::ExperimentPlan,
+    kind: &str,
+) -> bool {
+    let entry = match store.read_entry(info.fingerprint) {
+        Ok(entry) => entry,
+        Err(err) => {
+            println!("entry {}: CORRUPT ({err})", info.fingerprint);
+            return true;
+        }
+    };
+    let Ok(record) = entry.key.as_record("PlanKey") else {
+        println!(
+            "entry {}: not a plan entry (--why explains PlanKey entries; use plain \
+             inspect for cell entries)",
+            info.fingerprint
+        );
+        return false;
+    };
+    let config_index = match record.raw("config_index") {
+        Some(Value::U64(index)) => *index as usize,
+        _ => {
+            println!("entry {}: plan key has no config index", info.fingerprint);
+            return true;
+        }
+    };
+    let stored_salt = match record.raw("salt") {
+        Some(Value::Str(salt)) => salt.clone(),
+        _ => "?".to_string(),
+    };
+    let stored_cells: Vec<String> = match record.raw("cells") {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .filter_map(|item| match item {
+                Value::Str(hex) => Some(hex.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => {
+            println!("entry {}: plan key has no cell list", info.fingerprint);
+            return true;
+        }
+    };
+
+    println!("entry {} (plan {kind:?}, config {config_index})", info.fingerprint);
+    let current_plans = plan.plan_fingerprints();
+    let Some(Some(current_fp)) = current_plans.get(config_index) else {
+        println!("  config {config_index} is outside the current plan's config axis");
+        return true;
+    };
+    if *current_fp == info.fingerprint {
+        println!("  current: this is exactly the entry today's run would look up");
+        return false;
+    }
+    if stored_salt != effective_salt() {
+        println!("  salt changed: recorded {stored_salt:?}, current {:?}", effective_salt());
+    }
+    let current_cells = plan.plan_cell_fingerprints();
+    let Some(Some(now_cells)) = current_cells.get(config_index) else {
+        println!("  config {config_index} holds uncacheable cells in the current plan");
+        return true;
+    };
+    if stored_cells.len() != now_cells.len() {
+        println!(
+            "  grid shape changed: {} recorded cells vs {} current \
+             (different --plan/--lines/--seed axes?)",
+            stored_cells.len(),
+            now_cells.len()
+        );
+        return true;
+    }
+    let labels = plan.cell_labels();
+    let mut changed = 0usize;
+    for (index, (recorded, now)) in stored_cells.iter().zip(now_cells).enumerate() {
+        if *recorded != now.to_hex() {
+            changed += 1;
+            let label = labels.get(index).map(String::as_str).unwrap_or("?");
+            println!("  changed cell {index}: {label}");
+            println!("    recorded {recorded}");
+            println!("    current  {}", now.to_hex());
+        }
+    }
+    if changed == 0 {
+        println!(
+            "  every cell fingerprint matches; the miss is in plan metadata \
+             (seed axis, lines per workload, or salt)"
+        );
+    } else {
+        println!("  {changed} of {} cells changed", stored_cells.len());
+    }
+    true
 }
 
 /// Entries whose fingerprint hex starts with `prefix`.

@@ -232,6 +232,29 @@ pub fn standard_plan(lines: usize, seed: u64) -> ExperimentPlan {
     plan
 }
 
+/// The plan shapes the multi-process runner (`wlcrc-gridrun`) and `storectl
+/// inspect --why` share, so a stored plan entry can be diffed against the
+/// exact grid the runner would execute today: the perfsnap plan-suite grid
+/// (2 workloads × 8 schemes) and the full Figure 8–10 grid (`"fig08"`,
+/// 12 workloads × 8 schemes). `None` for an unknown kind.
+pub fn runner_plan(kind: &str, lines: usize, seed: u64) -> Option<ExperimentPlan> {
+    match kind {
+        "fig08" => Some(standard_plan(lines, seed)),
+        "perfsnap" => {
+            let mut plan = ExperimentPlan::new()
+                .seed(seed)
+                .lines_per_workload(lines)
+                .workload(Benchmark::Gcc.profile())
+                .workload(Benchmark::Lbm.profile());
+            for (id, factory) in standard_factories() {
+                plan = plan.scheme_factory(id.label(), factory);
+            }
+            Some(plan)
+        }
+        _ => None,
+    }
+}
+
 /// Figures 11, 12 and 13: WLC+4cosets vs WLC+3cosets vs WLCRC across the
 /// supported granularities (8, 16, 32, 64 bits) on the biased workloads.
 pub fn figure11_12_13(lines: usize, seed: u64) -> Vec<EnergyBreakdownRow> {

@@ -50,6 +50,12 @@ pub mod layout;
 pub mod schemes;
 pub mod wlc_coset;
 
+/// Deterministic fault injection (re-exported from [`wlcrc_faults`]): named
+/// fault sites threaded through the store, gridrun and serve paths, toggled
+/// via `WLCRC_FAULTS` and inert otherwise. See the crate docs for the spec
+/// grammar.
+pub use wlcrc_faults as faults;
+
 pub use coc_coset::CocCosetCodec;
 pub use layout::WordLayout;
 pub use wlc_coset::{CosetPolicy, MultiObjectiveConfig, WlcCosetCodec};

@@ -863,6 +863,14 @@ impl ExperimentPlan {
     /// so the worst case of any takeover race is a duplicated computation
     /// of identical bytes.
     ///
+    /// Claim races back off instead of spinning: a cell whose claim is held
+    /// by a live worker is requeued with a bounded exponential delay
+    /// ([`claim_backoff`]), and transient claim-machinery errors are retried
+    /// a few times before coordination degrades to duplicate work. Chaos
+    /// tests can kill a worker *while it holds a claim* through the
+    /// [`FAULT_CLAIM_CRASH`] fault site, which is exactly the `kill -9` the
+    /// stale/dead-owner takeover exists for.
+    ///
     /// Without a writable store there is nothing to coordinate through:
     /// the plan falls back to a plain [`ExperimentPlan::run_grid`] and the
     /// report only counts computed cells.
@@ -908,8 +916,13 @@ impl ExperimentPlan {
             return (results, report);
         }
 
-        let pending: Mutex<VecDeque<usize>> = Mutex::new(
-            (0..cell_count).filter(|&cell| plan_hits[cell / cells_per_config].is_none()).collect(),
+        // Each queue item carries its retry count so requeued cells (claim
+        // held elsewhere) back off progressively instead of spinning.
+        let pending: Mutex<VecDeque<(usize, u32)>> = Mutex::new(
+            (0..cell_count)
+                .filter(|&cell| plan_hits[cell / cells_per_config].is_none())
+                .map(|cell| (cell, 0))
+                .collect(),
         );
         let slots: Mutex<Vec<Option<SchemeStats>>> =
             Mutex::new((0..cell_count).map(|_| None).collect());
@@ -919,7 +932,9 @@ impl ExperimentPlan {
 
         let worker = || {
             loop {
-                let Some(cell) = pending.lock().expect("queue mutex poisoned").pop_front() else {
+                let Some((cell, attempts)) =
+                    pending.lock().expect("queue mutex poisoned").pop_front()
+                else {
                     break;
                 };
                 let Some(key) = &keys[cell] else {
@@ -938,7 +953,18 @@ impl ExperimentPlan {
                     continue;
                 }
                 let fp = Fingerprint::of_value(&key.to_value());
-                let took_over = match store.try_claim(fp) {
+                // Transient claim-machinery errors get a short bounded
+                // retry before coordination degrades to duplicate work —
+                // an NFS hiccup should not turn a fleet into N full runs.
+                let mut claim = store.try_claim(fp);
+                for retry in 0..CLAIM_RETRY_ATTEMPTS {
+                    if claim.is_ok() {
+                        break;
+                    }
+                    std::thread::sleep(claim_backoff(retry));
+                    claim = store.try_claim(fp);
+                }
+                let took_over = match claim {
                     Ok(ClaimOutcome::Acquired) => false,
                     Ok(ClaimOutcome::Held(holder)) => {
                         let stale = match &holder {
@@ -950,19 +976,35 @@ impl ExperimentPlan {
                         };
                         if !stale || store.takeover_claim(fp).is_err() {
                             // Someone live is computing this cell: requeue
-                            // and let the loop serve it from the store once
-                            // the holder's entry lands.
-                            pending.lock().expect("queue mutex poisoned").push_back(cell);
-                            std::thread::sleep(Duration::from_millis(2));
+                            // with a progressively longer backoff and let
+                            // the loop serve it from the store once the
+                            // holder's entry lands.
+                            pending
+                                .lock()
+                                .expect("queue mutex poisoned")
+                                .push_back((cell, attempts.saturating_add(1)));
+                            std::thread::sleep(claim_backoff(attempts));
                             continue;
                         }
                         true
                     }
-                    // Claim machinery unavailable (e.g. claims dir not
-                    // creatable): coordination degrades to duplicate work,
-                    // never to a missing result.
+                    // Claim machinery unavailable after retries (e.g.
+                    // claims dir not creatable): coordination degrades to
+                    // duplicate work, never to a missing result.
                     Err(_) => false,
                 };
+                // Chaos hook: die *while holding the claim* — the injected
+                // equivalent of `kill -9` mid-compute. The marker is left
+                // behind for surviving or later workers to judge stale
+                // (dead same-host pid) and take over. Inert without an
+                // explicit WLCRC_FAULTS plan.
+                if wlcrc_faults::should_fire(FAULT_CLAIM_CRASH) {
+                    eprintln!(
+                        "wlcrc_faults: injected worker crash holding claim {} (cell {cell})",
+                        fp.to_hex()
+                    );
+                    std::process::exit(CLAIM_CRASH_EXIT_CODE);
+                }
                 // Double-check under the claim: the previous holder may have
                 // finished (entry written, claim released) between our lookup
                 // above and the claim acquisition, and its entry must win.
@@ -1061,6 +1103,36 @@ impl ExperimentPlan {
             .collect()
     }
 
+    /// The per-cell store fingerprints behind each config's plan key, in
+    /// recorded order (`None` for configs containing uncacheable cells).
+    /// This is the list a plan *entry* records under its `cells` field, so
+    /// diffing it against a stored entry names exactly which cells moved —
+    /// the `storectl why` plan-cache-miss post-mortem.
+    pub fn plan_cell_fingerprints(&self) -> Vec<Option<Vec<Fingerprint>>> {
+        let cell_count =
+            self.configs.len() * self.workloads.len() * self.schemes.len() * self.seeds.len();
+        let keys = self.cell_keys(cell_count, self.max_intensity());
+        (0..self.configs.len())
+            .map(|config| self.plan_key(config, &keys).map(|key| key.cells))
+            .collect()
+    }
+
+    /// Human-readable labels for one config's cell positions, in the same
+    /// order as a plan key's recorded `cells` list (workload-major, then
+    /// scheme, then seed — the grid order everywhere in the engine).
+    pub fn cell_labels(&self) -> Vec<String> {
+        let mut out =
+            Vec::with_capacity(self.workloads.len() * self.schemes.len() * self.seeds.len());
+        for workload in &self.workloads {
+            for (label, _) in &self.schemes {
+                for seed in &self.seeds {
+                    out.push(format!("{} / {} / seed {}", workload.name(), label, seed));
+                }
+            }
+        }
+        out
+    }
+
     /// Runs one intra-trace shard of one grid cell, returning the per-bank
     /// partial statistics of the banks this shard owns.
     #[allow(clippy::too_many_arguments)]
@@ -1153,6 +1225,27 @@ pub struct ClaimedRunReport {
     pub taken_over: usize,
     /// Configs served whole from plan-level entries.
     pub plan_hits: usize,
+}
+
+/// Fault site: a claimed-grid worker dies while still holding a claim
+/// marker — the injected equivalent of `kill -9` mid-compute. Exercises the
+/// stale/dead-owner takeover in [`ExperimentPlan::run_grid_claimed`]. See
+/// [`wlcrc_faults`] for how sites are toggled.
+pub const FAULT_CLAIM_CRASH: &str = "grid.claim.crash";
+
+/// Exit code of a worker killed through [`FAULT_CLAIM_CRASH`], so chaos
+/// harnesses can tell an injected crash from a genuine failure.
+pub const CLAIM_CRASH_EXIT_CODE: i32 = 86;
+
+/// How many times the claim-create call itself is retried on I/O errors
+/// before coordination degrades to duplicate work.
+const CLAIM_RETRY_ATTEMPTS: u32 = 3;
+
+/// Bounded exponential claim backoff: 2 ms doubling per attempt, capped at
+/// 128 ms. The cap keeps a worker responsive to the holder's entry landing;
+/// the growth keeps a long wait from spinning the filesystem.
+fn claim_backoff(attempt: u32) -> Duration {
+    Duration::from_millis((2u64 << attempt.min(6)).min(128))
 }
 
 /// Age in seconds of a claim-marker file, from its mtime; `None` when the

@@ -3,7 +3,8 @@
 //! ```text
 //! wlcrc-serve [--listen ADDR] [--unix PATH] [--store DIR]
 //!             [--workers N] [--lane-capacity N] [--session-queue-cap N]
-//!             [--degraded-threshold N]
+//!             [--degraded-threshold N] [--max-connections N]
+//!             [--request-deadline-ms N]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:7711`; use port 0 for an
@@ -39,11 +40,18 @@ fn main() -> Result<(), ServeError> {
                 config.degraded_threshold =
                     parse(&value("--degraded-threshold")?, "--degraded-threshold")?
             }
+            "--max-connections" => {
+                config.max_connections = parse(&value("--max-connections")?, "--max-connections")?
+            }
+            "--request-deadline-ms" => {
+                let millis = parse(&value("--request-deadline-ms")?, "--request-deadline-ms")?;
+                config.request_deadline = Some(std::time::Duration::from_millis(millis as u64));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: wlcrc-serve [--listen ADDR] [--unix PATH] [--store DIR] \
                      [--workers N] [--lane-capacity N] [--session-queue-cap N] \
-                     [--degraded-threshold N]"
+                     [--degraded-threshold N] [--max-connections N] [--request-deadline-ms N]"
                 );
                 return Ok(());
             }
@@ -64,8 +72,10 @@ fn main() -> Result<(), ServeError> {
         }
         None => {
             let running = server.serve_tcp(&listen)?;
-            let addr = running.local_addr().expect("tcp server has an address");
-            println!("wlcrc-serve listening on {addr}");
+            match running.local_addr() {
+                Some(addr) => println!("wlcrc-serve listening on {addr}"),
+                None => println!("wlcrc-serve listening on {listen}"),
+            }
             running
         }
     };

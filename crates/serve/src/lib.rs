@@ -25,8 +25,8 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ServeClient, WriteReport};
+pub use client::{RetryClient, RetryPolicy, ServeClient, WriteReport, FAULT_CLIENT_FLAKY};
 pub use error::ServeError;
 pub use metrics::scrape_value;
 pub use protocol::{Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
-pub use server::{RunningServer, Server, ServerConfig};
+pub use server::{RunningServer, Server, ServerConfig, FAULT_REQUEST_SLOW};

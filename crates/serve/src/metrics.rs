@@ -25,6 +25,10 @@ pub struct ServeCounters {
     pub busy_responses_total: AtomicU64,
     /// Sessions that entered degraded mode (cumulative).
     pub degraded_entered_total: AtomicU64,
+    /// Requests whose handling overran the configured deadline.
+    pub deadline_misses_total: AtomicU64,
+    /// Connections refused at the accept loop because the cap was reached.
+    pub connections_rejected_total: AtomicU64,
     /// Result-store hits at session close.
     pub store_hits_total: AtomicU64,
     /// Result-store misses at session close.
@@ -40,6 +44,8 @@ impl Default for ServeCounters {
             writes_simulated_total: AtomicU64::new(0),
             busy_responses_total: AtomicU64::new(0),
             degraded_entered_total: AtomicU64::new(0),
+            deadline_misses_total: AtomicU64::new(0),
+            connections_rejected_total: AtomicU64::new(0),
             store_hits_total: AtomicU64::new(0),
             store_misses_total: AtomicU64::new(0),
         }
@@ -92,11 +98,13 @@ pub struct SessionSample {
     pub degraded: bool,
 }
 
-/// Renders the scrape body from the counters plus per-session samples.
+/// Renders the scrape body from the counters plus per-session samples and
+/// the live connection count.
 pub fn render(
     counters: &ServeCounters,
     sessions: &[SessionSample],
     lane_capacity: usize,
+    connections_active: usize,
 ) -> String {
     let mut out = String::with_capacity(1024);
     let counter = |out: &mut String, name: &str, value: u64| {
@@ -136,6 +144,20 @@ pub fn render(
         "wlcrc_serve_degraded_entered_total",
         counters.degraded_entered_total.load(Ordering::Relaxed),
     );
+    counter(
+        &mut out,
+        "wlcrc_serve_deadline_misses_total",
+        counters.deadline_misses_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "wlcrc_serve_connections_rejected_total",
+        counters.connections_rejected_total.load(Ordering::Relaxed),
+    );
+    out.push_str(&format!(
+        "# TYPE wlcrc_serve_connections_active gauge\n\
+         wlcrc_serve_connections_active {connections_active}\n"
+    ));
     out.push_str(&format!(
         "# TYPE wlcrc_serve_lane_capacity gauge\nwlcrc_serve_lane_capacity {lane_capacity}\n"
     ));
@@ -207,7 +229,7 @@ mod tests {
             write_imbalance: 1.5,
             degraded: true,
         }];
-        let text = render(&counters, &sessions, 256);
+        let text = render(&counters, &sessions, 256, 3);
         for name in [
             "wlcrc_serve_uptime_seconds",
             "wlcrc_serve_sessions 1",
@@ -216,6 +238,9 @@ mod tests {
             "wlcrc_serve_writes_simulated_total 42",
             "wlcrc_serve_writes_per_sec",
             "wlcrc_serve_busy_responses_total",
+            "wlcrc_serve_deadline_misses_total",
+            "wlcrc_serve_connections_rejected_total",
+            "wlcrc_serve_connections_active 3",
             "wlcrc_serve_lane_capacity 256",
             "wlcrc_serve_store_hit_rate",
             "wlcrc_serve_degraded_sessions 1",
@@ -231,7 +256,7 @@ mod tests {
     fn scrape_value_reads_back_counters() {
         let counters = ServeCounters::default();
         counters.writes_simulated_total.store(9, Ordering::Relaxed);
-        let text = render(&counters, &[], 64);
+        let text = render(&counters, &[], 64, 0);
         assert_eq!(scrape_value(&text, "wlcrc_serve_writes_simulated_total"), Some(9.0));
         assert_eq!(scrape_value(&text, "wlcrc_serve_lane_capacity"), Some(64.0));
         assert_eq!(scrape_value(&text, "no_such_metric"), None);

@@ -35,16 +35,22 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wlcrc::schemes::SchemeId;
 use wlcrc_memsim::cache::{codec_fingerprint, effective_salt};
 use wlcrc_memsim::{SimulationOptions, Simulator, SimulatorSession};
 use wlcrc_pcm::config::PcmConfig;
 use wlcrc_store::{ResultStore, StableHasher};
 use wlcrc_trace::WriteRecord;
+
+/// Fault site that stalls request handling server-side (`wlcrc_faults`),
+/// long enough to overrun any configured [`ServerConfig::request_deadline`]
+/// — the chaos tests' way of exercising the deadline-miss → degraded path
+/// deterministically.
+pub const FAULT_REQUEST_SLOW: &str = "serve.request.slow";
 
 /// Tuning knobs of a server instance.
 #[derive(Debug, Clone)]
@@ -65,6 +71,16 @@ pub struct ServerConfig {
     /// Records a worker drains per session visit before re-queueing it, so
     /// one deep session cannot monopolise a session lock.
     pub drain_batch: usize,
+    /// Bound on concurrently served connections. A connect past the cap is
+    /// answered with a single `Busy { accepted: 0 }` frame and closed —
+    /// fail-closed backpressure instead of an unbounded handler-thread herd.
+    pub max_connections: usize,
+    /// Soft per-request time budget. A request whose handling overruns it
+    /// still completes and answers normally, but the miss is counted and the
+    /// session it touched is pushed into degraded mode (shedding integrity
+    /// verification and disturbance sampling) so the server catches back up.
+    /// `None` disables deadline accounting.
+    pub request_deadline: Option<Duration>,
     /// Optional persistent result store consulted/filled at session close.
     pub store: Option<PathBuf>,
 }
@@ -77,6 +93,8 @@ impl Default for ServerConfig {
             degraded_threshold: 3072,
             workers: 2,
             drain_batch: 1024,
+            max_connections: 256,
+            request_deadline: None,
             store: None,
         }
     }
@@ -112,7 +130,18 @@ struct Shared {
     dirty: Mutex<VecDeque<u64>>,
     dirty_wake: Condvar,
     shutdown: AtomicBool,
+    /// Live connection handler count, governing the accept-loop cap.
+    connections: AtomicUsize,
     store: Option<ResultStore>,
+}
+
+/// Locks `mutex`, recovering the data if a previous holder panicked. Every
+/// structure guarded here stays structurally valid across a panic — the
+/// worst case is a session whose `backlog` over-counts records a crashed
+/// drain already popped, which only delays its `Busy` edge — so one
+/// panicking handler thread must not poison-cascade the whole server.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A configured-but-not-yet-listening server.
@@ -143,6 +172,7 @@ impl Server {
                 dirty: Mutex::new(VecDeque::new()),
                 dirty_wake: Condvar::new(),
                 shutdown: AtomicBool::new(false),
+                connections: AtomicUsize::new(0),
                 store,
                 config,
             }),
@@ -212,7 +242,7 @@ fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
 fn worker_loop(shared: &Shared) {
     loop {
         let id = {
-            let mut dirty = shared.dirty.lock().expect("dirty queue poisoned");
+            let mut dirty = lock_recover(&shared.dirty);
             loop {
                 if let Some(id) = dirty.pop_front() {
                     break id;
@@ -220,16 +250,15 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                let (guard, _) = shared
-                    .dirty_wake
-                    .wait_timeout(dirty, Duration::from_millis(50))
-                    .expect("dirty queue poisoned");
-                dirty = guard;
+                dirty = match shared.dirty_wake.wait_timeout(dirty, Duration::from_millis(50)) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
         };
-        let slot = shared.sessions.lock().expect("session table poisoned").get(&id).cloned();
+        let slot = lock_recover(&shared.sessions).get(&id).cloned();
         let Some(slot) = slot else { continue };
-        let mut inner = slot.inner.lock().expect("session poisoned");
+        let mut inner = lock_recover(&slot.inner);
         let drained = drain(&mut inner, shared, shared.config.drain_batch);
         let still_dirty = inner.backlog > 0;
         drop(inner);
@@ -272,7 +301,7 @@ fn drain(inner: &mut SessionInner, shared: &Shared, limit: usize) -> usize {
 }
 
 fn mark_dirty(shared: &Shared, id: u64) {
-    let mut dirty = shared.dirty.lock().expect("dirty queue poisoned");
+    let mut dirty = lock_recover(&shared.dirty);
     if !dirty.contains(&id) {
         dirty.push_back(id);
     }
@@ -320,9 +349,24 @@ impl Acceptor for UnixListener {
 fn accept_loop(shared: Arc<Shared>, listener: impl Acceptor) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.poll_accept() {
-            Ok(Some(stream)) => {
+            Ok(Some(mut stream)) => {
+                // Claim a connection slot before spawning; losing the race
+                // (or being past the cap) answers one `Busy` frame and
+                // closes, so an overloaded server fails closed instead of
+                // accumulating handler threads without bound.
+                let active = shared.connections.fetch_add(1, Ordering::SeqCst);
+                if active >= shared.config.max_connections {
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    shared.counters.connections_rejected_total.fetch_add(1, Ordering::Relaxed);
+                    let refusal = Response::Busy { accepted: 0, queued: active as u64 };
+                    let _ = write_frame(&mut stream, &refusal.to_value());
+                    continue;
+                }
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || handle_connection(&shared, stream));
+                std::thread::spawn(move || {
+                    handle_connection(&shared, stream);
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                });
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(2)),
             Err(_) => break,
@@ -354,9 +398,51 @@ fn handle_connection(shared: &Shared, mut stream: impl Read + Write) {
 }
 
 fn dispatch(shared: &Shared, request: Request) -> Response {
-    match handle(shared, request) {
+    let session = request_session(&request);
+    let started = Instant::now();
+    if wlcrc_faults::should_fire(FAULT_REQUEST_SLOW) {
+        // Oversleep any configured deadline so an injected stall reliably
+        // lands on the miss path whatever the budget.
+        let deadline = shared.config.request_deadline.unwrap_or(Duration::from_millis(15));
+        std::thread::sleep(deadline + Duration::from_millis(5));
+    }
+    let response = match handle(shared, request) {
         Ok(response) => response,
         Err(err) => Response::Error { message: err.to_string() },
+    };
+    if let Some(deadline) = shared.config.request_deadline {
+        if started.elapsed() > deadline {
+            shared.counters.deadline_misses_total.fetch_add(1, Ordering::Relaxed);
+            if let Some(id) = session {
+                degrade_session(shared, id);
+            }
+        }
+    }
+    response
+}
+
+/// The session a request operates on, if any — the one a deadline miss on
+/// that request pushes into degraded mode.
+fn request_session(request: &Request) -> Option<u64> {
+    match request {
+        Request::Write { session, .. }
+        | Request::Flush { session }
+        | Request::Stats { session }
+        | Request::Close { session } => Some(*session),
+        Request::Open { .. } | Request::Metrics | Request::Shutdown => None,
+    }
+}
+
+/// Marks `id` degraded (idempotently) because serving it overran the
+/// request deadline: shedding verification and disturbance sampling lets an
+/// overloaded server drain faster, at the accuracy cost documented on
+/// [`SimulatorSession::set_degraded`].
+fn degrade_session(shared: &Shared, id: u64) {
+    let Some(slot) = lock_recover(&shared.sessions).get(&id).cloned() else { return };
+    let mut inner = lock_recover(&slot.inner);
+    if !inner.sim.degraded() {
+        inner.sim.set_degraded(true);
+        shared.counters.degraded_entered_total.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -371,13 +457,13 @@ fn handle(shared: &Shared, request: Request) -> Result<Response, ServeError> {
         Request::Write { session, records } => write_records(shared, session, &records),
         Request::Flush { session } => {
             let slot = lookup(shared, session)?;
-            let mut inner = slot.inner.lock().expect("session poisoned");
+            let mut inner = lock_recover(&slot.inner);
             drain(&mut inner, shared, usize::MAX);
             Ok(Response::Flushed { writes: inner.sim.writes() })
         }
         Request::Stats { session } => {
             let slot = lookup(shared, session)?;
-            let mut inner = slot.inner.lock().expect("session poisoned");
+            let mut inner = lock_recover(&slot.inner);
             drain(&mut inner, shared, usize::MAX);
             Ok(Response::Stats { stats: inner.sim.stats(), degraded: inner.sim.degraded() })
         }
@@ -392,13 +478,7 @@ fn handle(shared: &Shared, request: Request) -> Result<Response, ServeError> {
 }
 
 fn lookup(shared: &Shared, id: u64) -> Result<Arc<SessionSlot>, ServeError> {
-    shared
-        .sessions
-        .lock()
-        .expect("session table poisoned")
-        .get(&id)
-        .cloned()
-        .ok_or(ServeError::UnknownSession(id))
+    lock_recover(&shared.sessions).get(&id).cloned().ok_or(ServeError::UnknownSession(id))
 }
 
 fn open_session(
@@ -432,7 +512,7 @@ fn open_session(
             options,
         }),
     });
-    shared.sessions.lock().expect("session table poisoned").insert(id, slot);
+    lock_recover(&shared.sessions).insert(id, slot);
     Ok(Response::Opened { session: id })
 }
 
@@ -442,7 +522,7 @@ fn write_records(
     records: &[WriteRecord],
 ) -> Result<Response, ServeError> {
     let slot = lookup(shared, session)?;
-    let mut inner = slot.inner.lock().expect("session poisoned");
+    let mut inner = lock_recover(&slot.inner);
     let config = &shared.config;
     let mut accepted = 0u64;
     let mut busy = false;
@@ -482,10 +562,10 @@ fn write_records(
 
 fn close_session(shared: &Shared, session: u64) -> Result<Response, ServeError> {
     let slot = {
-        let mut sessions = shared.sessions.lock().expect("session table poisoned");
+        let mut sessions = lock_recover(&shared.sessions);
         sessions.remove(&session).ok_or(ServeError::UnknownSession(session))?
     };
-    let mut inner = slot.inner.lock().expect("session poisoned");
+    let mut inner = lock_recover(&slot.inner);
     drain(&mut inner, shared, usize::MAX);
     let stats = inner.sim.stats();
     let store_hit = shared.store.as_ref().map(|store| {
@@ -525,12 +605,11 @@ fn session_key(inner: &SessionInner) -> Value {
 }
 
 fn metrics_text(shared: &Shared) -> String {
-    let slots: Vec<Arc<SessionSlot>> =
-        shared.sessions.lock().expect("session table poisoned").values().cloned().collect();
+    let slots: Vec<Arc<SessionSlot>> = lock_recover(&shared.sessions).values().cloned().collect();
     let mut samples: Vec<SessionSample> = slots
         .iter()
         .map(|slot| {
-            let inner = slot.inner.lock().expect("session poisoned");
+            let inner = lock_recover(&slot.inner);
             let stats = inner.sim.stats();
             SessionSample {
                 session: slot.id,
@@ -543,5 +622,6 @@ fn metrics_text(shared: &Shared) -> String {
         })
         .collect();
     samples.sort_by_key(|sample| sample.session);
-    render(&shared.counters, &samples, shared.config.lane_capacity)
+    let connections = shared.connections.load(Ordering::SeqCst);
+    render(&shared.counters, &samples, shared.config.lane_capacity, connections)
 }

@@ -1,0 +1,165 @@
+//! Resilience of the serve path under injected faults: the connection cap
+//! fails closed with `Busy`, deadline misses push sessions into degraded
+//! mode, and a flaky client absorbed by [`RetryClient`] still produces
+//! byte-identical statistics.
+//!
+//! Lives in its own integration-test binary because the `wlcrc_faults` plan
+//! is process-global; every test here takes the lock (even fault-free ones,
+//! so a concurrently configured plan cannot leak into them).
+
+use std::sync::Mutex;
+use std::time::Duration;
+use wlcrc::schemes::SchemeId;
+use wlcrc_memsim::{SimulationOptions, Simulator};
+use wlcrc_pcm::config::PcmConfig;
+use wlcrc_serve::{
+    scrape_value, RetryClient, RetryPolicy, ServeClient, Server, ServerConfig, FAULT_CLIENT_FLAKY,
+    FAULT_REQUEST_SLOW,
+};
+use wlcrc_trace::{Benchmark, TraceStream, WriteRecord};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive_faults() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn records_for(benchmark: Benchmark, seed: u64, count: usize) -> Vec<WriteRecord> {
+    TraceStream::new(benchmark.profile(), seed, count).collect()
+}
+
+fn quick_policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(20),
+        seed: 0xF00D,
+    }
+}
+
+#[test]
+fn connection_cap_refuses_with_busy_then_recovers() {
+    let _guard = exclusive_faults();
+    wlcrc_faults::clear();
+    let server = Server::new(ServerConfig { max_connections: 1, ..ServerConfig::default() });
+    let running = server.serve_tcp("127.0.0.1:0").expect("bind");
+    let addr = running.local_addr().expect("tcp addr");
+
+    // The first connection owns the only slot.
+    let mut holder = ServeClient::connect(addr).expect("connect");
+    holder.metrics_text().expect("holder is live");
+
+    // A second client is refused with a single `Busy` frame; with one
+    // attempt the refusal surfaces instead of being retried away.
+    let mut refused = RetryClient::connect(addr.to_string(), quick_policy(1)).expect("tcp connect");
+    assert!(refused.metrics_text().is_err(), "past the cap must not be served");
+
+    let text = holder.metrics_text().expect("metrics");
+    assert!(scrape_value(&text, "wlcrc_serve_connections_rejected_total").unwrap() >= 1.0);
+    assert_eq!(scrape_value(&text, "wlcrc_serve_connections_active"), Some(1.0));
+
+    // Once the slot frees up, a patient client's backoff-and-reconnect loop
+    // gets through.
+    drop(holder);
+    let mut patient = RetryClient::connect(addr.to_string(), quick_policy(10)).expect("connect");
+    let text = patient.metrics_text().expect("retries outlast the freed slot");
+    assert_eq!(scrape_value(&text, "wlcrc_serve_connections_active"), Some(1.0));
+
+    patient.shutdown().expect("shutdown");
+    running.join();
+}
+
+#[test]
+fn deadline_misses_degrade_the_session_but_keep_energy_exact() {
+    let _guard = exclusive_faults();
+    // Dispatch order on this connection: 1 = Open, 2 = Write (stalled by
+    // the injected fault -> deadline miss -> session degraded), 3+ = the
+    // rest. Workers are off so every record drains inline, after the
+    // degrade, making the shed work deterministic.
+    wlcrc_faults::configure(&format!("seed=5;{FAULT_REQUEST_SLOW}=@2")).unwrap();
+    let server = Server::new(ServerConfig {
+        workers: 0,
+        request_deadline: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    });
+    let running = server.serve_tcp("127.0.0.1:0").expect("bind");
+    let addr = running.local_addr().expect("tcp addr");
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let options = SimulationOptions { seed: 3, ..SimulationOptions::default() };
+    let records = records_for(Benchmark::Gcc, 0xD1E5, 50);
+    let session = client
+        .open(SchemeId::Baseline.label(), "gcc", PcmConfig::table_ii(), options.clone())
+        .expect("open");
+    let report = client.write_all(session, &records).expect("write_all");
+    assert_eq!(report.written, records.len() as u64);
+    assert!(wlcrc_faults::fired_count(FAULT_REQUEST_SLOW) >= 1, "the stall was injected");
+    wlcrc_faults::clear();
+
+    // Stats drains the whole backlog inline — while still degraded — and
+    // degraded mode exits once the backlog hits zero, so the snapshot
+    // reports a recovered session whose drained records were shed.
+    let (served, degraded) = client.stats(session).expect("stats");
+    assert!(!degraded, "a fully drained session must have recovered");
+    let text = client.metrics_text().expect("metrics");
+    assert!(scrape_value(&text, "wlcrc_serve_deadline_misses_total").unwrap() >= 1.0);
+    assert!(scrape_value(&text, "wlcrc_serve_degraded_entered_total").unwrap() >= 1.0);
+
+    // Degraded mode sheds disturbance accounting but never perturbs the
+    // RNG-free energy/endurance numbers.
+    let direct = Simulator::with_config(PcmConfig::table_ii()).with_options(options).run(
+        SchemeId::Baseline.build().as_ref(),
+        TraceStream::new(Benchmark::Gcc.profile(), 0xD1E5, records.len()),
+    );
+    assert_eq!(served.writes, direct.writes);
+    assert_eq!(served.data_energy_pj.to_bits(), direct.data_energy_pj.to_bits());
+    assert_eq!(served.aux_energy_pj.to_bits(), direct.aux_energy_pj.to_bits());
+    assert_eq!(served.data_cells_updated, direct.data_cells_updated);
+    assert_eq!(served.expected_disturb_errors, 0.0, "disturbance accounting was shed");
+
+    client.shutdown().expect("shutdown");
+    running.join();
+}
+
+#[test]
+fn flaky_client_retries_are_byte_identical_to_a_clean_run() {
+    let _guard = exclusive_faults();
+    // Every fifth-ish client call fails before sending; the retry loop must
+    // absorb all of them without changing a single served bit.
+    wlcrc_faults::configure(&format!("seed=11;{FAULT_CLIENT_FLAKY}=0.2")).unwrap();
+    let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let running = server.serve_tcp("127.0.0.1:0").expect("bind");
+    let addr = running.local_addr().expect("tcp addr");
+
+    let options = SimulationOptions { seed: 9, ..SimulationOptions::default() };
+    let records = records_for(Benchmark::Mcf, 0xFA17, 200);
+    let mut client = RetryClient::connect(addr.to_string(), quick_policy(8)).expect("connect");
+    let session = client
+        .open(SchemeId::Wlcrc16.label(), "mcf", PcmConfig::table_ii(), options.clone())
+        .expect("open");
+    // Small chunks -> many calls -> many chances for the fault to fire.
+    for chunk in records.chunks(17) {
+        let report = client.write_all(session, chunk).expect("write_all");
+        assert_eq!(report.written, chunk.len() as u64, "no record may be dropped");
+    }
+    let (served, _) = client.stats(session).expect("stats");
+    let (closed, _) = client.close(session).expect("close");
+    let retries = client.retries();
+    wlcrc_faults::clear();
+    assert!(retries > 0, "the schedule must have injected at least one transient failure");
+
+    let direct = Simulator::with_config(PcmConfig::table_ii()).with_options(options).run(
+        SchemeId::Wlcrc16.build().as_ref(),
+        TraceStream::new(Benchmark::Mcf.profile(), 0xFA17, records.len()),
+    );
+    let mut served_cell = served;
+    served_cell.scheme = direct.scheme.clone();
+    assert_eq!(served_cell, direct, "flaky-client stats diverged from the clean run");
+    let mut closed_cell = closed;
+    closed_cell.scheme = direct.scheme.clone();
+    assert_eq!(closed_cell, direct, "close-time stats diverged");
+
+    let mut closer = ServeClient::connect(addr).expect("connect");
+    closer.shutdown().expect("shutdown");
+    running.join();
+}

@@ -89,6 +89,21 @@ const CLAIMS_DIR: &str = "claims";
 /// File extension of claim markers.
 const CLAIM_EXTENSION: &str = "claim";
 
+/// Subdirectory of the store root where corrupt entries are moved aside.
+/// Quarantined files keep their bytes (evidence for a post-mortem) but are
+/// out of the addressable namespace, so the next write of the same key
+/// recreates a clean entry instead of fighting the corpse.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Fault site: tear an entry write in half before the rename lands,
+/// simulating a non-atomic writer or a crash that still published a partial
+/// file under the final name. See [`wlcrc_faults`].
+pub const FAULT_TORN_WRITE: &str = "store.write.torn";
+
+/// Fault site: flip one byte of an entry after reading it from disk,
+/// simulating media corruption the checksum must catch. See [`wlcrc_faults`].
+pub const FAULT_READ_CORRUPT: &str = "store.read.corrupt";
+
 /// Why a store operation failed. Read-path problems are deliberately *not*
 /// errors at the [`ResultStore::get`] level — they surface as misses — but
 /// [`ResultStore::verify`] reports them per entry through this type.
@@ -193,6 +208,35 @@ pub struct VerifyReport {
     pub corrupt: Vec<(EntryInfo, StoreError)>,
 }
 
+/// Outcome of [`ResultStore::fsck`]: what the scan found and what the repair
+/// pass did about it.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Entries that validated end-to-end and were left in place.
+    pub valid: usize,
+    /// Corrupt entries moved into the quarantine directory, with the reason
+    /// each failed validation. Their keys re-derive on the next run.
+    pub quarantined: Vec<(EntryInfo, StoreError)>,
+    /// Journal lines dropped because they did not parse (torn appends,
+    /// garbage tails). Ordinary duplicate hit lines are not damage and are
+    /// not counted, even though the repairing rewrite collapses them too.
+    pub dropped_journal_lines: usize,
+    /// Stale or unreadable claim markers removed.
+    pub cleared_claims: Vec<Fingerprint>,
+    /// Leftover `.tmp-*` files from crashed writers removed.
+    pub removed_temp_files: usize,
+}
+
+impl FsckReport {
+    /// `true` when the scan found nothing to repair.
+    pub fn clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.dropped_journal_lines == 0
+            && self.cleared_claims.is_empty()
+            && self.removed_temp_files == 0
+    }
+}
+
 /// A persistent, content-addressed result store rooted at a directory.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
@@ -270,10 +314,24 @@ impl ResultStore {
     /// Looks up the payload cached under `key`. Any read problem — a missing
     /// entry, a truncated or tampered file, a foreign format, even a
     /// fingerprint collision — is a miss, never an error. A hit is appended
-    /// to the journal unless the store is read-only.
+    /// to the journal unless the store is read-only. A writable store
+    /// quarantines an entry that fails validation (see
+    /// [`ResultStore::quarantine_entry`]), so the next write of the same key
+    /// lands on a clean slot and repeat lookups stop re-parsing the corpse.
     pub fn get(&self, key: &Value) -> Option<Value> {
         let fingerprint = Fingerprint::of_value(key);
-        let entry = self.read_entry(fingerprint).ok()?;
+        let entry = match self.read_entry(fingerprint) {
+            Ok(entry) => entry,
+            Err(StoreError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {
+                return None;
+            }
+            Err(_) => {
+                if !self.readonly {
+                    let _ = self.quarantine_entry(fingerprint);
+                }
+                return None;
+            }
+        };
         if &entry.key != key {
             return None;
         }
@@ -308,6 +366,13 @@ impl ResultStore {
         );
         file_bytes.extend_from_slice(&payload_bytes);
         file_bytes.extend_from_slice(&Fingerprint::of_bytes(&payload_bytes).0.to_be_bytes());
+
+        // Chaos hook: publish only half the bytes under the final name, the
+        // damage a non-atomic writer (or a dying disk) would do. Readers must
+        // treat the result as a miss and `fsck` must repair it.
+        if wlcrc_faults::should_fire(FAULT_TORN_WRITE) {
+            file_bytes.truncate(file_bytes.len() / 2);
+        }
 
         let path = self.entry_path(fingerprint);
         let dir = path.parent().expect("entry path has a shard directory");
@@ -356,6 +421,16 @@ impl ResultStore {
             return out;
         };
         for shard in shards.flatten() {
+            // Only the 2-hex shard directories hold addressable entries;
+            // `claims/` and `quarantine/` live alongside them and must not
+            // be scanned as entries.
+            let is_shard = shard
+                .file_name()
+                .to_str()
+                .is_some_and(|name| name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit()));
+            if !is_shard {
+                continue;
+            }
             let Ok(files) = fs::read_dir(shard.path()) else {
                 continue;
             };
@@ -660,6 +735,166 @@ impl ResultStore {
         out.sort_by_key(|(fingerprint, _)| *fingerprint);
         out
     }
+
+    /// The path a quarantined entry for `fingerprint` would live at.
+    pub fn quarantine_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        self.root.join(QUARANTINE_DIR).join(format!("{}.{ENTRY_EXTENSION}", fingerprint.to_hex()))
+    }
+
+    /// Moves the entry stored under `fingerprint` into the quarantine
+    /// directory (atomic rename; an earlier quarantined corpse under the
+    /// same fingerprint is replaced). Returns whether an entry existed.
+    /// No-op in a read-only store.
+    pub fn quarantine_entry(&self, fingerprint: Fingerprint) -> Result<bool, StoreError> {
+        if self.readonly {
+            return Ok(false);
+        }
+        let to = self.quarantine_path(fingerprint);
+        fs::create_dir_all(to.parent().expect("quarantine path has a parent directory"))?;
+        match fs::rename(self.entry_path(fingerprint), &to) {
+            Ok(()) => Ok(true),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Lists the quarantined entries, sorted by fingerprint.
+    pub fn quarantined(&self) -> Vec<EntryInfo> {
+        let mut out = Vec::new();
+        let Ok(files) = fs::read_dir(self.root.join(QUARANTINE_DIR)) else {
+            return out;
+        };
+        for file in files.flatten() {
+            let path = file.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXTENSION) {
+                continue;
+            }
+            let Some(fingerprint) =
+                path.file_stem().and_then(|s| s.to_str()).and_then(Fingerprint::from_hex)
+            else {
+                continue;
+            };
+            let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+            out.push(EntryInfo { fingerprint, path, bytes });
+        }
+        out.sort_by_key(|info| info.fingerprint);
+        out
+    }
+
+    /// Scans and repairs the store in place:
+    ///
+    /// 1. every entry is validated end-to-end; corrupt ones are moved into
+    ///    `quarantine/` (the content-addressed key re-derives the result on
+    ///    the next run — `fsck` cannot recompute payloads itself);
+    /// 2. unparseable `hits.log` lines (torn appends) are dropped by
+    ///    rewriting the journal through compaction;
+    /// 3. claim markers whose holder is stale (per [`claim_is_stale`] with
+    ///    `stale_after_secs`) or whose contents are unreadable *and* old
+    ///    enough are removed;
+    /// 4. `.tmp-*` leftovers from crashed writers older than
+    ///    `stale_after_secs` are deleted.
+    ///
+    /// Requires a writable store; a read-only store returns an empty report
+    /// without touching anything.
+    pub fn fsck(&self, stale_after_secs: u64) -> Result<FsckReport, StoreError> {
+        let mut report = FsckReport::default();
+        if self.readonly {
+            return Ok(report);
+        }
+
+        let verified = self.verify();
+        report.valid = verified.valid.len();
+        for (info, err) in verified.corrupt {
+            if self.quarantine_entry(info.fingerprint)? {
+                report.quarantined.push((info, err));
+            }
+        }
+
+        report.dropped_journal_lines = self.malformed_journal_lines();
+        if report.dropped_journal_lines > 0 {
+            self.compact_hits_log()?;
+        }
+
+        for (fingerprint, info) in self.claims() {
+            let stale = match info {
+                Some(info) => claim_is_stale(&info, stale_after_secs),
+                // Unreadable markers: the holder may be mid-write, so only
+                // age them out on mtime like any other stale artifact.
+                None => self.marker_older_than(fingerprint, stale_after_secs),
+            };
+            if stale && self.release_claim(fingerprint)? {
+                report.cleared_claims.push(fingerprint);
+            }
+        }
+
+        report.removed_temp_files = self.remove_stale_temp_files(stale_after_secs);
+        Ok(report)
+    }
+
+    /// Journal lines whose first token is not a fingerprint — torn appends
+    /// and garbage tails that the journal readers silently skip.
+    fn malformed_journal_lines(&self) -> usize {
+        let Ok(journal) = fs::read_to_string(self.root.join(HITS_LOG)) else {
+            return 0;
+        };
+        journal
+            .lines()
+            .filter(|line| line.split_whitespace().next().and_then(Fingerprint::from_hex).is_none())
+            .count()
+    }
+
+    /// Whether the claim marker for `fingerprint` is older than
+    /// `stale_after_secs` by file mtime (used for markers whose contents do
+    /// not parse).
+    fn marker_older_than(&self, fingerprint: Fingerprint, stale_after_secs: u64) -> bool {
+        let Ok(meta) = fs::metadata(self.claim_path(fingerprint)) else {
+            return false;
+        };
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        unix_now().saturating_sub(mtime) > stale_after_secs
+    }
+
+    /// Removes `.tmp-*` files older than `stale_after_secs` from the root,
+    /// the shard directories and the claims directory. Recent temp files are
+    /// left alone — a live writer may still be about to rename one.
+    fn remove_stale_temp_files(&self, stale_after_secs: u64) -> usize {
+        let mut dirs = vec![self.root.clone(), self.root.join(CLAIMS_DIR)];
+        if let Ok(shards) = fs::read_dir(&self.root) {
+            dirs.extend(shards.flatten().map(|e| e.path()).filter(|p| p.is_dir()));
+        }
+        let mut removed = 0;
+        for dir in dirs {
+            let Ok(files) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                let is_tmp = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(".tmp-"));
+                if !is_tmp {
+                    continue;
+                }
+                let age = file
+                    .metadata()
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                    .map(|d| unix_now().saturating_sub(d.as_secs()))
+                    .unwrap_or(u64::MAX);
+                if age > stale_after_secs && fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
 }
 
 /// Whether a claim's holder should be presumed dead: the claim is older than
@@ -735,7 +970,11 @@ pub fn readonly_from_env() -> bool {
 /// Parses one entry file: magic, version, claimed fingerprint, length-checked
 /// payload, checksum, decode, and fingerprint-of-key revalidation.
 fn read_entry_file(path: &Path) -> Result<Entry, StoreError> {
-    let bytes = fs::read(path)?;
+    let mut bytes = fs::read(path)?;
+    // Chaos hook: media corruption after the read — the checksum (or one of
+    // the other header checks) must turn this into a typed error, never a
+    // wrong payload.
+    wlcrc_faults::corrupt_byte(FAULT_READ_CORRUPT, &mut bytes);
     let header_len = MAGIC.len() + 1 + 16 + 4;
     if bytes.len() < header_len + 16 {
         return Err(StoreError::Truncated);
