@@ -13,16 +13,22 @@
 //! ```
 //!
 //! The merged grid is dumped to **stdout** (one full-precision line per cell,
-//! shortest-roundtrip floats) and the claim report (computed / loaded /
-//! taken-over / plan-hits) to **stderr**, so CI can `diff` the dumps of
+//! shortest-roundtrip floats); **stderr** carries a progress report — a
+//! periodic line while the run is live plus a final claim report (cells
+//! computed / served / stolen / plan_hits), both fed by the engine's
+//! `wlcrc_grid_*` registry counters — so CI can `diff` the dumps of
 //! concurrent workers against each other and against `--direct` — the
 //! ordinary store-less in-process engine, the ground truth the claim
-//! protocol must reproduce exactly.
+//! protocol must reproduce exactly. Set `WLCRC_TRACE=<file>` to also record
+//! this worker's claim/compute spans as a Chrome trace.
 //!
 //! `--stale-secs` bounds how long a crashed worker's claim blocks progress
 //! (default 300 s; claims of dead same-host processes are taken over
 //! immediately). The store directory comes from `--store`, else
 //! `$WLCRC_STORE`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use wlcrc_bench::figures::runner_plan;
 use wlcrc_memsim::{ExperimentPlan, ExperimentResult, STORE_ENV};
@@ -114,9 +120,37 @@ fn main() {
         eprintln!("wlcrc-gridrun: no store directory (--store DIR or ${STORE_ENV})");
         std::process::exit(2);
     });
+
+    // Progress reporter: while workers run, print the engine's registry
+    // counters every couple of seconds. Short runs finish before the first
+    // tick and emit only the final report.
+    let running = Arc::new(AtomicBool::new(true));
+    let ticker = {
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let metrics = wlcrc_memsim::grid_metrics();
+            let mut ticks = 0u32;
+            while running.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                ticks += 1;
+                if ticks.is_multiple_of(8) {
+                    eprintln!(
+                        "wlcrc-gridrun: progress computed {} served {} stolen {} ({:.0}s)",
+                        metrics.computed.get(),
+                        metrics.served.get(),
+                        metrics.stolen.get(),
+                        started.elapsed().as_secs_f64()
+                    );
+                }
+            }
+        })
+    };
     let (results, report) = plan.store(&store).run_grid_claimed(stale_secs);
+    running.store(false, Ordering::Relaxed);
+    let _ = ticker.join();
     eprintln!(
-        "wlcrc-gridrun: computed {} loaded {} taken_over {} plan_hits {}",
+        "wlcrc-gridrun: cells computed {} served {} stolen {} plan_hits {}",
         report.computed, report.loaded, report.taken_over, report.plan_hits
     );
     dump(&results);

@@ -20,6 +20,10 @@
 //! storectl verify  [--store DIR]                validate every entry end-to-end
 //! storectl stats   [--store DIR] [--min-hits N] entry/hit counts; exit 1 if
 //!                                               fewer than N journaled hits
+//! storectl stats   [--store DIR] --latency      also probe-read every entry
+//!                                               and print the read/write
+//!                                               latency histograms (count,
+//!                                               p50/p99, max)
 //! ```
 //!
 //! The store directory comes from `--store`, else the `WLCRC_STORE`
@@ -38,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: storectl <list|inspect|fsck|evict|verify|stats> [--store DIR] \
          [<fingerprint-prefix>|--all|--max-bytes N|--older-than SECS] [--min-hits N] \
-         [--why [--plan perfsnap|fig08] [--lines N] [--seed N]] [--stale-secs N]"
+         [--latency] [--why [--plan perfsnap|fig08] [--lines N] [--seed N]] [--stale-secs N]"
     );
     std::process::exit(2);
 }
@@ -240,6 +244,17 @@ fn main() {
             println!("entries: {}", entries.len());
             println!("bytes: {bytes}");
             println!("hits: {hits}");
+            if has("--latency") {
+                // Metrics live in this process's registry, so measure by
+                // probe-reading every entry (full open + validate, the same
+                // path a cache lookup takes).
+                for info in &entries {
+                    let _ = store.read_entry(info.fingerprint);
+                }
+                let store_metrics = wlcrc_store::metrics();
+                print_latency("read", store_metrics.read_seconds);
+                print_latency("write", store_metrics.write_seconds);
+            }
             if let Some(raw) = flag("--min-hits") {
                 // A malformed threshold must fail loudly: silently skipping
                 // the assertion would permanently disable the CI gate.
@@ -435,4 +450,28 @@ fn summarise_workload(key: &Value) -> String {
 
 fn indent(text: &str) -> String {
     text.lines().map(|line| format!("  {line}\n")).collect()
+}
+
+/// One `stats --latency` line: `read latency: count=… p50=… p99=… max=…`.
+fn print_latency(kind: &str, histogram: &wlcrc_obs::Histogram) {
+    println!(
+        "{kind} latency: count={} p50={} p99={} max={}",
+        histogram.count(),
+        format_ns(histogram.quantile_ns(0.5)),
+        format_ns(histogram.quantile_ns(0.99)),
+        format_ns(histogram.max_ns()),
+    );
+}
+
+/// Human-scaled duration: nanoseconds up to 10µs, then µs / ms / s.
+fn format_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
 }

@@ -1,0 +1,82 @@
+//! `tracecheck` — validates a `WLCRC_TRACE` Chrome trace file.
+//!
+//! ```text
+//! tracecheck FILE [--require-span NAME]... [--quiet]
+//! ```
+//!
+//! Parses every event with the hand-rolled JSON checker in
+//! [`wlcrc_obs::check`], verifies the trace-event invariants (numeric
+//! ts/pid/tid, non-negative durations, matched `B`/`E` stacks per thread),
+//! and prints a per-span duration summary. `--require-span NAME` (repeatable)
+//! additionally fails the run unless at least one complete span with that
+//! name is present — CI uses this to assert that a traced `fig08` actually
+//! recorded its engine phases. Exit status: 0 valid, 1 invalid or missing a
+//! required span, 2 usage error.
+
+use wlcrc_obs::check::validate_trace;
+
+fn usage() -> ! {
+    eprintln!("usage: tracecheck FILE [--require-span NAME]... [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let mut required: Vec<&str> = Vec::new();
+    let mut file: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--require-span" => match iter.next() {
+                Some(name) => required.push(name),
+                None => usage(),
+            },
+            "--quiet" => {}
+            name if name.starts_with('-') => usage(),
+            name => {
+                if file.replace(name).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("tracecheck: cannot read {file}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let summary = match validate_trace(&text) {
+        Ok(summary) => summary,
+        Err(err) => {
+            eprintln!("tracecheck: {file}: INVALID: {err}");
+            std::process::exit(1);
+        }
+    };
+    if !quiet {
+        println!(
+            "{file}: {} events ({} complete spans, {} instants, {} begin/end pairs)",
+            summary.events, summary.complete_spans, summary.instants, summary.matched_pairs
+        );
+        for (name, dur_us) in &summary.dur_us_by_name {
+            println!("  {name}: {:.3}ms total", dur_us / 1000.0);
+        }
+    }
+    let mut missing = false;
+    for name in required {
+        if !summary.dur_us_by_name.iter().any(|(n, _)| n == name) {
+            eprintln!("tracecheck: {file}: required span {name:?} not present");
+            missing = true;
+        }
+    }
+    if missing {
+        std::process::exit(1);
+    }
+}

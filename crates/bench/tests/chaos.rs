@@ -54,18 +54,19 @@ fn run_worker(store: &PathBuf, faults: Option<&str>, extra: &[&str]) -> Output {
     command.output().expect("run gridrun worker")
 }
 
-/// The claim report a worker prints to stderr:
-/// (computed, loaded, taken_over, plan_hits).
+/// The final claim report a worker prints to stderr (periodic "progress"
+/// lines share its counters but not its "cells" marker):
+/// (computed, served, stolen, plan_hits).
 fn parse_report(stderr: &str) -> (usize, usize, usize, usize) {
     let line = stderr
         .lines()
-        .find(|l| l.contains("computed"))
+        .find(|l| l.contains("wlcrc-gridrun: cells"))
         .unwrap_or_else(|| panic!("no claim report in stderr: {stderr:?}"));
     let field = |name: &str| -> usize {
         let rest = &line[line.find(name).expect("report field") + name.len()..];
         rest.split_whitespace().next().expect("report value").parse().expect("numeric report")
     };
-    (field("computed "), field("loaded "), field("taken_over "), field("plan_hits "))
+    (field("computed "), field("served "), field("stolen "), field("plan_hits "))
 }
 
 #[test]

@@ -218,6 +218,13 @@ pub fn should_fire(site: &str) -> bool {
     };
     if fire {
         *guard.fired.entry(site.to_string()).or_insert(0) += 1;
+        drop(guard);
+        // Mirror the fire into the process-wide metrics registry so chaos
+        // runs can watch injected faults on the same scrape as everything
+        // else (`storectl stats`, the serve metrics endpoint).
+        wlcrc_obs::registry()
+            .counter(&format!("wlcrc_faults_fired_total{{site=\"{site}\"}}"))
+            .inc();
     }
     fire
 }
@@ -370,6 +377,22 @@ mod tests {
         let mut again = original.clone();
         assert!(!corrupt_byte("store.read.corrupt", &mut again));
         assert_eq!(again, original);
+        clear();
+    }
+
+    #[test]
+    fn fired_sites_surface_in_the_metrics_registry() {
+        let _guard = exclusive();
+        configure("seed=7;obs.test.registry=@1").unwrap();
+        // The site name is unique to this test, so the registry counter
+        // moves only under the module lock held above.
+        let name = "wlcrc_faults_fired_total{site=\"obs.test.registry\"}";
+        let before = wlcrc_obs::registry().counter(name).get();
+        assert!(should_fire("obs.test.registry"));
+        assert!(!should_fire("obs.test.registry"), "@1 fires exactly once");
+        assert_eq!(wlcrc_obs::registry().counter(name).get(), before + 1);
+        let rendered = wlcrc_obs::registry().render();
+        assert!(rendered.contains(name), "missing {name:?} in:\n{rendered}");
         clear();
     }
 

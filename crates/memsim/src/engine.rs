@@ -547,10 +547,13 @@ impl ExperimentPlan {
             (0..self.configs.len()).map(|_| None).collect()
         };
         let plan_hits: Vec<Option<ExperimentResult>> = match &store {
-            Some(store) => plan_keys
-                .iter()
-                .map(|key| key.as_ref().and_then(|key| cache::load_plan(store, key)))
-                .collect(),
+            Some(store) => {
+                let _span = wlcrc_obs::span("engine.plan_cache_probe");
+                plan_keys
+                    .iter()
+                    .map(|key| key.as_ref().and_then(|key| cache::load_plan(store, key)))
+                    .collect()
+            }
             None => (0..self.configs.len()).map(|_| None).collect(),
         };
         if plan_hits.iter().all(Option::is_some) {
@@ -563,12 +566,15 @@ impl ExperimentPlan {
         // decodes, not simulation, and those are as independent as the cells
         // themselves.
         let cached: Vec<Option<SchemeStats>> = match &store {
-            Some(store) => parallel_tasks(cell_count, workers, |cell| {
-                if plan_hits[cell / cells_per_config].is_some() {
-                    return None;
-                }
-                keys[cell].as_ref().and_then(|key| cache::load_cell(store, key))
-            }),
+            Some(store) => {
+                let _span = wlcrc_obs::span("engine.cell_probe");
+                parallel_tasks(cell_count, workers, |cell| {
+                    if plan_hits[cell / cells_per_config].is_some() {
+                        return None;
+                    }
+                    keys[cell].as_ref().and_then(|key| cache::load_cell(store, key))
+                })
+            }
             None => (0..cell_count).map(|_| None).collect(),
         };
         let miss_cells: Vec<usize> = (0..cell_count)
@@ -585,6 +591,7 @@ impl ExperimentPlan {
         // after the store lookup so a warm run generates only the traces its
         // missed cells will actually replay.
         let shared: Option<Vec<Option<Arc<Trace>>>> = self.resolve_materialise().then(|| {
+            let _span = wlcrc_obs::span("engine.materialise");
             let mut needed = vec![false; n_workloads * n_seeds];
             for &cell in &miss_cells {
                 let seed = cell % n_seeds;
@@ -609,6 +616,7 @@ impl ExperimentPlan {
         // shard replays the cell's stream and simulates only its banks; the
         // slot index fixes the merge order regardless of which worker runs
         // what.
+        let simulate_span = wlcrc_obs::span("engine.simulate");
         let partials: Vec<Vec<BankStats>> =
             parallel_tasks(miss_cells.len() * shards, workers, |index| {
                 let shard = index % shards;
@@ -628,11 +636,13 @@ impl ExperimentPlan {
                     shared.as_deref(),
                 )
             });
+        drop(simulate_span);
 
         // Phase 2: merge each cell's bank partials in ascending bank order —
         // the one canonical order, whatever the shard count. Cached cells
         // are used as recorded; cells in plan-hit configs are never built
         // (their merged result is already in hand).
+        let merge_span = wlcrc_obs::span("engine.merge");
         let cells: Vec<Option<SchemeStats>> = (0..cell_count)
             .map(|cell| {
                 if plan_hits[cell / cells_per_config].is_some() {
@@ -654,11 +664,13 @@ impl ExperimentPlan {
                 ))
             })
             .collect();
+        drop(merge_span);
 
         // Phase 2.5: write the freshly simulated cells back to the store —
         // through the worker pool, like the lookups, because a cold grid's
         // write-backs are file encodes + renames, independent per cell.
         if let Some(store) = &store {
+            let _span = wlcrc_obs::span("engine.store_write_back");
             let to_write: Vec<usize> =
                 miss_cells.iter().copied().filter(|&cell| keys[cell].is_some()).collect();
             parallel_tasks(to_write.len(), workers, |index| {
@@ -687,6 +699,7 @@ impl ExperimentPlan {
         plan_keys: &[Option<PlanKey>],
         store: Option<&ResultStore>,
     ) -> Vec<ExperimentResult> {
+        let _span = wlcrc_obs::span("engine.merge_grid");
         let n_workloads = self.workloads.len();
         let n_schemes = self.schemes.len();
         let n_seeds = self.seeds.len();
@@ -931,6 +944,7 @@ impl ExperimentPlan {
         let taken_over = AtomicUsize::new(0);
 
         let worker = || {
+            let _worker_span = wlcrc_obs::span("engine.worker");
             loop {
                 let Some((cell, attempts)) =
                     pending.lock().expect("queue mutex poisoned").pop_front()
@@ -943,6 +957,7 @@ impl ExperimentPlan {
                     let stats = self.compute_cell(cell, max_intensity);
                     slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
                     computed.fetch_add(1, Ordering::Relaxed);
+                    grid_metrics().computed.inc();
                     continue;
                 };
                 // Serve-first: a finished cell always wins over any claim
@@ -950,20 +965,25 @@ impl ExperimentPlan {
                 if let Some(stats) = cache::load_cell(&store, key) {
                     slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
                     loaded.fetch_add(1, Ordering::Relaxed);
+                    grid_metrics().served.inc();
                     continue;
                 }
                 let fp = Fingerprint::of_value(&key.to_value());
                 // Transient claim-machinery errors get a short bounded
                 // retry before coordination degrades to duplicate work —
                 // an NFS hiccup should not turn a fleet into N full runs.
-                let mut claim = store.try_claim(fp);
-                for retry in 0..CLAIM_RETRY_ATTEMPTS {
-                    if claim.is_ok() {
-                        break;
+                let claim = {
+                    let _span = wlcrc_obs::span_with("engine.claim", || fp.to_hex());
+                    let mut claim = store.try_claim(fp);
+                    for retry in 0..CLAIM_RETRY_ATTEMPTS {
+                        if claim.is_ok() {
+                            break;
+                        }
+                        std::thread::sleep(claim_backoff(retry));
+                        claim = store.try_claim(fp);
                     }
-                    std::thread::sleep(claim_backoff(retry));
-                    claim = store.try_claim(fp);
-                }
+                    claim
+                };
                 let took_over = match claim {
                     Ok(ClaimOutcome::Acquired) => false,
                     Ok(ClaimOutcome::Held(holder)) => {
@@ -1012,6 +1032,7 @@ impl ExperimentPlan {
                     let _ = store.release_claim(fp);
                     slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
                     loaded.fetch_add(1, Ordering::Relaxed);
+                    grid_metrics().served.inc();
                     continue;
                 }
                 let stats = self.compute_cell(cell, max_intensity);
@@ -1019,8 +1040,10 @@ impl ExperimentPlan {
                 let _ = store.release_claim(fp);
                 slots.lock().expect("slot mutex poisoned")[cell] = Some(stats);
                 computed.fetch_add(1, Ordering::Relaxed);
+                grid_metrics().computed.inc();
                 if took_over {
                     taken_over.fetch_add(1, Ordering::Relaxed);
+                    grid_metrics().stolen.inc();
                 }
             }
         };
@@ -1150,6 +1173,13 @@ impl ExperimentPlan {
         let (label, codec_source) = &self.schemes[scheme_index];
         let workload = &self.workloads[workload_index];
         let base_seed = self.seeds[seed_index];
+        let _span = wlcrc_obs::span_with("engine.cell", || {
+            let mut cell_label = format!("{label}×{}×seed{base_seed}", workload.name());
+            if shards > 1 {
+                cell_label.push_str(&format!("×shard{shard}/{shards}"));
+            }
+            cell_label
+        });
         let simulator = Simulator::with_config(self.configs[config_index].clone()).with_options(
             SimulationOptions {
                 seed: cell_seed(base_seed, config_index, label, workload.name()),
@@ -1225,6 +1255,36 @@ pub struct ClaimedRunReport {
     pub taken_over: usize,
     /// Configs served whole from plan-level entries.
     pub plan_hits: usize,
+}
+
+/// Claimed-grid-runner counters, published through the process-global
+/// `wlcrc_obs` registry as the `wlcrc_grid_*` families.
+///
+/// [`ExperimentPlan::run_grid_claimed`] bumps these as its workers make
+/// progress, so a long run can be watched live — `wlcrc-gridrun` prints a
+/// periodic stderr progress report from them — and a scrape in the same
+/// process sees the totals.
+pub struct GridMetrics {
+    /// Cells this process simulated (claim acquired, taken over, or
+    /// uncacheable).
+    pub computed: &'static wlcrc_obs::Counter,
+    /// Cells served from the store (computed earlier or by another worker).
+    pub served: &'static wlcrc_obs::Counter,
+    /// Stale claims taken over from crashed workers ("stolen" cells).
+    pub stolen: &'static wlcrc_obs::Counter,
+}
+
+/// The claimed runner's metric handles (find-or-create on first call).
+pub fn grid_metrics() -> &'static GridMetrics {
+    static METRICS: std::sync::LazyLock<GridMetrics> = std::sync::LazyLock::new(|| {
+        let registry = wlcrc_obs::registry();
+        GridMetrics {
+            computed: registry.counter("wlcrc_grid_cells_computed_total"),
+            served: registry.counter("wlcrc_grid_cells_served_total"),
+            stolen: registry.counter("wlcrc_grid_claims_stolen_total"),
+        }
+    });
+    &METRICS
 }
 
 /// Fault site: a claimed-grid worker dies while still holding a claim

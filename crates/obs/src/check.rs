@@ -1,0 +1,397 @@
+//! Trace-file validation: a minimal JSON parser plus the rules a
+//! [`crate::trace`] output file must satisfy.
+//!
+//! The workspace has no JSON *parsing* dependency (the serde shim only
+//! serializes), so this module carries its own ~150-line recursive-descent
+//! parser — enough to load what the tracer writes and what Chrome/Perfetto
+//! accept. The `tracecheck` binary and CI's `obs-smoke` job both go
+//! through [`validate_trace`], so the writer and the checker cannot drift
+//! apart.
+
+use std::collections::HashMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => {
+                members.iter().find(|(name, _)| name == key).map(|(_, value)| value)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(value) => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON value from `text` (surrounding whitespace ok).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&byte) = bytes.get(*pos) {
+        if matches!(byte, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&byte) = bytes.get(*pos) {
+        if matches!(byte, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let slice = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    slice.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {slice:?} at {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        // Surrogate pairs: a high surrogate must be followed
+                        // by an escaped low surrogate.
+                        let ch = if (0xd800..0xdc00).contains(&code) {
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                *pos += 6;
+                                let combined =
+                                    0x10000 + ((code - 0xd800) << 10) + (low.wrapping_sub(0xdc00));
+                                char::from_u32(combined).unwrap_or('\u{fffd}')
+                            } else {
+                                '\u{fffd}'
+                            }
+                        } else {
+                            char::from_u32(code).unwrap_or('\u{fffd}')
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&byte) if byte < 0x20 => {
+                return Err(format!("raw control byte in string at offset {pos}"));
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is &str, so this is safe
+                // to do by char boundary).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let slice = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let text = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+    u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape {text:?}"))
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+/// What [`validate_trace`] learned about a well-formed trace file.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Total trace events (complete spans + instants + begin/end pairs).
+    pub events: usize,
+    /// Complete (`ph:"X"`) spans.
+    pub complete_spans: usize,
+    /// Instant (`ph:"i"`/`"I"`) events.
+    pub instants: usize,
+    /// Matched begin/end (`ph:"B"`/`"E"`) pairs.
+    pub matched_pairs: usize,
+    /// Summed duration per span name, microseconds, sorted descending.
+    pub dur_us_by_name: Vec<(String, f64)>,
+}
+
+impl TraceSummary {
+    /// Total duration recorded for spans named `name`, in microseconds.
+    pub fn dur_us(&self, name: &str) -> f64 {
+        self.dur_us_by_name.iter().find(|(n, _)| n == name).map(|(_, dur)| *dur).unwrap_or(0.0)
+    }
+}
+
+/// Validate a Chrome trace-event file as written by [`crate::trace`].
+///
+/// Every non-framing line (`[` / `]` framing lines and blank lines are
+/// skipped, trailing commas stripped) must parse as a JSON object with
+/// string `name`/`ph` and numeric `ts`/`pid`/`tid`; `ph:"X"` events need a
+/// non-negative numeric `dur`, and `ph:"B"`/`"E"` events must nest
+/// properly per `(pid, tid)` with matching names. Returns a summary with
+/// per-name duration totals on success, the first violation otherwise.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut durations: HashMap<String, f64> = HashMap::new();
+    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw_line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let event =
+            parse_json(line).map_err(|err| format!("line {lineno}: not valid JSON: {err}"))?;
+        if !matches!(event, Json::Obj(_)) {
+            return Err(format!("line {lineno}: trace event is not a JSON object"));
+        }
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string \"name\""))?
+            .to_string();
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string \"ph\""))?;
+        for key in ["ts", "pid", "tid"] {
+            event
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {lineno}: missing numeric {key:?}"))?;
+        }
+        let pid = event.get("pid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let tid = event.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        summary.events += 1;
+        match ph {
+            "X" => {
+                let dur = event.get("dur").and_then(Json::as_f64).ok_or_else(|| {
+                    format!("line {lineno}: complete event missing numeric \"dur\"")
+                })?;
+                if dur < 0.0 {
+                    return Err(format!("line {lineno}: negative dur {dur}"));
+                }
+                summary.complete_spans += 1;
+                *durations.entry(name).or_insert(0.0) += dur;
+            }
+            "B" => stacks.entry((pid, tid)).or_default().push(name),
+            "E" => {
+                let open = stacks.get_mut(&(pid, tid)).and_then(Vec::pop).ok_or_else(|| {
+                    format!("line {lineno}: \"E\" with no open span on tid {tid}")
+                })?;
+                if open != name {
+                    return Err(format!(
+                        "line {lineno}: \"E\" for {name:?} but open span is {open:?}"
+                    ));
+                }
+                summary.matched_pairs += 1;
+            }
+            "i" | "I" => summary.instants += 1,
+            "M" => {} // metadata (process/thread names) — allowed, not counted
+            other => return Err(format!("line {lineno}: unsupported phase {other:?}")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "unclosed span {:?} on pid {pid} tid {tid}",
+                stack.last().expect("non-empty stack")
+            ));
+        }
+    }
+    summary.dur_us_by_name = durations.into_iter().collect();
+    summary
+        .dur_us_by_name
+        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_basic_values() {
+        let parsed = parse_json(r#"{"a": [1, -2.5e1, "x×y\n"], "b": {"c": true, "d": null}}"#)
+            .expect("parses");
+        assert_eq!(
+            parsed.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(-25.0), Json::Str("x×y\n".to_string()),])
+        );
+        assert_eq!(parsed.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("b").and_then(|b| b.get("d")), Some(&Json::Null));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn validates_a_well_formed_trace() {
+        let trace = concat!(
+            "[\n",
+            "{\"name\":\"engine.cell\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":10.0,\"pid\":1,\"tid\":2,\"dur\":5.5,\"args\":{\"depth\":0}},\n",
+            "{\"name\":\"engine.cell\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":20.0,\"pid\":1,\"tid\":3,\"dur\":4.5},\n",
+            "{\"name\":\"grid.claim\",\"ph\":\"B\",\"ts\":1.0,\"pid\":1,\"tid\":2},\n",
+            "{\"name\":\"grid.claim\",\"ph\":\"E\",\"ts\":2.0,\"pid\":1,\"tid\":2},\n",
+            "{\"name\":\"mark\",\"ph\":\"i\",\"ts\":3.0,\"pid\":1,\"tid\":2,\"s\":\"t\"},\n",
+        );
+        let summary = validate_trace(trace).expect("valid trace");
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.complete_spans, 2);
+        assert_eq!(summary.matched_pairs, 1);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.dur_us("engine.cell"), 10.0);
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        let bad_json = "{\"name\":\"x\",\"ph\":\"X\",\"ts\":1,\"pid\":1,\"tid\":1,\"dur\":";
+        assert!(validate_trace(bad_json).unwrap_err().contains("not valid JSON"));
+        let no_dur = "{\"name\":\"x\",\"ph\":\"X\",\"ts\":1,\"pid\":1,\"tid\":1}";
+        assert!(validate_trace(no_dur).unwrap_err().contains("dur"));
+        let unmatched_end = "{\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":1}";
+        assert!(validate_trace(unmatched_end).unwrap_err().contains("no open span"));
+        let unclosed = "{\"name\":\"x\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":1}";
+        assert!(validate_trace(unclosed).unwrap_err().contains("unclosed span"));
+    }
+}

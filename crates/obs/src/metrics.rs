@@ -1,0 +1,260 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are plain atomics with `const fn new()` constructors, so they
+//! can live in `static`s or inside long-lived structs without
+//! initialization order games. The [`text`] submodule holds the Prometheus
+//! text-format helpers that pin the exact bytes the serve scrape endpoint
+//! has always emitted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log-spaced histogram buckets (one per power of two of
+/// nanoseconds — 64 buckets cover the full `u64` range).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as IEEE-754 bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the gauge value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A duration histogram with fixed log-spaced (power-of-two nanosecond)
+/// buckets and deterministic quantile extraction.
+///
+/// Observations are recorded lock-free; quantiles are read by walking the
+/// cumulative bucket counts, so concurrent writers can at worst make a
+/// quantile read slightly stale, never wrong. Quantile values are bucket
+/// upper bounds capped at the true observed maximum — monotone in `q` and
+/// never an over-estimate of the worst case.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one observation of an elapsed [`Duration`].
+    #[inline]
+    pub fn observe(&self, elapsed: Duration) {
+        self.observe_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest single observation, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds; `0` when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(bucket.load(Ordering::Relaxed));
+            if cumulative >= rank {
+                return bucket_upper_ns(index).min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+
+    /// The `q`-quantile converted to seconds (for `*_seconds` metrics).
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1e9
+    }
+}
+
+/// Bucket holding `ns`: index `i` covers `[2^i, 2^(i+1))` (index 0 also
+/// holds zero).
+fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros()) as usize - 1
+    }
+}
+
+/// Inclusive upper bound of bucket `index`.
+fn bucket_upper_ns(index: usize) -> u64 {
+    if index >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (index + 1)) - 1
+    }
+}
+
+/// Prometheus text-format rendering helpers.
+///
+/// These pin the exact line format the serve scrape has emitted since the
+/// metrics endpoint was introduced: a `# TYPE` header per family, `u64`
+/// values with `{}`, `f64` values with `{:?}` (shortest round-trip).
+pub mod text {
+    use std::fmt::Write;
+
+    /// `# TYPE {name} counter` header plus one unlabelled sample line.
+    pub fn counter(out: &mut String, name: &str, value: u64) {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+
+    /// `# TYPE {name} gauge` header plus one `f64` sample line.
+    pub fn gauge(out: &mut String, name: &str, value: f64) {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value:?}");
+    }
+
+    /// `# TYPE {name} gauge` header plus one integer sample line.
+    pub fn gauge_int(out: &mut String, name: &str, value: u64) {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 42);
+        let gauge = Gauge::new();
+        assert_eq!(gauge.get(), 0.0);
+        gauge.set(2.5);
+        assert_eq!(gauge.get(), 2.5);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_ns(0), 1);
+        assert_eq!(bucket_upper_ns(1), 3);
+        assert_eq!(bucket_upper_ns(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_capped_at_max() {
+        let hist = Histogram::new();
+        assert_eq!(hist.quantile_ns(0.5), 0);
+        for ns in [10u64, 20, 30, 40, 1000] {
+            hist.observe_ns(ns);
+        }
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.sum_ns(), 1100);
+        assert_eq!(hist.max_ns(), 1000);
+        let p50 = hist.quantile_ns(0.5);
+        let p90 = hist.quantile_ns(0.9);
+        let p99 = hist.quantile_ns(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // 1000 lands in [512, 1024); the bucket upper bound (1023) must be
+        // capped at the true observed max.
+        assert_eq!(p99, 1000);
+        // p50 rank is the 3rd of 5 samples (30), bucket [16, 32) → 31.
+        assert_eq!(p50, 31);
+    }
+
+    #[test]
+    fn text_format_is_pinned() {
+        let mut out = String::new();
+        text::counter(&mut out, "x_total", 7);
+        text::gauge(&mut out, "x_rate", 0.5);
+        text::gauge_int(&mut out, "x_n", 3);
+        assert_eq!(
+            out,
+            "# TYPE x_total counter\nx_total 7\n\
+             # TYPE x_rate gauge\nx_rate 0.5\n\
+             # TYPE x_n gauge\nx_n 3\n"
+        );
+    }
+}

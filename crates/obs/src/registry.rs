@@ -1,0 +1,267 @@
+//! Process-global named metric registry.
+//!
+//! Subsystems look metrics up by name once (typically behind a `LazyLock`)
+//! and keep the returned `&'static` handle; all subsequent updates are
+//! lock-free. Names may embed Prometheus labels — a counter registered as
+//! `wlcrc_faults_fired_total{site="store.read.corrupt"}` is one *series*
+//! of the `wlcrc_faults_fired_total` family, and [`Registry::render_into`]
+//! groups series under a single `# TYPE` header per family.
+//!
+//! Histograms in the registry are duration-valued (nanoseconds in,
+//! seconds out) — the convention is a `*_seconds` family name, rendered as
+//! `p50`/`p90`/`p99` quantile gauges plus `_count` and `_max`.
+
+use std::sync::Mutex;
+
+use crate::metrics::{text, Counter, Gauge, Histogram};
+
+/// A named collection of metric handles. Use the process-global
+/// [`registry()`] unless a test needs isolation.
+pub struct Registry {
+    slots: Mutex<Vec<Slot>>,
+}
+
+struct Slot {
+    name: String,
+    handle: Handle,
+}
+
+#[derive(Clone, Copy)]
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: Registry = Registry::new();
+    &REGISTRY
+}
+
+impl Registry {
+    /// An empty registry (`const`, so it can back a `static`).
+    pub const fn new() -> Self {
+        Registry { slots: Mutex::new(Vec::new()) }
+    }
+
+    /// Find or create the counter registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        self.lookup(
+            name,
+            || Handle::Counter(Box::leak(Box::new(Counter::new()))),
+            |handle| match handle {
+                Handle::Counter(counter) => Some(counter),
+                _ => None,
+            },
+        )
+    }
+
+    /// Find or create the gauge registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        self.lookup(
+            name,
+            || Handle::Gauge(Box::leak(Box::new(Gauge::new()))),
+            |handle| match handle {
+                Handle::Gauge(gauge) => Some(gauge),
+                _ => None,
+            },
+        )
+    }
+
+    /// Find or create the histogram registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        self.lookup(
+            name,
+            || Handle::Histogram(Box::leak(Box::new(Histogram::new()))),
+            |handle| match handle {
+                Handle::Histogram(histogram) => Some(histogram),
+                _ => None,
+            },
+        )
+    }
+
+    fn lookup<T: ?Sized>(
+        &self,
+        name: &str,
+        create: impl FnOnce() -> Handle,
+        cast: impl Fn(Handle) -> Option<&'static T>,
+    ) -> &'static T {
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        if let Some(slot) = slots.iter().find(|slot| slot.name == name) {
+            return cast(slot.handle)
+                .unwrap_or_else(|| panic!("metric {name:?} registered as a different kind"));
+        }
+        let handle = create();
+        slots.push(Slot { name: name.to_string(), handle });
+        cast(handle).expect("freshly created handle has the requested kind")
+    }
+
+    /// Snapshot of every registered counter as `(name, value)`.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let slots = self.slots.lock().expect("metric registry poisoned");
+        let mut out: Vec<(String, u64)> = slots
+            .iter()
+            .filter_map(|slot| match slot.handle {
+                Handle::Counter(counter) => Some((slot.name.clone(), counter.get())),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every registered histogram as `(name, handle)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, &'static Histogram)> {
+        let slots = self.slots.lock().expect("metric registry poisoned");
+        let mut out: Vec<(String, &'static Histogram)> = slots
+            .iter()
+            .filter_map(|slot| match slot.handle {
+                Handle::Histogram(histogram) => Some((slot.name.clone(), histogram)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Render every registered metric in Prometheus text format, appending
+    /// to `out`. Families are sorted by name; labelled series within a
+    /// family share one `# TYPE` header. Deterministic for a fixed set of
+    /// registered names and values.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        let mut entries: Vec<(String, String, Handle)> = {
+            let slots = self.slots.lock().expect("metric registry poisoned");
+            slots
+                .iter()
+                .map(|slot| (family_of(&slot.name).to_string(), slot.name.clone(), slot.handle))
+                .collect()
+        };
+        entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut current_family: Option<(String, &'static str)> = None;
+        for (family, name, handle) in entries {
+            match handle {
+                Handle::Histogram(histogram) => {
+                    // Histograms are whole families on their own.
+                    let _ = writeln!(out, "# TYPE {family} gauge");
+                    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                        let _ = writeln!(
+                            out,
+                            "{family}{{quantile=\"{label}\"}} {:?}",
+                            histogram.quantile_seconds(q)
+                        );
+                    }
+                    text::counter(out, &format!("{family}_count"), histogram.count());
+                    text::gauge(out, &format!("{family}_max"), histogram.max_ns() as f64 / 1e9);
+                    current_family = None;
+                }
+                Handle::Counter(counter) => {
+                    emit_header(out, &mut current_family, &family, "counter");
+                    let _ = writeln!(out, "{name} {}", counter.get());
+                }
+                Handle::Gauge(gauge) => {
+                    emit_header(out, &mut current_family, &family, "gauge");
+                    let _ = writeln!(out, "{name} {:?}", gauge.get());
+                }
+            }
+        }
+    }
+
+    /// [`Registry::render_into`] as a fresh `String`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn emit_header(
+    out: &mut String,
+    current: &mut Option<(String, &'static str)>,
+    family: &str,
+    kind: &'static str,
+) {
+    use std::fmt::Write;
+    let already = matches!(current, Some((f, k)) if f == family && *k == kind);
+    if !already {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        *current = Some((family.to_string(), kind));
+    }
+}
+
+/// Family name: everything before the `{` that opens a label set.
+fn family_of(name: &str) -> &str {
+    match name.find('{') {
+        Some(brace) => &name[..brace],
+        None => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_find_or_create() {
+        let registry = Registry::new();
+        let a = registry.counter("t_total");
+        let b = registry.counter("t_total");
+        a.inc();
+        b.add(2);
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(registry.counters(), vec![("t_total".to_string(), 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("t_total");
+        registry.gauge("t_total");
+    }
+
+    #[test]
+    fn render_groups_labelled_series_under_one_header() {
+        let registry = Registry::new();
+        registry.counter("z_fired_total{site=\"b\"}").add(2);
+        registry.counter("z_fired_total{site=\"a\"}").inc();
+        registry.gauge("a_level").set(1.5);
+        let text = registry.render();
+        assert_eq!(
+            text,
+            "# TYPE a_level gauge\n\
+             a_level 1.5\n\
+             # TYPE z_fired_total counter\n\
+             z_fired_total{site=\"a\"} 1\n\
+             z_fired_total{site=\"b\"} 2\n"
+        );
+    }
+
+    #[test]
+    fn render_histogram_family() {
+        let registry = Registry::new();
+        let hist = registry.histogram("z_seconds");
+        hist.observe_ns(2_000_000_000);
+        let text = registry.render();
+        assert!(text.starts_with("# TYPE z_seconds gauge\n"), "{text}");
+        assert!(text.contains("z_seconds{quantile=\"0.5\"} 2.0\n"), "{text}");
+        assert!(text.contains("# TYPE z_seconds_count counter\nz_seconds_count 1\n"), "{text}");
+        assert!(text.contains("z_seconds_max 2.0\n"), "{text}");
+    }
+}

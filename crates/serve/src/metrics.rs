@@ -1,14 +1,29 @@
 //! Server-wide counters and the plain-text scrape rendering.
 //!
-//! Counters are lock-free atomics bumped on the request path; gauges that
-//! need session state (queue depths, energy per write, imbalance) are
-//! sampled at scrape time by the server, which owns the session table. The
-//! exposition format is Prometheus text style — `# TYPE` lines followed by
-//! `name{labels} value` — flat enough to be diffed by the CI smoke job and
-//! parsed by the soak test without a real Prometheus client.
+//! Counters are lock-free `wlcrc_obs` metrics bumped on the request path;
+//! gauges that need session state (queue depths, energy per write,
+//! imbalance) are sampled at scrape time by the server, which owns the
+//! session table. The exposition format is Prometheus text style — `# TYPE`
+//! lines followed by `name{labels} value` — flat enough to be diffed by the
+//! CI smoke job and parsed by the soak test without a real Prometheus
+//! client.
+//!
+//! The scrape body is rendered in three byte-stable parts:
+//!
+//! 1. the historical `wlcrc_serve_*` counters and gauges, byte-identical
+//!    to the pre-registry rendering (pinned by the golden test below);
+//! 2. the `wlcrc_serve_request_seconds` block — p50/p90/p99 quantile
+//!    gauges, count, and max from the per-request latency histogram (the
+//!    measurement behind the ROADMAP's serve SLO targets);
+//! 3. whatever else the process registered in the global `wlcrc_obs`
+//!    registry — `wlcrc_store_*` I/O counters and latency histograms when
+//!    a result store is attached, `wlcrc_faults_fired_total{site=...}`
+//!    during chaos runs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+use wlcrc_obs::metrics::text;
+use wlcrc_obs::{Counter, Histogram};
 
 /// Monotonic counters shared by every connection handler and worker.
 #[derive(Debug)]
@@ -16,38 +31,41 @@ pub struct ServeCounters {
     /// Process-relative start time, the basis for `writes_per_sec`.
     start: Instant,
     /// Total protocol requests handled (any kind, including errors).
-    pub requests_total: AtomicU64,
+    pub requests_total: Counter,
     /// Records accepted into bank queues.
-    pub writes_accepted_total: AtomicU64,
+    pub writes_accepted_total: Counter,
     /// Records actually simulated (drained from queues).
-    pub writes_simulated_total: AtomicU64,
+    pub writes_simulated_total: Counter,
     /// `Busy` responses sent (backpressure events).
-    pub busy_responses_total: AtomicU64,
+    pub busy_responses_total: Counter,
     /// Sessions that entered degraded mode (cumulative).
-    pub degraded_entered_total: AtomicU64,
+    pub degraded_entered_total: Counter,
     /// Requests whose handling overran the configured deadline.
-    pub deadline_misses_total: AtomicU64,
+    pub deadline_misses_total: Counter,
     /// Connections refused at the accept loop because the cap was reached.
-    pub connections_rejected_total: AtomicU64,
+    pub connections_rejected_total: Counter,
     /// Result-store hits at session close.
-    pub store_hits_total: AtomicU64,
+    pub store_hits_total: Counter,
     /// Result-store misses at session close.
-    pub store_misses_total: AtomicU64,
+    pub store_misses_total: Counter,
+    /// Wall-clock latency of each dispatched request.
+    pub request_seconds: Histogram,
 }
 
 impl Default for ServeCounters {
     fn default() -> ServeCounters {
         ServeCounters {
             start: Instant::now(),
-            requests_total: AtomicU64::new(0),
-            writes_accepted_total: AtomicU64::new(0),
-            writes_simulated_total: AtomicU64::new(0),
-            busy_responses_total: AtomicU64::new(0),
-            degraded_entered_total: AtomicU64::new(0),
-            deadline_misses_total: AtomicU64::new(0),
-            connections_rejected_total: AtomicU64::new(0),
-            store_hits_total: AtomicU64::new(0),
-            store_misses_total: AtomicU64::new(0),
+            requests_total: Counter::new(),
+            writes_accepted_total: Counter::new(),
+            writes_simulated_total: Counter::new(),
+            busy_responses_total: Counter::new(),
+            degraded_entered_total: Counter::new(),
+            deadline_misses_total: Counter::new(),
+            connections_rejected_total: Counter::new(),
+            store_hits_total: Counter::new(),
+            store_misses_total: Counter::new(),
+            request_seconds: Histogram::new(),
         }
     }
 }
@@ -64,15 +82,15 @@ impl ServeCounters {
         if uptime <= 0.0 {
             0.0
         } else {
-            self.writes_simulated_total.load(Ordering::Relaxed) as f64 / uptime
+            self.writes_simulated_total.get() as f64 / uptime
         }
     }
 
     /// Store hit fraction over closes so far (0.0 when store-less or before
     /// the first close).
     pub fn store_hit_rate(&self) -> f64 {
-        let hits = self.store_hits_total.load(Ordering::Relaxed) as f64;
-        let total = hits + self.store_misses_total.load(Ordering::Relaxed) as f64;
+        let hits = self.store_hits_total.get() as f64;
+        let total = hits + self.store_misses_total.get() as f64;
         if total <= 0.0 {
             0.0
         } else {
@@ -107,75 +125,47 @@ pub fn render(
     connections_active: usize,
 ) -> String {
     let mut out = String::with_capacity(1024);
-    let counter = |out: &mut String, name: &str, value: u64| {
-        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
-    };
-    let gauge = |out: &mut String, name: &str, value: f64| {
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {value:?}\n"));
-    };
-    gauge(&mut out, "wlcrc_serve_uptime_seconds", counters.uptime_seconds());
-    out.push_str(&format!(
-        "# TYPE wlcrc_serve_sessions gauge\nwlcrc_serve_sessions {}\n",
-        sessions.len()
-    ));
-    counter(
-        &mut out,
-        "wlcrc_serve_requests_total",
-        counters.requests_total.load(Ordering::Relaxed),
-    );
-    counter(
+    text::gauge(&mut out, "wlcrc_serve_uptime_seconds", counters.uptime_seconds());
+    text::gauge_int(&mut out, "wlcrc_serve_sessions", sessions.len() as u64);
+    text::counter(&mut out, "wlcrc_serve_requests_total", counters.requests_total.get());
+    text::counter(
         &mut out,
         "wlcrc_serve_writes_accepted_total",
-        counters.writes_accepted_total.load(Ordering::Relaxed),
+        counters.writes_accepted_total.get(),
     );
-    counter(
+    text::counter(
         &mut out,
         "wlcrc_serve_writes_simulated_total",
-        counters.writes_simulated_total.load(Ordering::Relaxed),
+        counters.writes_simulated_total.get(),
     );
-    gauge(&mut out, "wlcrc_serve_writes_per_sec", counters.writes_per_sec());
-    counter(
+    text::gauge(&mut out, "wlcrc_serve_writes_per_sec", counters.writes_per_sec());
+    text::counter(
         &mut out,
         "wlcrc_serve_busy_responses_total",
-        counters.busy_responses_total.load(Ordering::Relaxed),
+        counters.busy_responses_total.get(),
     );
-    counter(
+    text::counter(
         &mut out,
         "wlcrc_serve_degraded_entered_total",
-        counters.degraded_entered_total.load(Ordering::Relaxed),
+        counters.degraded_entered_total.get(),
     );
-    counter(
+    text::counter(
         &mut out,
         "wlcrc_serve_deadline_misses_total",
-        counters.deadline_misses_total.load(Ordering::Relaxed),
+        counters.deadline_misses_total.get(),
     );
-    counter(
+    text::counter(
         &mut out,
         "wlcrc_serve_connections_rejected_total",
-        counters.connections_rejected_total.load(Ordering::Relaxed),
+        counters.connections_rejected_total.get(),
     );
-    out.push_str(&format!(
-        "# TYPE wlcrc_serve_connections_active gauge\n\
-         wlcrc_serve_connections_active {connections_active}\n"
-    ));
-    out.push_str(&format!(
-        "# TYPE wlcrc_serve_lane_capacity gauge\nwlcrc_serve_lane_capacity {lane_capacity}\n"
-    ));
-    counter(
-        &mut out,
-        "wlcrc_serve_store_hits_total",
-        counters.store_hits_total.load(Ordering::Relaxed),
-    );
-    counter(
-        &mut out,
-        "wlcrc_serve_store_misses_total",
-        counters.store_misses_total.load(Ordering::Relaxed),
-    );
-    gauge(&mut out, "wlcrc_serve_store_hit_rate", counters.store_hit_rate());
+    text::gauge_int(&mut out, "wlcrc_serve_connections_active", connections_active as u64);
+    text::gauge_int(&mut out, "wlcrc_serve_lane_capacity", lane_capacity as u64);
+    text::counter(&mut out, "wlcrc_serve_store_hits_total", counters.store_hits_total.get());
+    text::counter(&mut out, "wlcrc_serve_store_misses_total", counters.store_misses_total.get());
+    text::gauge(&mut out, "wlcrc_serve_store_hit_rate", counters.store_hit_rate());
     let degraded = sessions.iter().filter(|s| s.degraded).count();
-    out.push_str(&format!(
-        "# TYPE wlcrc_serve_degraded_sessions gauge\nwlcrc_serve_degraded_sessions {degraded}\n"
-    ));
+    text::gauge_int(&mut out, "wlcrc_serve_degraded_sessions", degraded as u64);
     out.push_str("# TYPE wlcrc_serve_queue_depth gauge\n");
     for sample in sessions {
         out.push_str(&format!(
@@ -197,19 +187,46 @@ pub fn render(
             sample.session, sample.scheme, sample.write_imbalance
         ));
     }
+    // Everything below is new with the obs registry; every pre-existing
+    // metric above keeps its exact historical bytes and order.
+    out.push_str("# TYPE wlcrc_serve_request_seconds gauge\n");
+    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+        out.push_str(&format!(
+            "wlcrc_serve_request_seconds{{quantile=\"{label}\"}} {:?}\n",
+            counters.request_seconds.quantile_seconds(q)
+        ));
+    }
+    text::counter(&mut out, "wlcrc_serve_request_seconds_count", counters.request_seconds.count());
+    text::gauge(
+        &mut out,
+        "wlcrc_serve_request_seconds_max",
+        counters.request_seconds.max_ns() as f64 / 1e9,
+    );
+    wlcrc_obs::registry().render_into(&mut out);
     out
 }
 
-/// Extracts the value of an unlabelled metric from a scrape body — the tiny
-/// parser the soak test and `serve-replay` reconcile counters with.
+/// Extracts the value of a metric from a scrape body — the tiny parser the
+/// soak test and `serve-replay` reconcile counters with.
+///
+/// `name` is the full series name: bare (`wlcrc_serve_sessions`) for
+/// unlabelled metrics, labels included
+/// (`wlcrc_serve_queue_depth{session="1",scheme="WLCRC-16"}`) for labelled
+/// series.
 pub fn scrape_value(text: &str, name: &str) -> Option<f64> {
     text.lines().find_map(|line| {
-        let rest = line.strip_prefix(name)?;
-        let rest = rest.trim_start();
-        if rest.is_empty() || line.starts_with('#') {
+        // Comment/`# TYPE` lines are skipped before any prefix matching —
+        // a name must never match into a header.
+        if line.starts_with('#') {
             return None;
         }
-        rest.parse().ok()
+        let rest = line.strip_prefix(name)?;
+        // The series name must end exactly here: `foo` may not match
+        // `foo_total` or the unlabelled prefix of `foo{...}`.
+        if !rest.starts_with(char::is_whitespace) {
+            return None;
+        }
+        rest.split_whitespace().next()?.parse().ok()
     })
 }
 
@@ -220,7 +237,7 @@ mod tests {
     #[test]
     fn render_includes_every_advertised_metric() {
         let counters = ServeCounters::default();
-        counters.writes_simulated_total.store(42, Ordering::Relaxed);
+        counters.writes_simulated_total.add(42);
         let sessions = vec![SessionSample {
             session: 1,
             scheme: "WLCRC-16".to_string(),
@@ -247,6 +264,11 @@ mod tests {
             "wlcrc_serve_queue_depth{session=\"1\",scheme=\"WLCRC-16\"} 7",
             "wlcrc_serve_energy_pj_per_write{session=\"1\",scheme=\"WLCRC-16\"} 123.25",
             "wlcrc_serve_write_imbalance{session=\"1\",scheme=\"WLCRC-16\"} 1.5",
+            "wlcrc_serve_request_seconds{quantile=\"0.5\"}",
+            "wlcrc_serve_request_seconds{quantile=\"0.9\"}",
+            "wlcrc_serve_request_seconds{quantile=\"0.99\"}",
+            "wlcrc_serve_request_seconds_count",
+            "wlcrc_serve_request_seconds_max",
         ] {
             assert!(text.contains(name), "missing {name:?} in:\n{text}");
         }
@@ -255,10 +277,149 @@ mod tests {
     #[test]
     fn scrape_value_reads_back_counters() {
         let counters = ServeCounters::default();
-        counters.writes_simulated_total.store(9, Ordering::Relaxed);
+        counters.writes_simulated_total.add(9);
         let text = render(&counters, &[], 64, 0);
         assert_eq!(scrape_value(&text, "wlcrc_serve_writes_simulated_total"), Some(9.0));
         assert_eq!(scrape_value(&text, "wlcrc_serve_lane_capacity"), Some(64.0));
         assert_eq!(scrape_value(&text, "no_such_metric"), None);
+    }
+
+    #[test]
+    fn scrape_value_reads_labelled_series_and_skips_headers() {
+        let counters = ServeCounters::default();
+        let sessions = vec![
+            SessionSample {
+                session: 1,
+                scheme: "WLCRC-16".to_string(),
+                queue_depth: 7,
+                energy_pj_per_write: 123.25,
+                write_imbalance: 1.5,
+                degraded: false,
+            },
+            SessionSample {
+                session: 10,
+                scheme: "Raw".to_string(),
+                queue_depth: 3,
+                energy_pj_per_write: 9.5,
+                write_imbalance: 1.0,
+                degraded: false,
+            },
+        ];
+        let text = render(&counters, &sessions, 64, 0);
+        assert_eq!(
+            scrape_value(&text, "wlcrc_serve_queue_depth{session=\"1\",scheme=\"WLCRC-16\"}"),
+            Some(7.0)
+        );
+        assert_eq!(
+            scrape_value(&text, "wlcrc_serve_queue_depth{session=\"10\",scheme=\"Raw\"}"),
+            Some(3.0)
+        );
+        assert_eq!(
+            scrape_value(&text, "wlcrc_serve_energy_pj_per_write{session=\"10\",scheme=\"Raw\"}"),
+            Some(9.5)
+        );
+        // A name must end where the series name ends: no header matches, no
+        // prefix-of-longer-name matches, no bare-name match of a labelled
+        // family.
+        assert_eq!(scrape_value(&text, "wlcrc_serve_queue_depth"), None);
+        assert_eq!(scrape_value(&text, "wlcrc_serve_store_hits"), None);
+        assert_eq!(scrape_value("# TYPE x counter\n", "# TYPE x"), None);
+    }
+
+    #[test]
+    fn request_latency_quantiles_surface_in_the_scrape() {
+        let counters = ServeCounters::default();
+        for ms in [1u64, 2, 3, 4, 200] {
+            counters.request_seconds.observe(std::time::Duration::from_millis(ms));
+        }
+        let text = render(&counters, &[], 64, 0);
+        assert_eq!(scrape_value(&text, "wlcrc_serve_request_seconds_count"), Some(5.0));
+        let p50 = scrape_value(&text, "wlcrc_serve_request_seconds{quantile=\"0.5\"}").unwrap();
+        let p99 = scrape_value(&text, "wlcrc_serve_request_seconds{quantile=\"0.99\"}").unwrap();
+        let max = scrape_value(&text, "wlcrc_serve_request_seconds_max").unwrap();
+        assert!((0.003..0.2).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert!((max - 0.2).abs() < 1e-9, "max {max}");
+        assert_eq!(p99, 0.2, "p99 capped at the observed max");
+    }
+
+    #[test]
+    fn scrape_prefix_is_byte_identical_to_the_pre_registry_rendering() {
+        // Golden pin: everything up to the request_seconds block must be
+        // the exact bytes the scrape emitted before the obs registry
+        // existed. The two time-dependent lines (uptime, writes/sec) are
+        // spliced in from the actual rendering; everything else is literal.
+        let counters = ServeCounters::default();
+        counters.requests_total.add(5);
+        counters.writes_accepted_total.add(100);
+        counters.writes_simulated_total.add(90);
+        counters.busy_responses_total.add(2);
+        counters.degraded_entered_total.add(1);
+        counters.deadline_misses_total.add(3);
+        counters.connections_rejected_total.add(4);
+        counters.store_hits_total.add(3);
+        counters.store_misses_total.add(1);
+        let sessions = vec![SessionSample {
+            session: 2,
+            scheme: "WLCRC-16".to_string(),
+            queue_depth: 11,
+            energy_pj_per_write: 55.5,
+            write_imbalance: 2.25,
+            degraded: true,
+        }];
+        let text = render(&counters, &sessions, 128, 6);
+        let line = |prefix: &str| -> &str {
+            text.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no {prefix:?} line in:\n{text}"))
+        };
+        let expected_prefix = format!(
+            "# TYPE wlcrc_serve_uptime_seconds gauge\n\
+             {uptime}\n\
+             # TYPE wlcrc_serve_sessions gauge\n\
+             wlcrc_serve_sessions 1\n\
+             # TYPE wlcrc_serve_requests_total counter\n\
+             wlcrc_serve_requests_total 5\n\
+             # TYPE wlcrc_serve_writes_accepted_total counter\n\
+             wlcrc_serve_writes_accepted_total 100\n\
+             # TYPE wlcrc_serve_writes_simulated_total counter\n\
+             wlcrc_serve_writes_simulated_total 90\n\
+             # TYPE wlcrc_serve_writes_per_sec gauge\n\
+             {writes_per_sec}\n\
+             # TYPE wlcrc_serve_busy_responses_total counter\n\
+             wlcrc_serve_busy_responses_total 2\n\
+             # TYPE wlcrc_serve_degraded_entered_total counter\n\
+             wlcrc_serve_degraded_entered_total 1\n\
+             # TYPE wlcrc_serve_deadline_misses_total counter\n\
+             wlcrc_serve_deadline_misses_total 3\n\
+             # TYPE wlcrc_serve_connections_rejected_total counter\n\
+             wlcrc_serve_connections_rejected_total 4\n\
+             # TYPE wlcrc_serve_connections_active gauge\n\
+             wlcrc_serve_connections_active 6\n\
+             # TYPE wlcrc_serve_lane_capacity gauge\n\
+             wlcrc_serve_lane_capacity 128\n\
+             # TYPE wlcrc_serve_store_hits_total counter\n\
+             wlcrc_serve_store_hits_total 3\n\
+             # TYPE wlcrc_serve_store_misses_total counter\n\
+             wlcrc_serve_store_misses_total 1\n\
+             # TYPE wlcrc_serve_store_hit_rate gauge\n\
+             wlcrc_serve_store_hit_rate 0.75\n\
+             # TYPE wlcrc_serve_degraded_sessions gauge\n\
+             wlcrc_serve_degraded_sessions 1\n\
+             # TYPE wlcrc_serve_queue_depth gauge\n\
+             wlcrc_serve_queue_depth{{session=\"2\",scheme=\"WLCRC-16\"}} 11\n\
+             # TYPE wlcrc_serve_energy_pj_per_write gauge\n\
+             wlcrc_serve_energy_pj_per_write{{session=\"2\",scheme=\"WLCRC-16\"}} 55.5\n\
+             # TYPE wlcrc_serve_write_imbalance gauge\n\
+             wlcrc_serve_write_imbalance{{session=\"2\",scheme=\"WLCRC-16\"}} 2.25\n\
+             # TYPE wlcrc_serve_request_seconds gauge\n",
+            uptime = line("wlcrc_serve_uptime_seconds "),
+            writes_per_sec = line("wlcrc_serve_writes_per_sec "),
+        );
+        assert!(
+            text.starts_with(&expected_prefix),
+            "scrape body diverged from the pre-registry golden.\nexpected prefix:\n\
+             {expected_prefix}\nactual:\n{text}"
+        );
     }
 }

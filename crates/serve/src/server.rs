@@ -293,7 +293,7 @@ fn drain(inner: &mut SessionInner, shared: &Shared, limit: usize) -> usize {
             break;
         }
     }
-    shared.counters.writes_simulated_total.fetch_add(simulated as u64, Ordering::Relaxed);
+    shared.counters.writes_simulated_total.add(simulated as u64);
     if inner.backlog == 0 && inner.sim.degraded() {
         inner.sim.set_degraded(false);
     }
@@ -357,7 +357,7 @@ fn accept_loop(shared: Arc<Shared>, listener: impl Acceptor) {
                 let active = shared.connections.fetch_add(1, Ordering::SeqCst);
                 if active >= shared.config.max_connections {
                     shared.connections.fetch_sub(1, Ordering::SeqCst);
-                    shared.counters.connections_rejected_total.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.connections_rejected_total.inc();
                     let refusal = Response::Busy { accepted: 0, queued: active as u64 };
                     let _ = write_frame(&mut stream, &refusal.to_value());
                     continue;
@@ -383,7 +383,7 @@ fn handle_connection(shared: &Shared, mut stream: impl Read + Write) {
             Ok(Some(value)) => value,
             Ok(None) | Err(_) => return,
         };
-        shared.counters.requests_total.fetch_add(1, Ordering::Relaxed);
+        shared.counters.requests_total.inc();
         let response = match Request::from_value(&value) {
             Ok(request) => dispatch(shared, request),
             Err(err) => Response::Error { message: err.to_string() },
@@ -410,9 +410,11 @@ fn dispatch(shared: &Shared, request: Request) -> Response {
         Ok(response) => response,
         Err(err) => Response::Error { message: err.to_string() },
     };
+    let elapsed = started.elapsed();
+    shared.counters.request_seconds.observe(elapsed);
     if let Some(deadline) = shared.config.request_deadline {
-        if started.elapsed() > deadline {
-            shared.counters.deadline_misses_total.fetch_add(1, Ordering::Relaxed);
+        if elapsed > deadline {
+            shared.counters.deadline_misses_total.inc();
             if let Some(id) = session {
                 degrade_session(shared, id);
             }
@@ -442,7 +444,7 @@ fn degrade_session(shared: &Shared, id: u64) {
     let mut inner = lock_recover(&slot.inner);
     if !inner.sim.degraded() {
         inner.sim.set_degraded(true);
-        shared.counters.degraded_entered_total.fetch_add(1, Ordering::Relaxed);
+        shared.counters.degraded_entered_total.inc();
     }
 }
 
@@ -543,17 +545,17 @@ fn write_records(
     }
     if inner.backlog > config.degraded_threshold && !inner.sim.degraded() {
         inner.sim.set_degraded(true);
-        shared.counters.degraded_entered_total.fetch_add(1, Ordering::Relaxed);
+        shared.counters.degraded_entered_total.inc();
     }
     let queued = inner.backlog as u64;
     let backlog = inner.backlog;
     drop(inner);
-    shared.counters.writes_accepted_total.fetch_add(accepted, Ordering::Relaxed);
+    shared.counters.writes_accepted_total.add(accepted);
     if backlog > 0 {
         mark_dirty(shared, slot.id);
     }
     if busy {
-        shared.counters.busy_responses_total.fetch_add(1, Ordering::Relaxed);
+        shared.counters.busy_responses_total.inc();
         Ok(Response::Busy { accepted, queued })
     } else {
         Ok(Response::Accepted { accepted, queued })
@@ -572,9 +574,9 @@ fn close_session(shared: &Shared, session: u64) -> Result<Response, ServeError> 
         let key = session_key(&inner);
         let hit = store.get(&key).is_some_and(|cached| cached == stats.to_value());
         if hit {
-            shared.counters.store_hits_total.fetch_add(1, Ordering::Relaxed);
+            shared.counters.store_hits_total.inc();
         } else {
-            shared.counters.store_misses_total.fetch_add(1, Ordering::Relaxed);
+            shared.counters.store_misses_total.inc();
             let _ = store.put(&key, &stats.to_value());
         }
         hit

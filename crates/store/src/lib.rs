@@ -26,16 +26,22 @@
 //!   markers multi-process grid runners coordinate through. Fault sites
 //!   ([`store::FAULT_TORN_WRITE`], [`store::FAULT_READ_CORRUPT`]) let chaos
 //!   tests inject torn writes and media corruption deterministically via
-//!   `wlcrc_faults`.
+//!   `wlcrc_faults`;
+//! * [`metrics`] — read/write/hit/miss/evict/quarantine counters and
+//!   read/write latency histograms, published through the process-global
+//!   `wlcrc_obs` registry (scraped by serve, printed by
+//!   `storectl stats --latency`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fingerprint;
+pub mod metrics;
 pub mod store;
 pub mod wire;
 
 pub use fingerprint::{Fingerprint, StableHasher};
+pub use metrics::{metrics, StoreMetrics};
 pub use store::{
     claim_is_stale, parse_byte_size, readonly_from_env, ClaimInfo, ClaimOutcome, Entry, EntryInfo,
     FsckReport, ResultStore, StoreError, VerifyReport, FAULT_READ_CORRUPT, FAULT_TORN_WRITE,

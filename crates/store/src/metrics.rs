@@ -1,0 +1,53 @@
+//! Store metrics, registered in the process-global `wlcrc_obs` registry.
+//!
+//! Handles are resolved once (first use) and then updated lock-free from
+//! the store's read/write paths. Because they live in the global registry,
+//! any scrape surface in the same process — the serve metrics endpoint,
+//! `storectl stats --latency` — sees them under the `wlcrc_store_*`
+//! families without plumbing.
+
+use std::sync::LazyLock;
+
+use wlcrc_obs::{Counter, Histogram};
+
+/// The store's counter and latency-histogram handles.
+///
+/// Counters are process-wide totals across every [`crate::ResultStore`]
+/// instance (stores are usually one-per-process; multi-store processes see
+/// the sum, which is the right thing for a scrape).
+pub struct StoreMetrics {
+    /// Entry reads attempted (`read_entry`), hits and misses alike.
+    pub reads: &'static Counter,
+    /// Entries written durably (`put` that completed its rename).
+    pub writes: &'static Counter,
+    /// `get` lookups that validated and returned a payload.
+    pub hits: &'static Counter,
+    /// `get` lookups that missed (absent, corrupt, or key mismatch).
+    pub misses: &'static Counter,
+    /// Entries deleted via `evict` (including LRU/age sweeps).
+    pub evictions: &'static Counter,
+    /// Entries moved to the quarantine directory.
+    pub quarantined: &'static Counter,
+    /// Latency of entry reads (open + validate), seconds.
+    pub read_seconds: &'static Histogram,
+    /// Latency of durable entry writes (encode + write + rename), seconds.
+    pub write_seconds: &'static Histogram,
+}
+
+/// The store's metric handles (find-or-create on first call).
+pub fn metrics() -> &'static StoreMetrics {
+    static METRICS: LazyLock<StoreMetrics> = LazyLock::new(|| {
+        let registry = wlcrc_obs::registry();
+        StoreMetrics {
+            reads: registry.counter("wlcrc_store_reads_total"),
+            writes: registry.counter("wlcrc_store_writes_total"),
+            hits: registry.counter("wlcrc_store_hits_total"),
+            misses: registry.counter("wlcrc_store_misses_total"),
+            evictions: registry.counter("wlcrc_store_evictions_total"),
+            quarantined: registry.counter("wlcrc_store_quarantined_total"),
+            read_seconds: registry.histogram("wlcrc_store_read_seconds"),
+            write_seconds: registry.histogram("wlcrc_store_write_seconds"),
+        }
+    });
+    &METRICS
+}

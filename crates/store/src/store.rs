@@ -38,6 +38,7 @@
 //!   of the same bytes, not a wrong result.
 
 use crate::fingerprint::Fingerprint;
+use crate::metrics;
 use crate::wire::{self, WireError};
 use serde::Value;
 use std::collections::HashMap;
@@ -323,21 +324,25 @@ impl ResultStore {
         let entry = match self.read_entry(fingerprint) {
             Ok(entry) => entry,
             Err(StoreError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {
+                metrics::metrics().misses.inc();
                 return None;
             }
             Err(_) => {
                 if !self.readonly {
                     let _ = self.quarantine_entry(fingerprint);
                 }
+                metrics::metrics().misses.inc();
                 return None;
             }
         };
         if &entry.key != key {
+            metrics::metrics().misses.inc();
             return None;
         }
         if !self.readonly {
             self.journal_hit(fingerprint);
         }
+        metrics::metrics().hits.inc();
         Some(entry.payload)
     }
 
@@ -376,6 +381,8 @@ impl ResultStore {
 
         let path = self.entry_path(fingerprint);
         let dir = path.parent().expect("entry path has a shard directory");
+        let started = std::time::Instant::now();
+        let _span = wlcrc_obs::span("store.write");
         fs::create_dir_all(dir)?;
         // The temp file lives in the final directory so the rename cannot
         // cross filesystems; the name is per-process so concurrent writers
@@ -383,7 +390,12 @@ impl ResultStore {
         let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), fingerprint.to_hex()));
         fs::write(&tmp, &file_bytes)?;
         match fs::rename(&tmp, &path) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                let store_metrics = metrics::metrics();
+                store_metrics.writes.inc();
+                store_metrics.write_seconds.observe(started.elapsed());
+                Ok(true)
+            }
             Err(err) => {
                 let _ = fs::remove_file(&tmp);
                 Err(err.into())
@@ -393,11 +405,18 @@ impl ResultStore {
 
     /// Reads and fully validates the entry stored under `fingerprint`.
     pub fn read_entry(&self, fingerprint: Fingerprint) -> Result<Entry, StoreError> {
-        let entry = read_entry_file(&self.entry_path(fingerprint))?;
-        if entry.fingerprint != fingerprint {
-            return Err(StoreError::FingerprintMismatch);
-        }
-        Ok(entry)
+        let started = std::time::Instant::now();
+        let _span = wlcrc_obs::span("store.read");
+        let store_metrics = metrics::metrics();
+        store_metrics.reads.inc();
+        let result = read_entry_file(&self.entry_path(fingerprint)).and_then(|entry| {
+            if entry.fingerprint != fingerprint {
+                return Err(StoreError::FingerprintMismatch);
+            }
+            Ok(entry)
+        });
+        store_metrics.read_seconds.observe(started.elapsed());
+        result
     }
 
     /// Deletes the entry stored under `fingerprint`, returning whether one
@@ -407,7 +426,10 @@ impl ResultStore {
             return Ok(false);
         }
         match fs::remove_file(self.entry_path(fingerprint)) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                metrics::metrics().evictions.inc();
+                Ok(true)
+            }
             Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(err) => Err(err.into()),
         }
@@ -752,7 +774,10 @@ impl ResultStore {
         let to = self.quarantine_path(fingerprint);
         fs::create_dir_all(to.parent().expect("quarantine path has a parent directory"))?;
         match fs::rename(self.entry_path(fingerprint), &to) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                metrics::metrics().quarantined.inc();
+                Ok(true)
+            }
             Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(err) => Err(err.into()),
         }
@@ -1059,6 +1084,38 @@ mod tests {
         assert_eq!(store.get(&key(2)), None);
         assert_eq!(store.entries().len(), 1);
         assert_eq!(store.hit_count(), 1);
+    }
+
+    #[test]
+    fn operations_feed_the_metrics_registry() {
+        // Counters are process-global and other tests run concurrently in
+        // this binary, so deltas are asserted as lower bounds.
+        let scratch = Scratch::new("metrics");
+        let store = ResultStore::open(&scratch.0).unwrap();
+        let store_metrics = metrics::metrics();
+        let snapshot = || {
+            (
+                store_metrics.hits.get(),
+                store_metrics.misses.get(),
+                store_metrics.writes.get(),
+                store_metrics.evictions.get(),
+            )
+        };
+        let (hits, misses, writes, evictions) = snapshot();
+        let reads = store_metrics.reads.get();
+        assert_eq!(store.get(&key(900)), None); // miss
+        store.put(&key(900), &payload(1.0)).unwrap(); // write
+        assert_eq!(store.get(&key(900)), Some(payload(1.0))); // hit
+        assert!(store.evict(Fingerprint::of_value(&key(900))).unwrap()); // evict
+        let (hits2, misses2, writes2, evictions2) = snapshot();
+        assert!(hits2 > hits);
+        assert!(misses2 > misses);
+        assert!(writes2 > writes);
+        assert!(evictions2 > evictions);
+        assert!(store_metrics.reads.get() >= reads + 2);
+        assert!(store_metrics.read_seconds.count() >= 2);
+        assert!(store_metrics.write_seconds.count() >= 1);
+        assert!(store_metrics.write_seconds.max_ns() > 0);
     }
 
     #[test]

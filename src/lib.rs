@@ -19,6 +19,8 @@
 //! * [`trace`] — synthetic SPEC/PARSEC-like write-trace generation.
 //! * [`store`] — the persistent content-addressed result store.
 //! * [`memsim`] — the trace-driven simulator and statistics.
+//! * [`obs`] — env-gated tracing spans and the lock-free metrics registry
+//!   (`WLCRC_TRACE=<file>` records a Chrome trace of any run).
 //! * [`serve`] — the long-lived memory-service front-end (sessions over a
 //!   framed wire protocol, with backpressure and live metrics).
 //!
@@ -40,6 +42,7 @@ pub use wlcrc_compress as compress;
 pub use wlcrc_coset as coset;
 pub use wlcrc_ecc as ecc;
 pub use wlcrc_memsim as memsim;
+pub use wlcrc_obs as obs;
 pub use wlcrc_pcm as pcm;
 pub use wlcrc_serve as serve;
 pub use wlcrc_store as store;
